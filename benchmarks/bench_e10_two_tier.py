@@ -1,0 +1,54 @@
+"""E10 - the two-tier hierarchy of Section 9, implemented.
+
+Paper (future work): "messages will be sent by each process to its
+designated leader, which will in turn, aggregate the cut messages into a
+single message and forward it to the other leaders."  Claim shape: large
+sync-message savings at scale for a small bounded latency cost.
+"""
+
+import pytest
+
+from repro.experiments import format_table, measure_two_tier
+
+CONFIGS = [
+    # (group size, leader counts to sweep)
+    (16, (0, 2, 4)),
+    (32, (0, 4, 8)),
+]
+
+
+def test_e10_sync_aggregation(benchmark, report):
+    def run():
+        rows = []
+        for group_size, leader_counts in CONFIGS:
+            for leaders in leader_counts:
+                rows.append(measure_two_tier(group_size=group_size, leaders=leaders))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_rows = []
+    flat_msgs = {}
+    for r in results:
+        assert r.converged
+        if r.leaders == 0:
+            flat_msgs[r.group_size] = r.sync_messages
+            assert r.extra_latency == pytest.approx(0.0)
+        else:
+            assert r.sync_messages < flat_msgs[r.group_size]
+            assert r.extra_latency <= 2.0  # at most the two extra hops
+        table_rows.append(
+            (
+                r.group_size,
+                r.leaders or "flat",
+                r.sync_messages,
+                f"{r.sync_messages / flat_msgs[r.group_size]:.2f}x",
+                r.extra_latency,
+            )
+        )
+    report.add(
+        format_table(
+            ["n", "leaders", "sync msgs", "vs flat", "extra latency"],
+            table_rows,
+            title="E10 two-tier sync aggregation (Section 9, implemented)",
+        )
+    )

@@ -1,0 +1,41 @@
+"""E12 - ordering layers over the FIFO service (Section 4.1.1).
+
+Paper: "FIFO is a basic service upon which one can build stronger
+services" (citing the total-order protocol of [13]).  Claim shape: causal
+order costs nothing extra for concurrent traffic, while total order pays
+the sequencing hop - roughly doubling delivery latency - and in exchange
+yields a single agreed delivery sequence.
+"""
+
+import pytest
+
+from repro.experiments import format_table, measure_ordering_overhead
+
+LAYERS = ("fifo", "causal", "total")
+
+
+def test_e12_ordering_latency(benchmark, report):
+    def run():
+        return {
+            layer: measure_ordering_overhead(layer, group_size=6, messages_per_sender=4)
+            for layer in LAYERS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    fifo = results["fifo"].mean_delivery_latency
+    causal = results["causal"].mean_delivery_latency
+    total = results["total"].mean_delivery_latency
+    assert causal == pytest.approx(fifo, rel=0.05)  # free for concurrent traffic
+    assert 1.5 * fifo <= total <= 3.0 * fifo  # the sequencing hop
+    assert results["total"].agreed_order
+    report.add(
+        format_table(
+            ["layer", "mean delivery latency", "vs fifo", "agreed total order"],
+            [
+                (layer, r.mean_delivery_latency,
+                 f"{r.mean_delivery_latency / fifo:.2f}x", r.agreed_order)
+                for layer, r in results.items()
+            ],
+            title="E12 ordering layers over the FIFO service (n=6)",
+        )
+    )

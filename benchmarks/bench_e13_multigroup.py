@@ -1,0 +1,69 @@
+"""E13 - scalability in the number of groups (Section 1).
+
+Paper claim: the client-server architecture "allows the service to be
+scalable in the topology it spans, in the number of groups, and in the
+number of clients."  The shape to reproduce: reconfiguring one group
+costs the same regardless of how many *other* groups the same processes
+participate in - group changes are isolated.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.groups import MultiGroupWorld
+from repro.net import ConstantLatency
+
+GROUP_COUNTS = (1, 4, 16)
+
+
+def reconfigure_one_group(total_groups: int):
+    world = MultiGroupWorld(latency=ConstantLatency(1.0), round_duration=1.0)
+    pids = [f"p{i}" for i in range(6)]
+    for pid in pids:
+        world.add_process(pid)
+    for g in range(total_groups):
+        for pid in pids:
+            world.join(pid, f"group-{g}")
+    world.run()
+    world.network.reset_counters()
+    other_views = sum(
+        len(world.processes[pid].views[f"group-{g}"])
+        for g in range(1, total_groups)
+        for pid in pids
+    )
+    start = world.clock.now
+    world.leave(pids[0], "group-0")
+    world.run()
+    other_views_after = sum(
+        len(world.processes[pid].views[f"group-{g}"])
+        for g in range(1, total_groups)
+        for pid in pids
+    )
+    messages = sum(world.network.totals().values())
+    return {
+        "groups": total_groups,
+        "latency": world.clock.now - start,
+        "messages": messages,
+        "other_groups_disturbed": other_views_after - other_views,
+    }
+
+
+def test_e13_group_isolation(benchmark, report):
+    def run():
+        return [reconfigure_one_group(g) for g in GROUP_COUNTS]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = results[0]
+    rows = []
+    for r in results:
+        assert r["other_groups_disturbed"] == 0
+        assert r["latency"] == pytest.approx(baseline["latency"])
+        assert r["messages"] == baseline["messages"]
+        rows.append((r["groups"], r["latency"], r["messages"], r["other_groups_disturbed"]))
+    report.add(
+        format_table(
+            ["total groups", "reconfig latency", "messages", "other groups disturbed"],
+            rows,
+            title="E13 reconfiguration cost of one group vs total group count (6 processes)",
+        )
+    )

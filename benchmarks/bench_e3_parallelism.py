@@ -1,0 +1,51 @@
+"""E3 - parallelism ablation: overlapping the sync round with the
+membership round.
+
+Paper claim: because synchronization starts at the start_change (not at
+the view), the extra reconfiguration latency of the paper's algorithm is
+independent of the membership round duration - the sync round hides
+entirely inside it - whereas the baselines' extra rounds are *added* to
+whatever the membership costs.
+"""
+
+import pytest
+
+from repro.experiments import ALGORITHMS, format_table, measure_reconfiguration
+
+ROUND_DURATIONS = (1.0, 2.0, 4.0, 8.0)
+
+
+def test_e3_overlap_with_membership_round(benchmark, report):
+    def run():
+        rows = []
+        for duration in ROUND_DURATIONS:
+            for name, endpoint_cls in ALGORITHMS.items():
+                rows.append(
+                    measure_reconfiguration(
+                        endpoint_cls,
+                        group_size=8,
+                        round_duration=duration,
+                        algorithm_name=name,
+                    )
+                )
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_rows = []
+    for r in results:
+        table_rows.append((r.algorithm, r.membership_latency, r.gcs_latency, r.extra_latency))
+        if "paper" in r.algorithm:
+            assert r.extra_latency == pytest.approx(0.0, abs=0.01)
+        else:
+            assert r.extra_latency > 0.5
+    # the paper algorithm's total tracks the membership duration 1:1
+    ours = [r for r in results if "paper" in r.algorithm]
+    for r in ours:
+        assert r.gcs_latency == pytest.approx(r.membership_latency, abs=0.01)
+    report.add(
+        format_table(
+            ["algorithm", "membership round", "total to gcs view", "extra after mbrshp"],
+            table_rows,
+            title="E3 sync-round overlap vs membership round duration (n=8)",
+        )
+    )

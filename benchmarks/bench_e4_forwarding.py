@@ -1,0 +1,53 @@
+"""E4 - forwarding strategies (Section 5.2.2).
+
+Paper claim: the simple strategy lets every committed holder forward a
+missing message (up to |holders| copies per missing message); the
+min-copies strategy elects exactly one forwarder, so "usually only one
+copy of m will be sent".  Both must still converge and agree.
+"""
+
+import pytest
+
+from repro.core import MinCopiesStrategy, SimpleStrategy
+from repro.experiments import format_table, measure_forwarding
+
+SCENARIOS = [
+    # (group size, backlog, holders)
+    (5, 3, 1),
+    (6, 4, 2),
+    (8, 4, 3),
+]
+
+
+def test_e4_forwarded_copies(benchmark, report):
+    def run():
+        rows = []
+        for group_size, backlog, holders in SCENARIOS:
+            for strategy in (SimpleStrategy(), MinCopiesStrategy()):
+                rows.append(
+                    measure_forwarding(
+                        strategy,
+                        group_size=group_size,
+                        backlog=backlog,
+                        holders=holders,
+                    )
+                )
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_rows = []
+    for r in results:
+        assert r.converged and r.agreed, r
+        expected = float(r.holders) if r.strategy == "SimpleStrategy" else 1.0
+        assert r.copies_per_missing == pytest.approx(expected), r
+        table_rows.append(
+            (r.strategy, r.group_size, r.holders, r.missing_instances,
+             r.forwarded_copies, r.copies_per_missing, expected)
+        )
+    report.add(
+        format_table(
+            ["strategy", "n", "holders", "missing", "copies", "copies/missing", "claimed"],
+            table_rows,
+            title="E4 forwarding cost: simple vs min-copies",
+        )
+    )

@@ -1,0 +1,40 @@
+"""E5 - obsolete-view suppression (Section 1).
+
+Paper claim: when the membership changes its mind mid-reconfiguration,
+the start_change interface revises the attempt in flight and the
+application sees only the final view; designs that run each membership
+invocation to completion deliver every superseded view to the
+application.
+"""
+
+import pytest
+
+from repro.experiments import format_table, measure_obsolete_views
+
+CHURNS = (2, 4, 6)
+
+
+def test_e5_views_seen_by_application(benchmark, report):
+    def run():
+        rows = []
+        for churn in CHURNS:
+            for mode in ("revise", "serialize"):
+                rows.append(measure_obsolete_views(mode, churn=churn))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_rows = []
+    for r in results:
+        assert r.converged
+        expected = 1.0 if r.mode == "revise" else float(r.churn)
+        assert r.app_views_per_process == pytest.approx(expected), r
+        table_rows.append(
+            (r.mode, r.churn, r.app_views_per_process, expected, r.total_time)
+        )
+    report.add(
+        format_table(
+            ["mode", "membership revisions", "app views/process", "claimed", "settle time"],
+            table_rows,
+            title="E5 obsolete-view suppression: revise-in-flight vs run-to-completion",
+        )
+    )

@@ -1,0 +1,40 @@
+"""E6 - steady-state within-view FIFO multicast.
+
+Between reconfigurations the service is a plain reliable FIFO multicast
+(the WV_RFIFO layer): every message costs n-1 wire messages and one
+network latency end-to-end.  The sweep confirms both and records the
+simulated delivery rate as group size grows.
+"""
+
+import pytest
+
+from repro.experiments import format_table, measure_throughput
+
+GROUP_SIZES = (4, 8, 16, 32)
+
+
+def test_e6_throughput_sweep(benchmark, report):
+    def run():
+        return [
+            measure_throughput(group_size=n, messages_per_sender=10)
+            for n in GROUP_SIZES
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for r in results:
+        sent = r.group_size * r.messages_per_sender
+        assert r.total_deliveries == sent * r.group_size  # everyone delivers all
+        assert r.latency_p50 == pytest.approx(1.0)  # one network hop
+        assert r.wire_messages == sent * (r.group_size - 1)
+        rows.append(
+            (r.group_size, r.total_deliveries, r.deliveries_per_time_unit,
+             r.latency_p50, r.latency_p99, r.wire_messages)
+        )
+    report.add(
+        format_table(
+            ["n", "deliveries", "deliveries/time", "latency p50", "latency p99", "wire msgs"],
+            rows,
+            title="E6 steady-state multicast (10 messages/sender, constant latency 1.0)",
+        )
+    )

@@ -1,0 +1,66 @@
+"""E7 - the application blocking window (Section 5.3).
+
+Blocking the application during a view change is required for Self
+Delivery + Virtual Synchrony ([19]).  The designs trade *where* the
+window sits: the paper's algorithm blocks from the start_change to the
+view (the window spans the membership round, but total reconfiguration is
+shortest); the baselines block only after the membership view, for the
+duration of their extra rounds (shorter window, longer total outage).
+The benchmark reports both sides of the trade-off.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALGORITHMS,
+    format_table,
+    measure_blocking_window,
+    measure_reconfiguration,
+)
+
+ROUND_DURATION = 3.0
+
+
+def test_e7_blocking_window_vs_total_latency(benchmark, report):
+    def run():
+        rows = []
+        for name, endpoint_cls in ALGORITHMS.items():
+            blocking = measure_blocking_window(
+                endpoint_cls, round_duration=ROUND_DURATION, algorithm_name=name
+            )
+            total = measure_reconfiguration(
+                endpoint_cls, group_size=6, round_duration=ROUND_DURATION,
+                algorithm_name=name,
+            )
+            rows.append((blocking, total))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected_window = {
+        "gcs-1round (paper)": ROUND_DURATION,  # spans the membership round
+        "sequential-vs": 1.0,  # one sync round after the view
+        "two-round-vs": 2.0,  # agree-id + sync rounds after the view
+    }
+    table_rows = []
+    for blocking, total in results:
+        assert blocking.mean_blocking_window == pytest.approx(
+            expected_window[blocking.algorithm], abs=0.01
+        )
+        table_rows.append(
+            (
+                blocking.algorithm,
+                blocking.mean_blocking_window,
+                expected_window[blocking.algorithm],
+                total.gcs_latency,
+            )
+        )
+    # the paper's algorithm pays a longer window but the shortest outage
+    totals = {b.algorithm: t.gcs_latency for b, t in results}
+    assert totals["gcs-1round (paper)"] == min(totals.values())
+    report.add(
+        format_table(
+            ["algorithm", "blocking window", "claimed", "total reconfig latency"],
+            table_rows,
+            title=f"E7 blocking window vs total outage (membership round = {ROUND_DURATION})",
+        )
+    )

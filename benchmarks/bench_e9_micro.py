@@ -1,0 +1,58 @@
+"""E9 - framework micro-benchmarks.
+
+Wall-clock costs of the substrate itself: IOA scheduler steps, endpoint
+drain throughput in the simulator, and the safety-checker battery.  These
+are the numbers a user extending the library cares about.
+"""
+
+import pytest
+
+from repro.checking import check_all_safety
+from repro.harness import ModelHarness
+from repro.net import ConstantLatency, SimWorld
+
+
+def test_micro_model_scheduler(benchmark):
+    """Fair-scheduler steps/second on the composed 3-process model."""
+
+    def run():
+        harness = ModelHarness("abc", seed=1, scripts={p: ["m"] * 3 for p in "abc"})
+        harness.form_view("abc")
+        return harness.scheduler("fair").run(max_steps=50_000)
+
+    steps = benchmark(run)
+    assert steps > 50
+
+
+def test_micro_sim_multicast(benchmark):
+    """Simulated deliveries/second: 8 nodes, 10 messages each."""
+
+    def run():
+        world = SimWorld(latency=ConstantLatency(1.0), membership="oracle")
+        nodes = world.add_nodes([f"p{i}" for i in range(8)])
+        world.start()
+        world.run()
+        for node in nodes:
+            for i in range(10):
+                node.send(i)
+        world.run()
+        return sum(len(n.delivered) for n in nodes)
+
+    delivered = benchmark(run)
+    assert delivered == 8 * 8 * 10
+
+
+def test_micro_safety_checker(benchmark):
+    """Full safety battery over a settled run's trace."""
+    world = SimWorld(latency=ConstantLatency(1.0), membership="oracle")
+    nodes = world.add_nodes([f"p{i}" for i in range(6)])
+    world.start()
+    world.run()
+    for node in nodes:
+        for i in range(10):
+            node.send(i)
+    world.run()
+    world.partition([["p0", "p1", "p2"], ["p3", "p4", "p5"]])
+    world.run()
+
+    benchmark(check_all_safety, world.trace, list(world.nodes))

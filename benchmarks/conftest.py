@@ -1,0 +1,40 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark registers one or more formatted claim-versus-measured
+tables through the ``report`` fixture; ``pytest_terminal_summary`` prints
+them after the pytest-benchmark timing table, so a plain
+
+    pytest benchmarks/ --benchmark-only
+
+shows both the wall-clock costs and the reproduced experiment rows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+_TABLES: List[str] = []
+
+
+class Report:
+    """Collects experiment tables for the end-of-run summary."""
+
+    def add(self, table: str) -> None:
+        _TABLES.append(table)
+
+
+@pytest.fixture(scope="session")
+def report() -> Report:
+    return Report()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section("reproduced experiment tables (paper claims vs measured)")
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,64 @@
+"""Quickstart: a three-member group exchanging messages through the GCS.
+
+Demonstrates the asyncio runtime: create a cluster, form a view, multicast
+a few messages, watch a membership change deliver a new view with its
+transitional set, and see Self Delivery and FIFO order in action.
+
+Run with:  python examples/quickstart.py
+"""
+
+import asyncio
+
+from repro import AsyncCluster, Delivery, ViewChange
+
+
+async def main() -> None:
+    async with AsyncCluster(record_trace=True) as cluster:
+        alice, bob, carol = cluster.add_nodes(["alice", "bob", "carol"])
+
+        view = await cluster.start()
+        print(f"initial view: {sorted(view.members)} (id {view.vid})")
+
+        # Every member multicasts; the service delivers each message to
+        # every member of the view in which it was sent, in FIFO order,
+        # including back to the sender (Self Delivery).
+        await alice.send("hello from alice")
+        await bob.send("hi, this is bob")
+        await carol.send("carol here")
+        await cluster.quiesce()
+
+        for node in (alice, bob, carol):
+            print(f"\n{node.pid} observed:")
+            while not node.events_queue.empty():
+                event = node.events_queue.get_nowait()
+                if isinstance(event, ViewChange):
+                    print(f"  view {event.view.vid}: members {sorted(event.view.members)}, "
+                          f"transitional set {sorted(event.transitional)}")
+                elif isinstance(event, Delivery):
+                    print(f"  message from {event.sender}: {event.payload!r}")
+
+        # Carol leaves.  The survivors move together, so the transitional
+        # set they receive with the new view is {alice, bob} - they know
+        # they agree on everything delivered so far and can skip any
+        # state-transfer round (the point of Virtual Synchrony).
+        new_view = await cluster.reconfigure(["alice", "bob"])
+        print(f"\nafter carol left: view {new_view.vid} = {sorted(new_view.members)}")
+        for node in (alice, bob):
+            while not node.events_queue.empty():
+                event = node.events_queue.get_nowait()
+                if isinstance(event, ViewChange):
+                    print(f"  {node.pid}: transitional set {sorted(event.transitional)}")
+
+        await alice.send("just the two of us now")
+        await cluster.quiesce()
+        event = await bob.next_event(timeout=1.0)
+        print(f"\nbob got: {event.payload!r} from {event.sender}")
+
+        # The recorded trace passes the paper's full safety battery.
+        from repro import check_all_safety
+        check_all_safety(cluster.trace, list(cluster.nodes))
+        print("\nall safety properties verified on the recorded trace")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,45 @@
+"""Why one round matters on a WAN: the experiments API from user code.
+
+Sweeps the paper's algorithm against the sequential and two-round
+baselines over WAN-like (lognormal) latencies and several group sizes,
+printing the reconfiguration-latency table - the headline comparison of
+the paper, reproduced in a dozen lines with the public experiments API.
+
+Run with:  python examples/wan_reconfiguration.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ALGORITHMS, format_table, measure_reconfiguration
+from repro.net import LognormalLatency
+
+
+def main() -> None:
+    rows = []
+    for n in (4, 8, 16):
+        for name, endpoint_cls in ALGORITHMS.items():
+            result = measure_reconfiguration(
+                endpoint_cls,
+                group_size=n,
+                latency=LognormalLatency(median=1.0, sigma=0.5, seed=42),
+                round_duration=3.0,
+                algorithm_name=name,
+            )
+            rows.append(
+                (name, n, result.membership_latency, result.gcs_latency,
+                 result.extra_latency)
+            )
+    print(format_table(
+        ["algorithm", "group", "membership view at", "gcs view at", "extra"],
+        rows,
+        title="Reconfiguration latency on a lognormal WAN (time units = median RTT/2)",
+    ))
+    print(
+        "\nThe paper's algorithm overlaps its synchronization round with the\n"
+        "membership round, so the group is back in business the moment the\n"
+        "membership delivers the view; the baselines append their rounds to it."
+    )
+
+
+if __name__ == "__main__":
+    main()

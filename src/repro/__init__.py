@@ -1,0 +1,119 @@
+"""repro - a client-server virtually synchronous group multicast service.
+
+A complete, executable reproduction of *Keidar & Khazan, "A Client-Server
+Approach to Virtually Synchronous Group Multicast: Specifications,
+Algorithms, and Proofs"* (ICDCS 2000):
+
+* :mod:`repro.ioa` - the I/O automaton framework with the inheritance
+  construct of [26];
+* :mod:`repro.spec` - the specification automata (MBRSHP, CO_RFIFO,
+  WV_RFIFO, VS_RFIFO, TRANS_SET, SELF, the blocking client);
+* :mod:`repro.core` - the algorithm: WV_RFIFO -> VS_RFIFO+TS -> GCS
+  end-points and the forwarding strategies;
+* :mod:`repro.membership` - membership servers and a timing oracle;
+* :mod:`repro.net` - a deterministic discrete-event simulation of the
+  whole deployment;
+* :mod:`repro.runtime` - the asyncio runtime for real deployments;
+* :mod:`repro.checking` - every specified property, invariant and
+  refinement mapping as an executable check;
+* :mod:`repro.baselines` - sequential and two-round virtual synchrony
+  baselines for the evaluation.
+
+Quickstart (asyncio)::
+
+    import asyncio
+    from repro import AsyncCluster
+
+    async def main():
+        async with AsyncCluster() as cluster:
+            a, b = cluster.add_nodes(["a", "b"])
+            await cluster.start()
+            await a.send("hello group")
+            print(await b.next_event(timeout=1.0))
+
+    asyncio.run(main())
+"""
+
+from repro.apps import NotPrimaryError, ReplicatedStateMachine
+from repro.baselines import SequentialVsEndpoint, TwoRoundVsEndpoint
+from repro.checking import GcsTrace, check_all_safety, check_liveness
+from repro.core import (
+    GcsEndpoint,
+    MinCopiesStrategy,
+    NoForwarding,
+    SimpleStrategy,
+    VsRfifoTsEndpoint,
+    WvRfifoEndpoint,
+    strategy_by_name,
+)
+from repro.errors import (
+    InvariantViolation,
+    RefinementViolation,
+    ReproError,
+    SpecificationViolation,
+)
+from repro.harness import ModelHarness
+from repro.net import (
+    ConstantLatency,
+    LognormalLatency,
+    SimWorld,
+    UniformLatency,
+)
+from repro.order import CausalOrderNode, TotalOrderNode
+from repro.runtime import AsyncCluster, AsyncGcsNode, Delivery, ViewChange
+from repro.types import (
+    CID_ZERO,
+    VID_ZERO,
+    Cut,
+    ProcessId,
+    StartChange,
+    StartChangeId,
+    View,
+    ViewId,
+    initial_view,
+    make_view,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsyncCluster",
+    "AsyncGcsNode",
+    "CID_ZERO",
+    "CausalOrderNode",
+    "ConstantLatency",
+    "Cut",
+    "Delivery",
+    "GcsEndpoint",
+    "GcsTrace",
+    "InvariantViolation",
+    "LognormalLatency",
+    "MinCopiesStrategy",
+    "ModelHarness",
+    "NoForwarding",
+    "NotPrimaryError",
+    "ProcessId",
+    "RefinementViolation",
+    "ReplicatedStateMachine",
+    "ReproError",
+    "SequentialVsEndpoint",
+    "SimWorld",
+    "SimpleStrategy",
+    "SpecificationViolation",
+    "StartChange",
+    "StartChangeId",
+    "TotalOrderNode",
+    "TwoRoundVsEndpoint",
+    "UniformLatency",
+    "VID_ZERO",
+    "View",
+    "ViewChange",
+    "ViewId",
+    "VsRfifoTsEndpoint",
+    "WvRfifoEndpoint",
+    "check_all_safety",
+    "check_liveness",
+    "initial_view",
+    "make_view",
+    "strategy_by_name",
+]

@@ -1,0 +1,188 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` - run a narrated simulated scenario (multicast, partition,
+  heal, recovery) with the safety battery at the end;
+* ``experiments`` - run the headline experiments (E1, E4, E5, E10, E11)
+  at moderate scale and print their claim-versus-measured tables;
+* ``simulate`` - run a parameterised reconfiguration and print its
+  numbers (see ``--help`` for knobs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.checking import check_all_safety
+from repro.core import MinCopiesStrategy, SimpleStrategy
+from repro.experiments import (
+    ALGORITHMS,
+    format_table,
+    measure_compact_syncs,
+    measure_forwarding,
+    measure_obsolete_views,
+    measure_reconfiguration,
+    measure_two_tier,
+)
+from repro.net import ConstantLatency, LognormalLatency, SimWorld
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    print("== repro demo: virtually synchronous group multicast ==\n")
+    world = SimWorld(latency=ConstantLatency(1.0), membership="oracle", round_duration=2.0)
+    nodes = world.add_nodes(["alice", "bob", "carol", "dave"])
+    world.start()
+    world.run()
+    print(f"[t={world.now():4.1f}] initial view: {sorted(nodes[0].current_view.members)}")
+
+    nodes[0].send("hello everyone")
+    world.run()
+    print(f"[t={world.now():4.1f}] alice's message delivered at: "
+          f"{[n.pid for n in nodes if ('alice', 'hello everyone') in n.delivered]}")
+
+    world.partition([["alice", "bob"], ["carol", "dave"]])
+    world.run()
+    print(f"[t={world.now():4.1f}] partition: "
+          f"{sorted(nodes[0].current_view.members)} | {sorted(nodes[2].current_view.members)}")
+
+    nodes[2].send("island life")
+    world.run()
+    world.heal()
+    world.run()
+    final = world.oracle.views_formed[-1]
+    transitional = dict(nodes[0].views)[final]
+    print(f"[t={world.now():4.1f}] merged view: {sorted(final.members)}; "
+          f"alice's transitional set: {sorted(transitional)}")
+
+    world.crash("dave")
+    world.run()
+    world.recover("dave")
+    world.run()
+    print(f"[t={world.now():4.1f}] dave crashed, recovered, rejoined: "
+          f"{sorted(world.nodes['dave'].current_view.members)}")
+
+    check_all_safety(world.trace, list(world.nodes))
+    print("\nall safety properties verified on the recorded trace")
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, endpoint_cls in ALGORITHMS.items():
+        result = measure_reconfiguration(endpoint_cls, group_size=8, algorithm_name=name)
+        rows.append((name, result.extra_rounds, result.sync_messages, result.agreement_messages))
+    print(format_table(
+        ["algorithm", "extra rounds", "sync msgs", "agreement msgs"],
+        rows,
+        title="E1/E2 reconfiguration (n=8, one member leaves)",
+    ))
+    print()
+    rows = []
+    for strategy in (SimpleStrategy(), MinCopiesStrategy()):
+        result = measure_forwarding(strategy, group_size=6, backlog=4, holders=2)
+        rows.append((result.strategy, result.forwarded_copies, result.copies_per_missing))
+    print(format_table(
+        ["strategy", "forwarded copies", "copies/missing"],
+        rows,
+        title="E4 forwarding strategies (2 holders)",
+    ))
+    print()
+    rows = []
+    for mode in ("revise", "serialize"):
+        result = measure_obsolete_views(mode, churn=4)
+        rows.append((mode, result.app_views_per_process, result.total_time))
+    print(format_table(
+        ["mode", "app views/process", "settle time"],
+        rows,
+        title="E5 obsolete-view suppression (4 revisions)",
+    ))
+    print()
+    rows = []
+    for leaders in (0, 4):
+        result = measure_two_tier(group_size=16, leaders=leaders)
+        rows.append((leaders or "flat", result.sync_messages, result.extra_latency))
+    print(format_table(
+        ["leaders", "sync msgs", "extra latency"],
+        rows,
+        title="E10 two-tier hierarchy (n=16)",
+    ))
+    print()
+    rows = []
+    for compact in (False, True):
+        result = measure_compact_syncs(group_size=8, compact=compact)
+        rows.append(("compact" if compact else "full", result.sync_volume))
+    print(format_table(
+        ["variant", "sync volume"],
+        rows,
+        title="E11 compact syncs on a merge (n=8)",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.algorithm not in ALGORITHMS:
+        print(f"unknown algorithm {args.algorithm!r}; choose from {sorted(ALGORITHMS)}",
+              file=sys.stderr)
+        return 2
+    latency = (
+        LognormalLatency(args.latency, 0.5, seed=args.seed)
+        if args.wan
+        else ConstantLatency(args.latency)
+    )
+    result = measure_reconfiguration(
+        ALGORITHMS[args.algorithm],
+        group_size=args.nodes,
+        latency=latency,
+        round_duration=args.membership_round,
+        algorithm_name=args.algorithm,
+        check=True,
+    )
+    print(format_table(
+        ["algorithm", "n", "membership latency", "gcs latency", "extra rounds"],
+        [(result.algorithm, result.group_size, result.membership_latency,
+          result.gcs_latency, result.extra_rounds)],
+        title="reconfiguration simulation (safety-checked)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Client-server virtually synchronous group multicast "
+                    "(Keidar & Khazan, ICDCS 2000) - reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run a narrated simulated scenario")
+    sub.add_parser("experiments", help="run the headline experiments")
+
+    simulate = sub.add_parser("simulate", help="run one parameterised reconfiguration")
+    simulate.add_argument("--algorithm", default="gcs-1round (paper)",
+                          help="one of: " + ", ".join(sorted(ALGORITHMS)))
+    simulate.add_argument("--nodes", type=int, default=8)
+    simulate.add_argument("--latency", type=float, default=1.0)
+    simulate.add_argument("--membership-round", type=float, default=3.0)
+    simulate.add_argument("--wan", action="store_true",
+                          help="lognormal (heavy-tailed) latency instead of constant")
+    simulate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "experiments": _cmd_experiments,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

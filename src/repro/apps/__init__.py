@@ -1,0 +1,13 @@
+"""Application-level building blocks over the group communication service.
+
+The paper motivates virtual synchrony with applications that "maintain
+consistent replicated state of some sort" (Section 1) and notes that
+transitional sets let co-movers skip costly synchronisation (Section
+4.1.2).  :class:`~repro.apps.state_machine.ReplicatedStateMachine`
+packages that recipe: totally ordered commands, transitional-set-driven
+state transfer at merges, and an optional primary-partition policy.
+"""
+
+from repro.apps.state_machine import NotPrimaryError, ReplicatedStateMachine
+
+__all__ = ["NotPrimaryError", "ReplicatedStateMachine"]

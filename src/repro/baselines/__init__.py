@@ -1,0 +1,27 @@
+"""Baseline virtual synchrony algorithms for comparison (Section 1, 9).
+
+The paper's headline claim is a virtual synchrony algorithm that runs in
+one message round *in parallel* with the membership round, without
+pre-agreement on a globally unique identifier.  These baselines provide
+the same service semantics with the timings of prior approaches:
+
+* :class:`SequentialVsEndpoint` - sync round *after* the membership view
+  (the view identifier serves as the agreed tag): membership + 1 round.
+* :class:`TwoRoundVsEndpoint` - identifier pre-agreement via a
+  coordinator, then the sync round (the [7, 22] shape the paper cites):
+  membership + 2 rounds.
+
+Both satisfy the same safety properties (the tests check them with the
+same property battery), which makes the latency and message-count
+comparisons in the benchmarks apples-to-apples.
+"""
+
+from repro.baselines.base import BaselineSyncMsg, SequentialVsEndpoint
+from repro.baselines.two_round import ProposeIdMsg, TwoRoundVsEndpoint
+
+__all__ = [
+    "BaselineSyncMsg",
+    "ProposeIdMsg",
+    "SequentialVsEndpoint",
+    "TwoRoundVsEndpoint",
+]

@@ -1,0 +1,95 @@
+"""Baseline: virtual synchrony with identifier pre-agreement (two rounds).
+
+``TwoRoundVsEndpoint`` models the prior-art algorithms the paper
+contrasts itself with (e.g. [7, 22]): after the membership view arrives,
+the processes must first *agree on a common identifier* for the
+synchronization exchange - one additional communication round in which a
+coordinator (the least member of the new view) broadcasts the identifier
+- and only then exchange synchronization messages tagged with it.
+
+Reconfiguration therefore costs the membership round **plus two** message
+exchanges, versus plus-one for the sequential baseline and plus-zero
+(overlapped) for the paper's algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.baselines.base import SequentialVsEndpoint
+from repro.core.messages import WireMessage
+from repro.spec.client import BlockStatus
+from repro.types import ProcessId, View, ViewId
+
+
+@dataclass(frozen=True)
+class ProposeIdMsg(WireMessage):
+    """Round one: the coordinator proposes the agreed identifier."""
+
+    view_id: ViewId
+    gid: Hashable
+
+
+class TwoRoundVsEndpoint(SequentialVsEndpoint):
+    """Identifier pre-agreement, then the synchronization round."""
+
+    def _state(self) -> None:
+        # agreed_gid[view_id]: the identifier the coordinator announced.
+        self.agreed_gid: Dict[ViewId, Hashable] = {}
+        self.proposed: set = set()  # view ids this coordinator announced
+
+    # ------------------------------------------------------------------
+    # tag selection: only known once the coordinator's proposal arrives
+    # ------------------------------------------------------------------
+
+    def sync_tag(self, view: View) -> Optional[Hashable]:
+        return self.agreed_gid.get(view.vid)
+
+    def is_coordinator(self, view: View) -> bool:
+        return self.pid == min(view.members)
+
+    # ------------------------------------------------------------------
+    # OUTPUT co_rfifo.send - the identifier proposal (round one)
+    # ------------------------------------------------------------------
+
+    def _propose_ready(self) -> Optional[View]:
+        view = self.pending_view()
+        if (
+            view is not None
+            and self.is_coordinator(view)
+            and view.vid not in self.proposed
+            and view.members <= self.reliable_set
+        ):
+            return view
+        return None
+
+    def _pre_co_rfifo_send(self, p: ProcessId, targets: FrozenSet[ProcessId], m: WireMessage) -> bool:
+        if isinstance(m, ProposeIdMsg):
+            view = self._propose_ready()
+            return (
+                view is not None
+                and m.view_id == view.vid
+                and frozenset(targets) == view.members - {self.pid}
+            )
+        return True
+
+    def _eff_co_rfifo_send(self, p: ProcessId, targets: FrozenSet[ProcessId], m: WireMessage) -> None:
+        if isinstance(m, ProposeIdMsg):
+            self.proposed.add(m.view_id)
+            self.agreed_gid[m.view_id] = m.gid
+
+    def _candidates_co_rfifo_send(self) -> Iterable[Tuple[ProcessId, FrozenSet[ProcessId], WireMessage]]:
+        view = self._propose_ready()
+        if view is not None:
+            gid = ("gid", view.vid, self.pid)
+            yield (self.pid, frozenset(view.members - {self.pid}), ProposeIdMsg(view.vid, gid))
+        yield from super()._candidates_co_rfifo_send()
+
+    # ------------------------------------------------------------------
+    # INPUT co_rfifo.deliver - learn the agreed identifier
+    # ------------------------------------------------------------------
+
+    def _eff_co_rfifo_deliver(self, q: ProcessId, p: ProcessId, m: WireMessage) -> None:
+        if isinstance(m, ProposeIdMsg):
+            self.agreed_gid.setdefault(m.view_id, m.gid)

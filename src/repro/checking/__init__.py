@@ -1,0 +1,76 @@
+"""Executable verification of the paper's properties and proofs.
+
+* :mod:`repro.checking.events` - the canonical observable-event trace.
+* :mod:`repro.checking.properties` - black-box trace checkers for every
+  specified property (Sections 3.1, 4.1, 4.2).
+* :mod:`repro.checking.invariants` - the invariants of Sections 6-7 as
+  state predicates (hookable after every scheduler step).
+* :mod:`repro.checking.refinement` - the refinement mappings R, R', TS
+  of Section 6 as step-by-step simulation checkers.
+"""
+
+from repro.checking.events import (
+    BlockEvent,
+    BlockOkEvent,
+    CrashEvent,
+    DeliverEvent,
+    GcsEvent,
+    GcsTrace,
+    MbrshpStartChangeEvent,
+    MbrshpViewEvent,
+    RecoverEvent,
+    SendEvent,
+    ViewEvent,
+)
+from repro.checking.invariants import (
+    ALL_INVARIANTS,
+    WorldView,
+    check_invariants,
+    invariant_hook,
+)
+from repro.checking.properties import (
+    check_all_safety,
+    check_liveness,
+    check_local_monotonicity,
+    check_safety_spec,
+    check_self_delivery,
+    check_self_inclusion,
+    check_transitional_sets,
+    check_virtual_synchrony,
+    replay_into_spec,
+)
+from repro.checking.refinement import (
+    SafetyRefinementChecker,
+    TransSetRefinementChecker,
+    attach_refinement_checkers,
+)
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "BlockEvent",
+    "BlockOkEvent",
+    "CrashEvent",
+    "DeliverEvent",
+    "GcsEvent",
+    "GcsTrace",
+    "MbrshpStartChangeEvent",
+    "MbrshpViewEvent",
+    "RecoverEvent",
+    "SafetyRefinementChecker",
+    "SendEvent",
+    "TransSetRefinementChecker",
+    "ViewEvent",
+    "WorldView",
+    "attach_refinement_checkers",
+    "check_all_safety",
+    "check_invariants",
+    "check_liveness",
+    "check_local_monotonicity",
+    "check_safety_spec",
+    "check_self_delivery",
+    "check_self_inclusion",
+    "check_transitional_sets",
+    "check_virtual_synchrony",
+    "invariant_hook",
+    "replay_into_spec",
+]

@@ -1,0 +1,304 @@
+"""Trace checkers for the specified safety and liveness properties.
+
+Each checker consumes a :class:`~repro.checking.events.GcsTrace` (the
+externally observable behaviour of a run, from any execution substrate)
+and raises :class:`~repro.errors.SpecificationViolation` on the first
+violation.  ``check_all_safety`` bundles the full battery.
+
+The within-view / virtual-synchrony / self-delivery checks work by
+*replaying* the trace through the executable specification automata of
+:mod:`repro.spec` - the runtime analogue of the paper's trace-inclusion
+theorems.  The internal spec actions that replay must infer (``set_cut``)
+are chosen the only way that keeps the spec step enabled, mirroring the
+refinement's action correspondence (Lemma 6.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro._collections import frozendict
+from repro.checking.events import (
+    CrashEvent,
+    DeliverEvent,
+    GcsTrace,
+    MbrshpViewEvent,
+    RecoverEvent,
+    SendEvent,
+    ViewEvent,
+)
+from repro.errors import ActionNotEnabled, SpecificationViolation
+from repro.ioa import Action
+from repro.spec.vs_rfifo import FullSafetySpec
+from repro.spec.wv_rfifo import WvRfifoSpec
+from repro.types import ProcessId, View, initial_view
+
+
+def _fail(message: str) -> None:
+    raise SpecificationViolation(message)
+
+
+# ----------------------------------------------------------------------
+# Membership-facing basics
+# ----------------------------------------------------------------------
+
+
+def check_self_inclusion(trace: GcsTrace) -> None:
+    """Every view delivered to p includes p (Section 3.1)."""
+    for event in trace.of_type(ViewEvent, MbrshpViewEvent):
+        if event.proc not in event.view.members:
+            _fail(f"Self Inclusion: {event.proc} received {event.view} without itself")
+
+
+def check_local_monotonicity(trace: GcsTrace) -> None:
+    """View identifiers delivered to each p strictly increase (Section 3.1)."""
+    last: Dict[Tuple[ProcessId, type], View] = {}
+    for event in trace.of_type(ViewEvent, MbrshpViewEvent):
+        key = (event.proc, type(event))
+        previous = last.get(key)
+        if previous is not None and not previous.vid < event.view.vid:
+            _fail(
+                f"Local Monotonicity: {event.proc} got {event.view.vid!r} "
+                f"after {previous.vid!r}"
+            )
+        last[key] = event.view
+
+
+# ----------------------------------------------------------------------
+# Replay through the executable specification stack
+# ----------------------------------------------------------------------
+
+
+def replay_into_spec(trace: GcsTrace, spec: WvRfifoSpec) -> None:
+    """Replay external GCS events through a WV_RFIFO-family spec automaton.
+
+    Raises if any event corresponds to a disabled spec step, i.e. if the
+    trace is not a trace of the specification.
+    """
+    infer_cuts = isinstance(spec, FullSafetySpec) or hasattr(spec, "cut")
+    for event in trace:
+        try:
+            if isinstance(event, SendEvent):
+                spec.apply(Action("send", (event.proc, event.payload)))
+            elif isinstance(event, DeliverEvent):
+                spec.apply(Action("deliver", (event.proc, event.sender, event.payload)))
+            elif isinstance(event, ViewEvent):
+                if infer_cuts:
+                    _infer_set_cut(spec, event)
+                spec.apply(Action("view", (event.proc, event.view, event.transitional)))
+            elif isinstance(event, RecoverEvent):
+                _reset_recovered_process(spec, event.proc)
+        except ActionNotEnabled as exc:
+            _fail(f"trace not accepted by {type(spec).__name__}: {exc}")
+
+
+def _reset_recovered_process(spec: WvRfifoSpec, proc: ProcessId) -> None:
+    """Section 8: a recovered end-point restarts from its initial state.
+
+    The spec mirrors the algorithm's reset (current view, delivery
+    indices, the initial-view send queue).  Local Monotonicity of the
+    views the recovered process subsequently *delivers* is checked
+    separately by :func:`check_local_monotonicity`, which deliberately
+    does not reset - the membership watermarks survive crashes.
+    """
+    spec.current_view[proc] = initial_view(proc)
+    for q in spec.processes:
+        spec.last_dlvrd[(q, proc)] = 0
+    spec.msgs[proc].pop(initial_view(proc), None)
+
+
+def _infer_set_cut(spec: Any, event: ViewEvent) -> None:
+    """Choose the unique enabling ``set_cut`` for a pending view step.
+
+    The first process to move from view v to view v' fixes the cut to the
+    last-delivered vector it realised; every later mover must match it
+    (Corollary 6.1 made operational).
+    """
+    old = spec.current_view[event.proc]
+    if (old, event.view) in spec.cut:
+        return
+    vector = frozendict(
+        {q: spec.last_dlvrd[(q, event.proc)] for q in spec.processes}
+    )
+    spec.apply(Action("set_cut", (old, event.view, vector)))
+
+
+def check_safety_spec(trace: GcsTrace, processes: Optional[Iterable[ProcessId]] = None) -> None:
+    """Trace inclusion in WV_RFIFO + VS_RFIFO + SELF (Figures 4, 5, 7)."""
+    procs = tuple(processes) if processes is not None else tuple(sorted(trace.processes()))
+    replay_into_spec(trace, FullSafetySpec(procs))
+
+
+# ----------------------------------------------------------------------
+# Virtual synchrony, stated directly (redundant with the replay, but a
+# useful independent oracle)
+# ----------------------------------------------------------------------
+
+
+def check_virtual_synchrony(trace: GcsTrace) -> None:
+    """Processes moving together v -> v' deliver the same messages in v.
+
+    With gap-free FIFO per sender, "the same set" reduces to the same
+    per-sender delivery counts at the moment of leaving v.
+    """
+    agreed: Dict[Tuple[View, View], Tuple[Dict[ProcessId, int], ProcessId]] = {}
+    counts: Dict[ProcessId, Dict[ProcessId, int]] = defaultdict(lambda: defaultdict(int))
+    current: Dict[ProcessId, View] = {}
+    for event in trace:
+        if isinstance(event, RecoverEvent):
+            # Section 8: the recovered end-point restarts in its initial
+            # view with empty delivery history.
+            counts[event.proc] = defaultdict(int)
+            current[event.proc] = initial_view(event.proc)
+        elif isinstance(event, DeliverEvent):
+            counts[event.proc][event.sender] += 1
+        elif isinstance(event, ViewEvent):
+            p = event.proc
+            old = current.get(p, initial_view(p))
+            vector = dict(counts[p])
+            key = (old, event.view)
+            if key in agreed:
+                expected, witness = agreed[key]
+                if expected != vector:
+                    _fail(
+                        f"Virtual Synchrony: {p} left {old} for {event.view} having "
+                        f"delivered {vector}, but {witness} delivered {expected}"
+                    )
+            else:
+                agreed[key] = (vector, p)
+            counts[p] = defaultdict(int)
+            current[p] = event.view
+
+
+# ----------------------------------------------------------------------
+# Transitional sets (Property 4.1), black-box part
+# ----------------------------------------------------------------------
+
+
+def check_transitional_sets(trace: GcsTrace) -> None:
+    """The decidable-from-the-trace consequences of Property 4.1.
+
+    For every delivery of v' at p from previous view v, with set T_p:
+    (a) p is in T_p; (b) T_p is a subset of v.set & v'.set; (c) if q also
+    delivers v' (from view u), then q is in T_p iff u == v; (d) two
+    deliverers of v' from the same previous view report identical T.
+    """
+    deliveries: Dict[View, List[ViewEvent]] = defaultdict(list)
+    previous: Dict[Tuple[ProcessId, View], View] = {}
+    current: Dict[ProcessId, View] = {}
+    for event in trace.of_type(ViewEvent, RecoverEvent):
+        if isinstance(event, RecoverEvent):
+            current[event.proc] = initial_view(event.proc)  # Section 8
+            continue
+        old = current.get(event.proc, initial_view(event.proc))
+        previous[(event.proc, event.view)] = old
+        deliveries[event.view].append(event)
+        current[event.proc] = event.view
+
+    for new_view, events in deliveries.items():
+        for event in events:
+            p = event.proc
+            old = previous[(p, new_view)]
+            T = event.transitional
+            if p not in T:
+                _fail(f"Transitional Set: {p} not in its own T for {new_view}")
+            if not T <= (old.members & new_view.members):
+                _fail(
+                    f"Transitional Set: T of {p} for {new_view} is not within "
+                    f"{old} intersect {new_view}"
+                )
+            for other in events:
+                q = other.proc
+                if q == p or q not in (old.members & new_view.members):
+                    continue
+                moved_with = previous[(q, new_view)] == old
+                if moved_with != (q in T):
+                    _fail(
+                        f"Transitional Set: {q} moved to {new_view} from "
+                        f"{previous[(q, new_view)]} but {p} (from {old}) "
+                        f"{'included' if q in T else 'excluded'} it"
+                    )
+        # (d) agreement among same-previous-view deliverers
+        by_prev: Dict[View, FrozenSet[ProcessId]] = {}
+        for event in events:
+            old = previous[(event.proc, new_view)]
+            if old in by_prev and by_prev[old] != event.transitional:
+                _fail(
+                    f"Transitional Set: deliverers of {new_view} from {old} "
+                    f"disagree: {sorted(by_prev[old])} vs {sorted(event.transitional)}"
+                )
+            by_prev.setdefault(old, event.transitional)
+
+
+# ----------------------------------------------------------------------
+# Self delivery (direct statement)
+# ----------------------------------------------------------------------
+
+
+def check_self_delivery(trace: GcsTrace) -> None:
+    """Before each view change, p delivered everything it sent (Figure 7)."""
+    sent: Dict[ProcessId, int] = defaultdict(int)
+    self_delivered: Dict[ProcessId, int] = defaultdict(int)
+    for event in trace:
+        if isinstance(event, CrashEvent):
+            # messages lost to the crash are exempt (Section 8)
+            sent[event.proc] = 0
+            self_delivered[event.proc] = 0
+        elif isinstance(event, SendEvent):
+            sent[event.proc] += 1
+        elif isinstance(event, DeliverEvent) and event.sender == event.proc:
+            self_delivered[event.proc] += 1
+        elif isinstance(event, ViewEvent):
+            p = event.proc
+            if sent[p] != self_delivered[p]:
+                _fail(
+                    f"Self Delivery: {p} moved to {event.view} with "
+                    f"{sent[p]} sent but {self_delivered[p]} self-delivered"
+                )
+            sent[p] = 0
+            self_delivered[p] = 0
+
+
+# ----------------------------------------------------------------------
+# Liveness (Property 4.2)
+# ----------------------------------------------------------------------
+
+
+def check_liveness(trace: GcsTrace, final_view: View) -> None:
+    """Property 4.2 for a stabilised execution.
+
+    Assumes the membership delivered ``final_view`` to all its members
+    with no later membership events (the caller arranged this).  Checks
+    that every member delivered ``final_view`` through the GCS and that
+    every message sent in it was delivered by every member.
+    """
+    members = final_view.members
+    for p in members:
+        views = [e.view for e in trace.views_at(p)]
+        if final_view not in views:
+            _fail(f"Liveness: {p} never delivered the stable view {final_view}")
+    for p in members:
+        payloads = trace.sends_in_view(p, final_view)
+        for q in members:
+            got = [m for _s, m in trace.deliveries_in_view(q, final_view, sender=p)]
+            if got != payloads:
+                _fail(
+                    f"Liveness: {q} delivered {got} from {p} in {final_view}, "
+                    f"expected {payloads}"
+                )
+
+
+# ----------------------------------------------------------------------
+# The whole battery
+# ----------------------------------------------------------------------
+
+
+def check_all_safety(trace: GcsTrace, processes: Optional[Iterable[ProcessId]] = None) -> None:
+    """Run every safety checker above on ``trace``."""
+    check_self_inclusion(trace)
+    check_local_monotonicity(trace)
+    check_safety_spec(trace, processes)
+    check_virtual_synchrony(trace)
+    check_transitional_sets(trace)
+    check_self_delivery(trace)

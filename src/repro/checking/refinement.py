@@ -1,0 +1,230 @@
+"""Executable refinement mappings (Section 6, Appendix A).
+
+The paper proves trace inclusion by exhibiting refinement mappings from
+the algorithm automata to the specification automata:
+
+* ``R``  : WV_RFIFO  -> WV_RFIFO : SPEC (Lemma 6.1);
+* ``R'`` : VS_RFIFO+TS -> VS_RFIFO : SPEC, extended to GCS -> SELF : SPEC
+  (Lemmas 6.2 and 6.5) - ``R`` plus the history variable ``H_cut``;
+* ``TS`` : VS_RFIFO+TS -> TRANS_SET : SPEC (Lemma 6.4), which needs the
+  prophecy variable ``P_legal_views``.
+
+Here each mapping becomes a *checker* attached to a scheduler as a step
+hook: for every external step of the algorithm it applies the
+corresponding specification step (inferring internal spec actions exactly
+as the proofs' action correspondences do) and then asserts that the
+refinement equations hold between the two states.  A disabled spec step
+or a broken equation raises
+:class:`~repro.errors.RefinementViolation`.
+
+For TS, the prophecy variable predicts at start_change time which future
+views will carry the given cid.  Running forward we cannot predict, so
+the checker schedules each ``set_prev_view_q(v)`` at the first moment the
+view ``v`` is *observed* (its earliest possible naming point).  When
+``q`` has already moved past the view its synchronization message
+declared by then, the checker *retro-times* the internal action instead:
+it splices ``set_prev_view_q(v)`` into its recorded script of spec
+actions at the position where ``q`` still held the declared view, and
+replays the whole script through a fresh spec instance.  Internal actions
+do not appear in traces, so the spliced script is a legal specification
+execution with the same trace - the offline equivalent of the paper's
+prophecy variable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro._collections import frozendict
+from repro.checking.invariants import WorldView
+from repro.core.vs_endpoint import VsRfifoTsEndpoint
+from repro.errors import ActionNotEnabled, RefinementViolation
+from repro.ioa import Action, Automaton, Composition
+from repro.spec.trans_set import TransSetSpec
+from repro.spec.vs_rfifo import FullSafetySpec, VsRfifoSpec
+from repro.spec.wv_rfifo import WvRfifoSpec
+from repro.types import ProcessId, View
+
+
+def _fail(message: str) -> None:
+    raise RefinementViolation(message)
+
+
+class SafetyRefinementChecker:
+    """R and R' made executable against WV/VS/SELF specs.
+
+    Attach :meth:`hook` to a scheduler.  ``spec_cls`` selects the target:
+    :class:`WvRfifoSpec` checks plain R; :class:`FullSafetySpec` checks
+    R' against VS_RFIFO : SPEC and SELF : SPEC simultaneously.
+    """
+
+    def __init__(self, world: WorldView, spec_cls: type = FullSafetySpec) -> None:
+        self.world = world
+        self.spec = spec_cls(world.processes())
+        self._check_cuts = isinstance(self.spec, VsRfifoSpec)
+
+    # -- action correspondence ----------------------------------------------
+
+    def hook(self, _system: Composition, _owner: Automaton, action: Action) -> None:
+        try:
+            self._simulate(action)
+        except ActionNotEnabled as exc:
+            _fail(f"spec step disabled for algorithm step {action!r}: {exc}")
+        self._assert_mapping()
+
+    def _simulate(self, action: Action) -> None:
+        if action.name == "send":
+            self.spec.apply(action)
+        elif action.name == "deliver":
+            self.spec.apply(action)
+        elif action.name == "view":
+            p, view = action.params[0], action.params[1]
+            if self._check_cuts:
+                old = self.spec.current_view[p]
+                if (old, view) not in self.spec.cut:
+                    vector = frozendict(
+                        {q: self.spec.last_dlvrd[(q, p)] for q in self.spec.processes}
+                    )
+                    self.spec.apply(Action("set_cut", (old, view, vector)))
+            self.spec.apply(Action("view", (p, view, None)))
+        # All other algorithm actions simulate the empty spec step.
+
+    # -- the refinement equations -------------------------------------------------
+
+    def _assert_mapping(self) -> None:
+        for p, ep in self.world.endpoints.items():
+            if self.spec.current_view[p] != ep.current_view:
+                _fail(
+                    f"R: current_view[{p}] is {self.spec.current_view[p]} in the "
+                    f"spec but {ep.current_view} at the end-point"
+                )
+            for q in self.world.endpoints:
+                if self.spec.last_dlvrd[(q, p)] != ep.dlvrd(q):
+                    _fail(
+                        f"R: last_dlvrd[{q}][{p}] is {self.spec.last_dlvrd[(q, p)]} "
+                        f"in the spec but {ep.dlvrd(q)} at the end-point"
+                    )
+            for view, queue in self.spec.msgs[p].items():
+                log = ep.peek_buffer(p, view)
+                mine = log.prefix_items() if log is not None else []
+                if mine != queue:
+                    _fail(
+                        f"R: msgs[{p}][{view}] is {queue} in the spec but "
+                        f"{mine} at the end-point"
+                    )
+
+
+class TransSetRefinementChecker:
+    """The TS refinement (Lemma 6.4) made executable.
+
+    ``prev_view[p][v]`` in the spec must equal
+    ``sync_msg[p][v.startId(p)].view`` for the views the prophecy declared
+    legal.  The checker performs the declarations (``set_prev_view``) as
+    soon as a view is first observed in a membership delivery, reading the
+    declared value off the end-points' synchronization messages - the
+    white-box state the paper's mapping TS() references.
+    """
+
+    def __init__(self, world: WorldView) -> None:
+        self.world = world
+        self.spec = TransSetSpec(world.processes())
+        # Every spec action applied so far, in order - the script that the
+        # retro-timing splice replays.
+        self._script: list = []
+
+    def _apply(self, action: Action) -> None:
+        self.spec.apply(action)
+        self._script.append(action)
+
+    def hook(self, _system: Composition, _owner: Automaton, action: Action) -> None:
+        if action.name == "mbrshp.view":
+            _p, view = action.params
+            self._declare_for(view)
+        elif action.name == "view":
+            p, view = action.params[0], action.params[1]
+            T = frozenset(action.params[2]) if len(action.params) > 2 else frozenset()
+            self._declare_for(view)
+            try:
+                self._apply(Action("view", (p, view, T)))
+            except ActionNotEnabled as exc:
+                _fail(f"TS spec step disabled for view at {p}: {exc}")
+            self._assert_mapping()
+
+    def _declare_for(self, view: View) -> None:
+        for q in view.members:
+            ep = self.world.endpoints.get(q)
+            if not isinstance(ep, VsRfifoTsEndpoint):
+                continue
+            if (q, view) in self.spec.prev_view:
+                continue
+            sync = ep.sync_msg_for(q, view.start_id(q))
+            if sync is None or sync.view is None:
+                continue  # not declared yet / compact "not in your T" marker
+            declaration = Action("set_prev_view", (q, view))
+            if self.spec.current_view[q] == sync.view:
+                self._apply(declaration)
+            else:
+                self._retro_time(declaration, q, sync.view)
+
+    def _retro_time(self, declaration: Action, q: ProcessId, declared_view: View) -> None:
+        """Splice an internal declaration into the past and replay.
+
+        ``q`` sent its synchronization message while in ``declared_view``
+        and has since moved on; the declaration legally belongs at any
+        point where the spec still had ``current_view[q] == declared_view``.
+        """
+        from repro.types import initial_view
+
+        index = None
+        for position, action in enumerate(self._script):
+            if (
+                action.name == "view"
+                and action.params[0] == q
+                and action.params[1] == declared_view
+            ):
+                index = position + 1
+                break
+        if index is None:
+            if declared_view != initial_view(q):
+                _fail(
+                    f"TS: {q}'s sync declared {declared_view}, which the spec "
+                    f"never recorded as {q}'s view"
+                )
+            index = 0  # declared from the default initial view
+        script = self._script[:index] + [declaration] + self._script[index:]
+        replayed = TransSetSpec(self.world.processes())
+        try:
+            for action in script:
+                replayed.apply(action)
+        except ActionNotEnabled as exc:
+            _fail(f"TS: retro-timed declaration for {q} yields an illegal "
+                  f"spec execution: {exc}")
+        self.spec = replayed
+        self._script = script
+
+    def _assert_mapping(self) -> None:
+        for p, ep in self.world.endpoints.items():
+            if self.spec.current_view[p] != ep.current_view:
+                _fail(
+                    f"TS: current_view[{p}] is {self.spec.current_view[p]} in the "
+                    f"spec but {ep.current_view} at the end-point"
+                )
+
+
+def attach_refinement_checkers(
+    scheduler: Any,
+    world: WorldView,
+    *,
+    safety: bool = True,
+    transitional: bool = True,
+) -> Tuple[Optional[SafetyRefinementChecker], Optional[TransSetRefinementChecker]]:
+    """Convenience: hook the refinement checkers onto ``scheduler``."""
+    safety_checker = None
+    ts_checker = None
+    if safety:
+        safety_checker = SafetyRefinementChecker(world)
+        scheduler.add_hook(safety_checker.hook)
+    if transitional:
+        ts_checker = TransSetRefinementChecker(world)
+        scheduler.add_hook(ts_checker.hook)
+    return safety_checker, ts_checker

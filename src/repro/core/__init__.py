@@ -1,0 +1,48 @@
+"""The paper's algorithm: GCS end-points (Section 5).
+
+The stack, built with the inheritance construct of [26]:
+
+* :class:`~repro.core.wv_endpoint.WvRfifoEndpoint` - within-view reliable
+  FIFO multicast (Figure 9);
+* :class:`~repro.core.vs_endpoint.VsRfifoTsEndpoint` - adds Virtual
+  Synchrony and Transitional Sets via one parallel round of
+  synchronization messages (Figure 10);
+* :class:`~repro.core.gcs_endpoint.GcsEndpoint` - adds Self Delivery via
+  application blocking (Figure 11); this is the complete service.
+
+:class:`~repro.core.runner.EndpointRunner` packages an endpoint automaton
+as a deterministic reactive component for the simulator and the asyncio
+runtime.
+"""
+
+from repro.core.endpoint_base import ProcessAutomaton
+from repro.core.forwarding import (
+    ForwardingStrategy,
+    MinCopiesStrategy,
+    NoForwarding,
+    SimpleStrategy,
+    strategy_by_name,
+)
+from repro.core.gcs_endpoint import GcsEndpoint
+from repro.core.messages import AppMsg, FwdMsg, SyncMsg, ViewMsg, WireMessage
+from repro.core.runner import EndpointRunner
+from repro.core.vs_endpoint import VsRfifoTsEndpoint
+from repro.core.wv_endpoint import WvRfifoEndpoint
+
+__all__ = [
+    "AppMsg",
+    "EndpointRunner",
+    "ForwardingStrategy",
+    "FwdMsg",
+    "GcsEndpoint",
+    "MinCopiesStrategy",
+    "NoForwarding",
+    "ProcessAutomaton",
+    "SimpleStrategy",
+    "SyncMsg",
+    "ViewMsg",
+    "VsRfifoTsEndpoint",
+    "WireMessage",
+    "WvRfifoEndpoint",
+    "strategy_by_name",
+]

@@ -1,0 +1,80 @@
+"""Shared machinery of per-process GCS end-point automata.
+
+Adds to :class:`~repro.ioa.automaton.Automaton`:
+
+* the per-process ``accepts`` filtering (an end-point only reacts to
+  actions subscripted with its own identifier);
+* crash and recovery semantics of Section 8: while ``crashed`` is true,
+  every locally controlled action is disabled and the effects of all
+  inputs are suppressed; ``recover`` resets all state variables to their
+  initial values (no stable storage) under the original identity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.ioa import Action, ActionKind, Automaton
+from repro.types import ProcessId
+
+# Inputs whose receiver is the second parameter (sender first), per the
+# paper's deliver_{p,q} convention.
+_RECEIVER_SECOND = {"co_rfifo.deliver"}
+
+
+class ProcessAutomaton(Automaton):
+    """A per-process automaton subscripted by ``pid``."""
+
+    SIGNATURE = {
+        "crash": ActionKind.INPUT,  # (p,)
+        "recover": ActionKind.INPUT,  # (p,)
+    }
+
+    def __init__(self, pid: ProcessId, name: Optional[str] = None, **kwargs: Any) -> None:
+        self.pid = pid
+        super().__init__(name or f"{type(self).__name__}:{pid}", **kwargs)
+        self.crashed = False
+
+    def subscript_of(self, action: Action) -> Optional[ProcessId]:
+        """The process an action instance is subscripted with."""
+        if not action.params:
+            return None
+        index = 1 if action.name in _RECEIVER_SECOND else 0
+        if index >= len(action.params):
+            return None
+        return action.params[index]
+
+    def accepts(self, action: Action) -> bool:
+        return super().accepts(action) and self.subscript_of(action) == self.pid
+
+    # ------------------------------------------------------------------
+    # crash / recovery (Section 8)
+    # ------------------------------------------------------------------
+
+    def apply(self, action: Action) -> None:
+        if action.name == "crash":
+            self.crashed = True
+            return
+        if action.name == "recover":
+            if self.crashed:
+                self.reset_state()
+                self.crashed = False
+            return
+        if self.crashed:
+            # Effects of inputs are disabled while crashed; locally
+            # controlled actions cannot be enabled (see enabled_actions),
+            # so being asked to run one is a scheduler bug.
+            if self.kind_of(action.name) is ActionKind.INPUT:
+                return
+            raise RuntimeError(f"{self.name}: locally controlled {action!r} while crashed")
+        super().apply(action)
+
+    def is_enabled(self, action: Action) -> bool:
+        if self.crashed and action.name not in ("crash", "recover"):
+            return False
+        return super().is_enabled(action)
+
+    def enabled_actions(self) -> List[Action]:
+        if self.crashed:
+            return []
+        return super().enabled_actions()

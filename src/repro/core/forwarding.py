@@ -1,0 +1,169 @@
+"""Forwarding strategy predicates (Section 5.2.2).
+
+When an end-point misses messages that were committed to by cuts of its
+transitional set, some member that holds them must forward them.  The
+paper leaves the strategy open (a ``ForwardingStrategyPredicate``) and
+gives two examples, both implemented here:
+
+* :class:`SimpleStrategy` - a member forwards every committed message a
+  peer's synchronization message shows to be missing.  Multiple copies of
+  the same message may be sent by different members.
+* :class:`MinCopiesStrategy` - once the new membership view and the right
+  synchronization messages are known, the members of the transitional set
+  deterministically elect (by ``min``) a single forwarder per missing
+  message from senders outside the transitional set.
+
+A strategy exposes ``candidates(endpoint)`` - the forwarding actions it
+currently enables - and ``allows(endpoint, targets, origin, view, index)``
+- the predicate itself, re-checked as the action's precondition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Optional, Tuple
+
+from repro.types import ProcessId, View
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.vs_endpoint import VsRfifoTsEndpoint
+
+# (targets, origin, view, index): forward msgs[origin][view][index] to targets.
+ForwardCandidate = Tuple[FrozenSet[ProcessId], ProcessId, View, int]
+
+
+class ForwardingStrategy:
+    """Interface of a ForwardingStrategyPredicate."""
+
+    name = "abstract"
+
+    def candidates(self, endpoint: "VsRfifoTsEndpoint") -> Iterable[ForwardCandidate]:
+        raise NotImplementedError
+
+    def allows(
+        self,
+        endpoint: "VsRfifoTsEndpoint",
+        targets: FrozenSet[ProcessId],
+        origin: ProcessId,
+        view: View,
+        index: int,
+    ) -> bool:
+        """Default: the predicate holds iff candidates() proposes it."""
+        return (frozenset(targets), origin, view, index) in set(self.candidates(endpoint))
+
+
+class NoForwarding(ForwardingStrategy):
+    """Forward nothing.  Useful for ablation; liveness then relies on all
+    committed messages having their original sender in the transitional
+    set."""
+
+    name = "none"
+
+    def candidates(self, endpoint: "VsRfifoTsEndpoint") -> Iterable[ForwardCandidate]:
+        return ()
+
+
+class SimpleStrategy(ForwardingStrategy):
+    """The paper's first example strategy.
+
+    ``p`` forwards a message ``m`` (sent by ``r`` in view ``v`` at index
+    ``i``) to ``q`` when: ``p`` has committed to deliver ``m`` (its own
+    cut covers ``i``); ``p`` knows of no later view of ``q`` than ``v``;
+    and the latest synchronization message from ``q`` sent in view ``v``
+    shows that ``q`` has not received ``m``.
+    """
+
+    name = "simple"
+
+    def candidates(self, endpoint: "VsRfifoTsEndpoint") -> Iterable[ForwardCandidate]:
+        own = endpoint.own_sync_msg()
+        if own is None:
+            return
+        view = own.view  # == endpoint.current_view (Invariant 6.9)
+        for q, q_sync in endpoint.latest_sync_msgs_in_view(view):
+            if q == endpoint.pid:
+                continue
+            if endpoint.view_msg_of(q).vid > view.vid:
+                continue  # p knows q reached a later view; don't forward
+            for origin in view.members:
+                have = own.cut.get(origin, 0)
+                missing_from = q_sync.cut.get(origin, 0) + 1
+                for index in range(missing_from, have + 1):
+                    if not endpoint.holds_message(origin, view, index):
+                        continue
+                    if (q, origin, view, index) in endpoint.forwarded_set:
+                        continue
+                    yield (frozenset({q}), origin, view, index)
+
+
+class MinCopiesStrategy(ForwardingStrategy):
+    """The paper's second example strategy: one forwarder per message.
+
+    Requires the new membership view and all the relevant synchronization
+    messages.  Only messages whose original sender is *not* in the
+    transitional set T are forwarded (members of T will re-send their own
+    messages themselves); the unique forwarder for a message is the
+    minimum member of T whose cut commits to it.
+    """
+
+    name = "min_copies"
+
+    def candidates(self, endpoint: "VsRfifoTsEndpoint") -> Iterable[ForwardCandidate]:
+        snapshot = self._transition_snapshot(endpoint)
+        if snapshot is None:
+            return
+        transitional, cuts, view = snapshot
+        if endpoint.pid not in transitional:
+            return
+        outsiders = view.members - transitional
+        for origin in sorted(outsiders):
+            committed = max((cuts[u].get(origin, 0) for u in transitional), default=0)
+            for index in range(1, committed + 1):
+                holders = sorted(u for u in transitional if cuts[u].get(origin, 0) >= index)
+                if not holders or holders[0] != endpoint.pid:
+                    continue
+                needy = frozenset(
+                    u
+                    for u in transitional
+                    if cuts[u].get(origin, 0) < index
+                    and (u, origin, view, index) not in endpoint.forwarded_set
+                )
+                if needy and endpoint.holds_message(origin, view, index):
+                    yield (needy, origin, view, index)
+
+    @staticmethod
+    def _transition_snapshot(endpoint: "VsRfifoTsEndpoint"):
+        """(T, cuts of T, old view) once the new view and syncs are known."""
+        change = endpoint.start_change
+        new_view = endpoint.mbrshp_view
+        if change is None or endpoint.pid not in new_view.members:
+            return None
+        if new_view.start_ids.get(endpoint.pid) != change.cid:
+            return None  # the view for this change has not arrived yet
+        own = endpoint.own_sync_msg()
+        if own is None:
+            return None
+        old_view = own.view
+        intersection = new_view.members & old_view.members
+        syncs = {}
+        for q in intersection:
+            sync = endpoint.sync_msg_for(q, new_view.start_id(q))
+            if sync is None:
+                return None  # must wait for all potential members of T
+            syncs[q] = sync
+        transitional = frozenset(q for q in intersection if syncs[q].view == old_view)
+        cuts = {q: syncs[q].cut for q in transitional}
+        return transitional, cuts, old_view
+
+
+STRATEGIES = {
+    strategy.name: strategy
+    for strategy in (NoForwarding(), SimpleStrategy(), MinCopiesStrategy())
+}
+
+
+def strategy_by_name(name: str) -> ForwardingStrategy:
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ValueError(f"unknown forwarding strategy {name!r}; "
+                         f"choose from {sorted(STRATEGIES)}") from None

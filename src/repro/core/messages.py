@@ -1,0 +1,101 @@
+"""Wire message types exchanged between GCS end-points (Section 5).
+
+Four kinds of messages travel over CO_RFIFO channels:
+
+* :class:`ViewMsg` - announces the sender's transition into a view;
+  application messages that follow it on a channel were sent in that view.
+* :class:`AppMsg` - an original application message.  It carries the ghost
+  *history tags* of Section 6.1.1 (``history_view``, ``history_index``),
+  which the algorithm never reads but the invariant checkers do.
+* :class:`FwdMsg` - an application message forwarded on behalf of another
+  end-point, tagged with its original sender, view and FIFO index.
+* :class:`SyncMsg` - a synchronization message: the sender's current view
+  and its delivery *cut*, tagged with the start_change identifier that
+  triggered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.types import Cut, ProcessId, StartChangeId, View, ViewId
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """Base class of everything sent through CO_RFIFO."""
+
+
+@dataclass(frozen=True)
+class ViewMsg(WireMessage):
+    """``tag=view_msg``: 'subsequent messages were sent in this view'."""
+
+    view: View
+
+
+@dataclass(frozen=True)
+class AppMsg(WireMessage):
+    """``tag=app_msg``: an original application message.
+
+    ``history_view``/``history_index`` are the history tags Hv and Hi of
+    Section 6.1.1: set at ``co_rfifo.send`` time to the sender's current
+    view and ``last_sent + 1``.  They exist purely so the executable
+    proofs (Invariants 6.4-6.6) can reference them.
+    """
+
+    payload: Any
+    history_view: Optional[View] = field(default=None, compare=False)
+    history_index: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class FwdMsg(WireMessage):
+    """``tag=fwd_msg``: ``payload`` is ``msgs[origin][view][index]``."""
+
+    origin: ProcessId
+    view: View
+    index: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class AckMsg(WireMessage):
+    """``tag=ack_msg``: cumulative delivery acknowledgements.
+
+    ``delivered`` maps each sender of the acker's current view to the
+    index of the last message the acker has delivered from it.  Once every
+    view member has acknowledged an index, the prefix up to it has been
+    delivered everywhere and may be garbage-collected (the
+    acknowledgement-based discarding the paper's Section 5.1 prescribes
+    for real implementations).
+    """
+
+    view_id: ViewId
+    delivered: Cut
+
+
+@dataclass(frozen=True)
+class SyncMsg(WireMessage):
+    """``tag=sync_msg``: the sender's view and cut for one start_change.
+
+    The compact variant of Section 5.2.4 carries neither view nor cut
+    (both ``None``): sent to processes outside the sender's current view,
+    it means "I am not in your transitional set" - which is all such a
+    recipient could ever conclude from the full message.
+    """
+
+    cid: StartChangeId
+    view: Optional[View]
+    cut: Optional[Cut]
+
+    @property
+    def compact(self) -> bool:
+        return self.view is None
+
+    def estimated_size(self) -> int:
+        """Rough wire size in abstract units: 1 + one per cut entry +
+        view membership, for the sync-volume experiments."""
+        if self.compact:
+            return 1
+        return 1 + len(self.cut) + len(self.view.members)

@@ -1,0 +1,204 @@
+"""Reactive driver for a GCS end-point automaton.
+
+The formal automata of :mod:`repro.core` are nondeterministic machines;
+deployments (the discrete-event simulator, the asyncio runtime) need a
+deterministic, event-driven component.  :class:`EndpointRunner` closes
+the gap: environment inputs are injected through its methods, after which
+it *drains* the endpoint - repeatedly executing enabled locally
+controlled actions in a fixed priority order until quiescence - and
+routes each output action to the appropriate callback.
+
+Because the runner only ever executes enabled actions of the automaton,
+every behaviour it produces is a behaviour of the formal algorithm; the
+safety proofs carry over verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional
+
+from repro.checking.events import (
+    BlockEvent,
+    BlockOkEvent,
+    CrashEvent,
+    DeliverEvent,
+    GcsTrace,
+    MbrshpStartChangeEvent,
+    MbrshpViewEvent,
+    RecoverEvent,
+    SendEvent,
+    ViewEvent,
+)
+from repro.core.gcs_endpoint import GcsEndpoint
+from repro.core.messages import WireMessage
+from repro.errors import ClientMisuseError, CrashedError
+from repro.ioa import Action
+from repro.spec.client import BlockStatus
+from repro.types import ProcessId, StartChangeId, View
+
+# Drain priority: smaller runs first.  Reliable-set updates unlock sync
+# sends; deliveries must reach the agreed cut before the view can go out.
+_PRIORITY = {
+    "co_rfifo.reliable": 0,
+    "block": 1,
+    "co_rfifo.send": 2,
+    "deliver": 3,
+    "view": 4,
+}
+
+
+class EndpointRunner:
+    """Drives one :class:`~repro.core.gcs_endpoint.GcsEndpoint` reactively."""
+
+    def __init__(
+        self,
+        endpoint: GcsEndpoint,
+        *,
+        send_wire: Callable[[FrozenSet[ProcessId], WireMessage], None],
+        set_reliable: Callable[[FrozenSet[ProcessId]], None],
+        on_deliver: Optional[Callable[[ProcessId, Any], None]] = None,
+        on_view: Optional[Callable[[View, FrozenSet[ProcessId]], None]] = None,
+        on_block: Optional[Callable[[], None]] = None,
+        auto_block_ok: bool = True,
+        clock: Callable[[], float] = lambda: 0.0,
+        trace: Optional[GcsTrace] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.pid = endpoint.pid
+        self._send_wire = send_wire
+        self._set_reliable = set_reliable
+        self._on_deliver = on_deliver
+        self._on_view = on_view
+        self._on_block = on_block
+        # When True the runner plays a trivially compliant client: it
+        # acknowledges every block request immediately.
+        self.auto_block_ok = auto_block_ok
+        self._clock = clock
+        self.trace = trace if trace is not None else GcsTrace()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # environment inputs
+    # ------------------------------------------------------------------
+
+    def app_send(self, payload: Any) -> None:
+        """The application multicasts ``payload`` to the current view."""
+        if self.endpoint.crashed:
+            raise CrashedError(f"{self.pid}: end-point is crashed")
+        if self.endpoint.block_status is BlockStatus.BLOCKED:
+            raise ClientMisuseError(
+                f"{self.pid}: application sent while blocked (Figure 12 contract)"
+            )
+        self.trace.append(SendEvent(self._clock(), self.pid, payload))
+        self.endpoint.apply(Action("send", (self.pid, payload)))
+        self.drain()
+
+    def block_ok(self) -> None:
+        """The application acknowledges the outstanding block request."""
+        self.trace.append(BlockOkEvent(self._clock(), self.pid))
+        self.endpoint.apply(Action("block_ok", (self.pid,)))
+        self.drain()
+
+    def receive(self, sender: ProcessId, message: WireMessage) -> None:
+        """A wire message arrived from ``sender`` via CO_RFIFO."""
+        self.endpoint.apply(Action("co_rfifo.deliver", (sender, self.pid, message)))
+        self.drain()
+
+    def membership_start_change(self, cid: StartChangeId, members: Iterable[ProcessId]) -> None:
+        members = frozenset(members)
+        self.trace.append(MbrshpStartChangeEvent(self._clock(), self.pid, cid, members))
+        self.endpoint.apply(Action("mbrshp.start_change", (self.pid, cid, members)))
+        self.drain()
+
+    def membership_view(self, view: View) -> None:
+        self.trace.append(MbrshpViewEvent(self._clock(), self.pid, view))
+        self.endpoint.apply(Action("mbrshp.view", (self.pid, view)))
+        self.drain()
+
+    def crash(self) -> None:
+        self.trace.append(CrashEvent(self._clock(), self.pid))
+        self.endpoint.apply(Action("crash", (self.pid,)))
+
+    def recover(self) -> None:
+        self.endpoint.apply(Action("recover", (self.pid,)))
+        self.trace.append(RecoverEvent(self._clock(), self.pid))
+        self.drain()
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Run enabled locally controlled actions to quiescence.
+
+        Returns the number of actions executed.  Reentrant calls (an
+        output callback injecting a new input) fold into the outer drain.
+        """
+        if self._draining:
+            return 0
+        self._draining = True
+        executed = 0
+        try:
+            while True:
+                batch = self.endpoint.enabled_actions()
+                if not batch:
+                    break
+                batch.sort(key=lambda action: _PRIORITY.get(action.name, 9))
+                progressed = False
+                for action in batch:
+                    if not self.endpoint.is_enabled(action):
+                        continue  # an earlier action of this batch disabled it
+                    self.endpoint.apply(action)
+                    self._route(action)
+                    progressed = True
+                    executed += 1
+                if not progressed:
+                    break
+        finally:
+            self._draining = False
+        return executed
+
+    def _route(self, action: Action) -> None:
+        name = action.name
+        now = self._clock()
+        if name == "co_rfifo.send":
+            _p, targets, message = action.params
+            self._send_wire(frozenset(targets), message)
+        elif name == "co_rfifo.reliable":
+            _p, targets = action.params
+            self._set_reliable(frozenset(targets))
+        elif name == "deliver":
+            _p, sender, payload = action.params
+            self.trace.append(DeliverEvent(now, self.pid, sender, payload))
+            if self._on_deliver is not None:
+                self._on_deliver(sender, payload)
+        elif name == "view":
+            _p, view, transitional = action.params
+            self.trace.append(ViewEvent(now, self.pid, view, frozenset(transitional)))
+            if self._on_view is not None:
+                self._on_view(view, frozenset(transitional))
+        elif name == "block":
+            self.trace.append(BlockEvent(now, self.pid))
+            if self._on_block is not None:
+                self._on_block()
+            if self.auto_block_ok:
+                # Immediate compliant client: acknowledge right away.  We
+                # cannot recurse into drain() here (we are inside one); the
+                # outer loop will pick up whatever the block_ok enables.
+                self.trace.append(BlockOkEvent(now, self.pid))
+                self.endpoint.apply(Action("block_ok", (self.pid,)))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def current_view(self) -> View:
+        return self.endpoint.current_view
+
+    @property
+    def blocked(self) -> bool:
+        return self.endpoint.block_status is BlockStatus.BLOCKED
+
+    def __repr__(self) -> str:
+        return f"<EndpointRunner {self.pid} view={self.endpoint.current_view.vid!r}>"

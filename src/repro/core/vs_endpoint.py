@@ -1,0 +1,427 @@
+"""Virtual synchrony + transitional sets end-point, Figure 10.
+
+``VsRfifoTsEndpoint`` is the child of :class:`WvRfifoEndpoint` in the
+inheritance construct of [26].  While no view change is in progress it
+behaves exactly like its parent.  On a ``start_change(cid, set)`` it
+widens its reliable set, sends everyone in ``set`` a synchronization
+message tagged with the *locally unique* ``cid`` carrying its current
+view and its delivery cut, and thereafter restricts application-message
+delivery to the agreed cuts.  When the membership view ``v'`` arrives,
+the ``v'.startId`` map identifies which synchronization messages to use,
+so end-points moving together from ``v`` to ``v'`` compute the same
+transitional set and the same delivery cut - without ever pre-agreeing on
+a global identifier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro._collections import frozendict
+from repro.core.forwarding import ForwardingStrategy, SimpleStrategy
+from repro.core.messages import AckMsg, FwdMsg, SyncMsg, WireMessage
+from repro.core.wv_endpoint import WvRfifoEndpoint
+from repro.ioa import ActionKind
+from repro.types import Cut, ProcessId, StartChange, StartChangeId, View
+
+
+class VsRfifoTsEndpoint(WvRfifoEndpoint):
+    """VS_RFIFO+TS_p MODIFIES WV_RFIFO_p (Figure 10)."""
+
+    SIGNATURE = {
+        "mbrshp.start_change": ActionKind.INPUT,  # (p, cid, set) new
+        "view": ActionKind.OUTPUT,  # (p, v, T) modifies wv_rfifo.view (p, v)
+    }
+
+    PARAM_PROJECTIONS = {
+        # view_p(v, T) modifies wv_rfifo.view_p(v): drop T for the parent.
+        "view": lambda p, v, T: (p, v),
+    }
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        *,
+        forwarding: Optional[ForwardingStrategy] = None,
+        gc_views: bool = False,
+        compact_syncs: bool = False,
+        ack_gc_interval: Optional[int] = None,
+        **kwargs: Any,
+    ) -> None:
+        self.forwarding = forwarding or SimpleStrategy()
+        self.gc_views = gc_views
+        # Section 5.2.4: send the compact "I am not in your transitional
+        # set" sync variant to processes outside the current view.
+        self.compact_syncs = compact_syncs
+        # Section 5.1's closing remark, implemented: broadcast cumulative
+        # delivery acknowledgements every `ack_gc_interval` deliveries and
+        # discard message prefixes acknowledged by every view member.
+        # None disables (the formal algorithm never frees memory).
+        self.ack_gc_interval = ack_gc_interval
+        if kwargs.get("strict") and (gc_views or ack_gc_interval):
+            raise ValueError(
+                "garbage collection mutates parent-owned buffers and is not "
+                "part of the formal construct; disable strict mode to use it"
+            )
+        super().__init__(pid, **kwargs)
+
+    def _state(self) -> None:
+        self.start_change: Optional[StartChange] = None
+        # sync_msg[q][cid]: the (view, cut) q attached to start_change cid.
+        self.sync_msg: Dict[ProcessId, Dict[StartChangeId, SyncMsg]] = {}
+        # forwarded_set: (target, origin, view, index) quadruples already
+        # forwarded, so the same message is never forwarded twice to the
+        # same end-point.
+        self.forwarded_set: Set[Tuple[ProcessId, ProcessId, View, int]] = set()
+        # cids whose compact sync half (Section 5.2.4) has been sent.
+        self.compact_sync_sent: Set[StartChangeId] = set()
+        # acknowledgement-based GC state (ack_gc_interval feature):
+        # acked[member][sender] = highest index member acknowledged.
+        self.acked: Dict[ProcessId, Dict[ProcessId, int]] = {}
+        self.deliveries_since_ack = 0
+
+    # -- state helpers ------------------------------------------------------
+
+    def sync_msg_for(self, q: ProcessId, cid: StartChangeId) -> Optional[SyncMsg]:
+        return self.sync_msg.get(q, {}).get(cid)
+
+    def own_sync_msg(self) -> Optional[SyncMsg]:
+        """This end-point's sync message for the current start_change."""
+        if self.start_change is None:
+            return None
+        return self.sync_msg_for(self.pid, self.start_change.cid)
+
+    def latest_sync_msgs_in_view(self, view: View) -> List[Tuple[ProcessId, SyncMsg]]:
+        """Per peer, the latest (highest-cid) sync message sent in ``view``."""
+        result = []
+        for q, by_cid in self.sync_msg.items():
+            in_view = [(cid, m) for cid, m in by_cid.items() if m.view == view]
+            if in_view:
+                result.append((q, max(in_view)[1]))
+        return result
+
+    def holds_message(self, origin: ProcessId, view: View, index: int) -> bool:
+        log = self.peek_buffer(origin, view)
+        return log is not None and log.has(index)
+
+    def local_cut(self) -> Cut:
+        """The cut this end-point can commit to: its longest prefixes."""
+        view = self.current_view
+        bindings = {}
+        for q in view.members:
+            log = self.peek_buffer(q, view)
+            bindings[q] = log.longest_prefix() if log is not None else 0
+        return frozendict(bindings)
+
+    def transitional_set_for(self, v: View) -> Optional[FrozenSet[ProcessId]]:
+        """T for moving into ``v``, or None while sync messages are missing."""
+        intersection = v.members & self.current_view.members
+        members = []
+        for q in intersection:
+            sync = self.sync_msg_for(q, v.start_id(q))
+            if sync is None:
+                return None
+            if sync.view == self.current_view:
+                members.append(q)
+        return frozenset(members)
+
+    # ------------------------------------------------------------------
+    # INPUT mbrshp.start_change_p(id, set)
+    # ------------------------------------------------------------------
+
+    def _eff_mbrshp_start_change(self, p: ProcessId, cid: StartChangeId, members: FrozenSet[ProcessId]) -> None:
+        self.start_change = StartChange(cid, frozenset(members))
+
+    # ------------------------------------------------------------------
+    # OUTPUT co_rfifo.reliable_p(set) - restriction
+    # ------------------------------------------------------------------
+
+    def _desired_reliable_set(self) -> FrozenSet[ProcessId]:
+        if self.start_change is None:
+            return frozenset(self.current_view.members)
+        return frozenset(self.current_view.members | self.start_change.members)
+
+    def _pre_co_rfifo_reliable(self, p: ProcessId, targets: FrozenSet[ProcessId]) -> bool:
+        return frozenset(targets) == self._desired_reliable_set()
+
+    # ------------------------------------------------------------------
+    # OUTPUT co_rfifo.send_p - sync messages (new) and forwarding (restricted)
+    # ------------------------------------------------------------------
+
+    def _sync_common_ready(self) -> bool:
+        """Shared preconditions of both sync variants (children extend)."""
+        change = self.start_change
+        return change is not None and change.members <= self.reliable_set
+
+    def _sync_send_ready(self) -> bool:
+        """Non-message preconditions for sending this change's full sync."""
+        change = self.start_change
+        return (
+            self._sync_common_ready()
+            and self.sync_msg_for(self.pid, change.cid) is None
+        )
+
+    def _full_sync_targets(self) -> FrozenSet[ProcessId]:
+        """Recipients of the full synchronization message.
+
+        Without the Section 5.2.4 optimization: everyone in the
+        start_change set.  With it: only processes that share the current
+        view (others can never include us in their transitional sets, so
+        they get the compact variant instead).
+        """
+        change = self.start_change
+        targets = change.members - {self.pid}
+        if self.compact_syncs:
+            targets &= self.current_view.members
+        return frozenset(targets)
+
+    def _compact_sync_targets(self) -> FrozenSet[ProcessId]:
+        change = self.start_change
+        return frozenset(change.members - {self.pid} - self.current_view.members)
+
+    def _compact_sync_ready(self) -> bool:
+        change = self.start_change
+        return (
+            self.compact_syncs
+            and self._sync_common_ready()
+            and change.cid not in self.compact_sync_sent
+            and bool(self._compact_sync_targets())
+        )
+
+    def _pre_co_rfifo_send(self, p: ProcessId, targets: FrozenSet[ProcessId], m: WireMessage) -> bool:
+        if isinstance(m, AckMsg):
+            return (
+                self._ack_ready()
+                and m.view_id == self.current_view.vid
+                and frozenset(targets) == self.current_view.members - {self.pid}
+            )
+        if isinstance(m, SyncMsg) and m.compact:
+            return (
+                self._compact_sync_ready()
+                and m.cid == self.start_change.cid
+                and frozenset(targets) == self._compact_sync_targets()
+            )
+        if isinstance(m, SyncMsg):
+            change = self.start_change
+            return (
+                self._sync_send_ready()
+                and m.cid == change.cid
+                and frozenset(targets) == self._full_sync_targets()
+                and m.view == self.current_view
+                and m.cut == self.local_cut()
+            )
+        if isinstance(m, FwdMsg):
+            key_missing = all(
+                (q, m.origin, m.view, m.index) not in self.forwarded_set for q in targets
+            )
+            return key_missing and self.forwarding.allows(self, frozenset(targets), m.origin, m.view, m.index)
+        return True  # view/app messages: the parent's preconditions apply
+
+    def _eff_co_rfifo_send(self, p: ProcessId, targets: FrozenSet[ProcessId], m: WireMessage) -> None:
+        if isinstance(m, SyncMsg):
+            if m.compact:
+                self.compact_sync_sent.add(m.cid)
+            else:
+                self.sync_msg.setdefault(self.pid, {})[m.cid] = m
+        elif isinstance(m, FwdMsg):
+            for q in targets:
+                self.forwarded_set.add((q, m.origin, m.view, m.index))
+        elif isinstance(m, AckMsg):
+            self.deliveries_since_ack = 0
+            self.acked[self.pid] = dict(m.delivered)
+            self._run_ack_gc()
+
+    def _ack_ready(self) -> bool:
+        return (
+            self.ack_gc_interval is not None
+            and self.deliveries_since_ack >= self.ack_gc_interval
+            and len(self.current_view.members) > 1
+        )
+
+    def _make_ack(self) -> AckMsg:
+        from repro._collections import frozendict as _frozendict
+
+        delivered = {q: self.dlvrd(q) for q in self.current_view.members}
+        return AckMsg(self.current_view.vid, _frozendict(delivered))
+
+    def _candidates_co_rfifo_send(self) -> Iterable[Tuple[ProcessId, FrozenSet[ProcessId], WireMessage]]:
+        yield from super()._candidates_co_rfifo_send()
+        if self._ack_ready():
+            yield (
+                self.pid,
+                frozenset(self.current_view.members - {self.pid}),
+                self._make_ack(),
+            )
+        if self._sync_send_ready():
+            change = self.start_change
+            yield (
+                self.pid,
+                self._full_sync_targets(),
+                SyncMsg(change.cid, self.current_view, self.local_cut()),
+            )
+        if self._compact_sync_ready():
+            yield (
+                self.pid,
+                self._compact_sync_targets(),
+                SyncMsg(self.start_change.cid, None, None),
+            )
+        for targets, origin, view, index in self.forwarding.candidates(self):
+            log = self.peek_buffer(origin, view)
+            if log is not None and log.has(index):
+                yield (self.pid, targets, FwdMsg(origin, view, index, log.get(index)))
+
+    # ------------------------------------------------------------------
+    # INPUT co_rfifo.deliver_{q,p} - sync messages
+    # ------------------------------------------------------------------
+
+    def _eff_co_rfifo_deliver(self, q: ProcessId, p: ProcessId, m: WireMessage) -> None:
+        if isinstance(m, SyncMsg):
+            self.sync_msg.setdefault(q, {})[m.cid] = m
+        elif isinstance(m, AckMsg):
+            if m.view_id == self.current_view.vid:
+                self.acked[q] = dict(m.delivered)
+                self._run_ack_gc()
+
+    # ------------------------------------------------------------------
+    # OUTPUT deliver_p(q, m) - restriction to agreed cuts
+    # ------------------------------------------------------------------
+
+    def _delivery_limit(self, q: ProcessId) -> Optional[int]:
+        """Max index deliverable from ``q`` right now, or None if unbounded.
+
+        Unbounded while no view change is in progress or before this
+        end-point has committed to its own cut; bounded by the own cut
+        before the membership view arrives, and by the max over the known
+        transitional-set cuts afterwards (Figure 10).
+        """
+        change = self.start_change
+        if change is None:
+            return None
+        own = self.sync_msg_for(self.pid, change.cid)
+        if own is None:
+            return None
+        new_view = self.mbrshp_view
+        if new_view.start_ids.get(self.pid) != change.cid:
+            return own.cut.get(q, 0)
+        limit = 0
+        for r in new_view.members & self.current_view.members:
+            sync = self.sync_msg_for(r, new_view.start_id(r))
+            if sync is not None and sync.view == self.current_view:
+                limit = max(limit, sync.cut.get(q, 0))
+        return limit
+
+    def _pre_deliver(self, p: ProcessId, q: ProcessId, m: Any) -> bool:
+        limit = self._delivery_limit(q)
+        return limit is None or self.dlvrd(q) + 1 <= limit
+
+    def _eff_deliver(self, p: ProcessId, q: ProcessId, m: Any) -> None:
+        if self.ack_gc_interval is not None:
+            self.deliveries_since_ack += 1
+
+    def _candidates_deliver(self) -> Iterable[Tuple[ProcessId, ProcessId, Any]]:
+        for candidate in super()._candidates_deliver():
+            _p, q, _m = candidate
+            limit = self._delivery_limit(q)
+            if limit is None or self.dlvrd(q) + 1 <= limit:
+                yield candidate
+
+    # ------------------------------------------------------------------
+    # OUTPUT view_p(v, T)
+    # ------------------------------------------------------------------
+
+    def _pre_view(self, p: ProcessId, v: View, T: FrozenSet[ProcessId]) -> bool:
+        change = self.start_change
+        # "to prevent delivery of obsolete views"
+        if change is None or v.start_ids.get(self.pid) != change.cid:
+            return False
+        expected = self.transitional_set_for(v)
+        if expected is None or frozenset(T) != expected:
+            return False
+        cuts = [self.sync_msg_for(r, v.start_id(r)).cut for r in expected]
+        for q in self.current_view.members:
+            agreed = max((cut.get(q, 0) for cut in cuts), default=0)
+            if self.dlvrd(q) != agreed:
+                return False
+        return True
+
+    def _eff_view(self, p: ProcessId, v: View, T: FrozenSet[ProcessId]) -> None:
+        self.start_change = None
+        self.acked = {}
+        self.deliveries_since_ack = 0
+        if self.gc_views:
+            self._collect_garbage(v)
+
+    def _candidates_view(self) -> Iterable[Tuple[ProcessId, View, FrozenSet[ProcessId]]]:
+        v = self.mbrshp_view
+        if v.vid <= self.current_view.vid:
+            return
+        expected = self.transitional_set_for(v)
+        if expected is not None:
+            yield (self.pid, v, expected)
+
+    # ------------------------------------------------------------------
+    # garbage collection (the paper's Section 5.1 closing remark)
+    # ------------------------------------------------------------------
+
+    def _run_ack_gc(self) -> None:
+        """Discard message prefixes acknowledged by every view member.
+
+        A message everyone in the view has delivered can never again be
+        needed: deliveries are done, and any future cut or forwarding
+        request concerns strictly later indices (cuts are at least each
+        member's delivered count).
+        """
+        if self.ack_gc_interval is None:
+            return
+        view = self.current_view
+        others = view.members - {self.pid}
+        if not all(member in self.acked for member in others):
+            return  # need a full round of acknowledgements first
+        for q in view.members:
+            log = self.peek_buffer(q, view)
+            if log is None:
+                continue
+            floor = min(
+                [self.dlvrd(q)] + [self.acked[m].get(q, 0) for m in others]
+            )
+            log.truncate_through(floor)
+
+    def buffered_messages(self) -> int:
+        """Messages currently retained across all buffers (a memory metric)."""
+        return sum(
+            log.retained()
+            for buffers in self.msgs.values()
+            for log in buffers.values()
+        )
+
+    def _collect_garbage(self, new_view: View) -> None:
+        """Discard buffers, syncs and forwarding records of finished views.
+
+        The abstract algorithm never frees memory; any real implementation
+        must.  Safe once a view is delivered: older views' messages can no
+        longer be delivered or forwarded by this end-point.
+        """
+        for q in list(self.msgs):
+            buffers = self.msgs[q]
+            for view in list(buffers):
+                if view != new_view:
+                    del buffers[view]
+            if not buffers:
+                del self.msgs[q]
+        for q in list(self.sync_msg):
+            watermark = new_view.start_ids.get(q)
+            if watermark is None:
+                continue
+            by_cid = self.sync_msg[q]
+            for cid in list(by_cid):
+                if cid <= watermark:
+                    del by_cid[cid]
+            if not by_cid:
+                del self.sync_msg[q]
+        self.forwarded_set = {
+            entry for entry in self.forwarded_set if entry[2] == new_view
+        }
+        self.compact_sync_sent = {
+            cid for cid in self.compact_sync_sent
+            if cid > new_view.start_ids.get(self.pid, -1)
+        }

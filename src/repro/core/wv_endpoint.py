@@ -1,0 +1,211 @@
+"""The within-view reliable FIFO multicast end-point, Figure 9.
+
+``WvRfifoEndpoint`` is the base layer of the algorithm stack.  It
+forwards membership views to the application unchanged (preserving Local
+Monotonicity and Self Inclusion), and synchronises message delivery with
+views by threading ``view_msg`` markers through the FIFO message stream:
+an application message received from ``q`` belongs to the view announced
+by the latest ``view_msg`` from ``q``, and is delivered to the
+application only while that view is current.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro._collections import MessageLog
+from repro.core.endpoint_base import ProcessAutomaton
+from repro.core.messages import AppMsg, FwdMsg, ViewMsg, WireMessage
+from repro.ioa import ActionKind
+from repro.types import ProcessId, View, initial_view
+
+
+class WvRfifoEndpoint(ProcessAutomaton):
+    """WV_RFIFO_p (Figure 9)."""
+
+    SIGNATURE = {
+        # inputs
+        "send": ActionKind.INPUT,  # (p, m)
+        "co_rfifo.deliver": ActionKind.INPUT,  # (q, p, m)
+        "mbrshp.view": ActionKind.INPUT,  # (p, v)
+        # outputs
+        "deliver": ActionKind.OUTPUT,  # (p, q, m)
+        "co_rfifo.send": ActionKind.OUTPUT,  # (p, set, m)
+        "co_rfifo.reliable": ActionKind.OUTPUT,  # (p, set)
+        "view": ActionKind.OUTPUT,  # (p, v) - extended to (p, v, T) by the child
+    }
+
+    def _state(self) -> None:
+        pid = self.pid
+        # msgs[q][v]: messages sent by q in view v (1-indexed, may have holes)
+        self.msgs: Dict[ProcessId, Dict[View, MessageLog]] = {}
+        self.last_sent = 0
+        self.last_rcvd: Dict[ProcessId, int] = {}
+        self.last_dlvrd: Dict[ProcessId, int] = {}
+        self.current_view: View = initial_view(pid)
+        self.mbrshp_view: View = initial_view(pid)
+        self.view_msg: Dict[ProcessId, View] = {}
+        self.reliable_set: FrozenSet[ProcessId] = frozenset({pid})
+
+    # -- state helpers ------------------------------------------------------
+
+    def buffer(self, q: ProcessId, v: View) -> MessageLog:
+        """The paper's ``msgs[q][v]``, created on demand."""
+        return self.msgs.setdefault(q, {}).setdefault(v, MessageLog())
+
+    def peek_buffer(self, q: ProcessId, v: View) -> Optional[MessageLog]:
+        return self.msgs.get(q, {}).get(v)
+
+    def view_msg_of(self, q: ProcessId) -> View:
+        """Latest ``view_msg`` received from ``q`` (initially ``v_q``)."""
+        return self.view_msg.get(q, initial_view(q))
+
+    def dlvrd(self, q: ProcessId) -> int:
+        return self.last_dlvrd.get(q, 0)
+
+    def rcvd(self, q: ProcessId) -> int:
+        return self.last_rcvd.get(q, 0)
+
+    # ------------------------------------------------------------------
+    # INPUT mbrshp.view_p(v)
+    # ------------------------------------------------------------------
+
+    def _eff_mbrshp_view(self, p: ProcessId, v: View) -> None:
+        self.mbrshp_view = v
+
+    # ------------------------------------------------------------------
+    # OUTPUT view_p(v)
+    # ------------------------------------------------------------------
+
+    def _pre_view(self, p: ProcessId, v: View) -> bool:
+        return v == self.mbrshp_view and v.vid > self.current_view.vid
+
+    def _eff_view(self, p: ProcessId, v: View) -> None:
+        self.current_view = v
+        self.last_sent = 0
+        self.last_dlvrd = {}
+
+    def _candidates_view(self) -> Iterable[Tuple[ProcessId, View]]:
+        if self.mbrshp_view.vid > self.current_view.vid:
+            yield (self.pid, self.mbrshp_view)
+
+    # ------------------------------------------------------------------
+    # INPUT send_p(m)
+    # ------------------------------------------------------------------
+
+    def _eff_send(self, p: ProcessId, m: Any) -> None:
+        self.buffer(self.pid, self.current_view).append(m)
+
+    # ------------------------------------------------------------------
+    # OUTPUT deliver_p(q, m)
+    # ------------------------------------------------------------------
+
+    def _pre_deliver(self, p: ProcessId, q: ProcessId, m: Any) -> bool:
+        log = self.peek_buffer(q, self.current_view)
+        if log is None:
+            return False
+        index = self.dlvrd(q) + 1
+        if not log.has(index) or log.get(index) != m:
+            return False
+        if q == self.pid and not self.dlvrd(q) < self.last_sent:
+            return False
+        return True
+
+    def _eff_deliver(self, p: ProcessId, q: ProcessId, m: Any) -> None:
+        self.last_dlvrd[q] = self.dlvrd(q) + 1
+
+    def _candidates_deliver(self) -> Iterable[Tuple[ProcessId, ProcessId, Any]]:
+        for q in self.current_view.members:
+            log = self.peek_buffer(q, self.current_view)
+            if log is None:
+                continue
+            index = self.dlvrd(q) + 1
+            if log.has(index):
+                yield (self.pid, q, log.get(index))
+
+    # ------------------------------------------------------------------
+    # OUTPUT co_rfifo.reliable_p(set)
+    # ------------------------------------------------------------------
+
+    def _pre_co_rfifo_reliable(self, p: ProcessId, targets: FrozenSet[ProcessId]) -> bool:
+        return self.current_view.members <= frozenset(targets)
+
+    def _eff_co_rfifo_reliable(self, p: ProcessId, targets: FrozenSet[ProcessId]) -> None:
+        self.reliable_set = frozenset(targets)
+
+    def _desired_reliable_set(self) -> FrozenSet[ProcessId]:
+        """The set this layer wants reliable connections to (child widens)."""
+        return frozenset(self.current_view.members)
+
+    def _candidates_co_rfifo_reliable(self) -> Iterable[Tuple[ProcessId, FrozenSet[ProcessId]]]:
+        desired = self._desired_reliable_set()
+        if desired != self.reliable_set:
+            yield (self.pid, desired)
+
+    # ------------------------------------------------------------------
+    # OUTPUT co_rfifo.send_p(set, m) - view, app, and forwarded messages
+    # ------------------------------------------------------------------
+
+    def _pre_co_rfifo_send(self, p: ProcessId, targets: FrozenSet[ProcessId], m: WireMessage) -> bool:
+        if isinstance(m, ViewMsg):
+            return (
+                self.view_msg_of(self.pid) != self.current_view
+                and self.current_view.members <= self.reliable_set
+                and frozenset(targets) == self.current_view.members - {self.pid}
+                and m.view == self.current_view
+            )
+        if isinstance(m, AppMsg):
+            log = self.peek_buffer(self.pid, self.current_view)
+            return (
+                self.view_msg_of(self.pid) == self.current_view
+                and frozenset(targets) == self.current_view.members - {self.pid}
+                and log is not None
+                and log.has(self.last_sent + 1)
+                and log.get(self.last_sent + 1) == m.payload
+            )
+        if isinstance(m, FwdMsg):
+            log = self.peek_buffer(m.origin, m.view)
+            return log is not None and log.has(m.index) and log.get(m.index) == m.payload
+        # Message kinds introduced by child automata (e.g. SyncMsg) are
+        # *new* actions in the signature extension; this layer places no
+        # precondition on them.
+        return True
+
+    def _eff_co_rfifo_send(self, p: ProcessId, targets: FrozenSet[ProcessId], m: WireMessage) -> None:
+        if isinstance(m, ViewMsg):
+            self.view_msg[self.pid] = self.current_view
+        elif isinstance(m, AppMsg):
+            self.last_sent += 1
+
+    def _candidates_co_rfifo_send(self) -> Iterable[Tuple[ProcessId, FrozenSet[ProcessId], WireMessage]]:
+        # Note: in a singleton view ``peers`` is empty, but the (no-op)
+        # sends must still happen - sending is what advances ``last_sent``
+        # and thereby enables self-delivery.
+        peers = frozenset(self.current_view.members - {self.pid})
+        if self.view_msg_of(self.pid) != self.current_view:
+            if self.current_view.members <= self.reliable_set:
+                yield (self.pid, peers, ViewMsg(self.current_view))
+            return
+        log = self.peek_buffer(self.pid, self.current_view)
+        if log is not None and log.has(self.last_sent + 1):
+            payload = log.get(self.last_sent + 1)
+            yield (
+                self.pid,
+                peers,
+                AppMsg(payload, history_view=self.current_view, history_index=self.last_sent + 1),
+            )
+
+    # ------------------------------------------------------------------
+    # INPUT co_rfifo.deliver_{q,p}(m)
+    # ------------------------------------------------------------------
+
+    def _eff_co_rfifo_deliver(self, q: ProcessId, p: ProcessId, m: WireMessage) -> None:
+        if isinstance(m, ViewMsg):
+            self.view_msg[q] = m.view
+            self.last_rcvd[q] = 0
+        elif isinstance(m, AppMsg):
+            index = self.rcvd(q) + 1
+            self.buffer(q, self.view_msg_of(q)).put(index, m.payload)
+            self.last_rcvd[q] = index
+        elif isinstance(m, FwdMsg):
+            self.buffer(m.origin, m.view).put(m.index, m.payload)

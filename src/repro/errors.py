@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the broad failure classes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro package."""
+
+
+class SpecificationViolation(ReproError):
+    """A trace or a step violates one of the paper's specifications.
+
+    Raised by the checkers in :mod:`repro.checking` and by specification
+    automata in :mod:`repro.spec` when asked to take a disabled step.
+    """
+
+
+class InvariantViolation(SpecificationViolation):
+    """One of the paper's invariants (6.1-6.13, 7.1, 7.2) failed to hold."""
+
+
+class RefinementViolation(SpecificationViolation):
+    """A refinement mapping could not simulate an algorithm step."""
+
+
+class ActionNotEnabled(ReproError):
+    """An automaton was asked to perform an action whose precondition is false."""
+
+
+class UnknownAction(ReproError):
+    """An action name does not appear in an automaton's signature."""
+
+
+class CompositionError(ReproError):
+    """Automata cannot be composed (e.g. clashing output actions)."""
+
+
+class InheritanceError(ReproError):
+    """The inheritance construct of [26] was violated.
+
+    The most important case: a child automaton's added effects modified a
+    state variable owned by its parent, which would void the Proof
+    Extension theorem.
+    """
+
+
+class TransportError(ReproError):
+    """A transport-layer failure in the runtime or simulator."""
+
+
+class ClientMisuseError(ReproError):
+    """The application violated the blocking-client contract (Fig. 12).
+
+    For example, it sent a message while blocked, or acknowledged a block
+    request it never received.
+    """
+
+
+class CrashedError(ReproError):
+    """An operation was attempted on a crashed end-point (Section 8)."""

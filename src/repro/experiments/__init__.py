@@ -1,0 +1,59 @@
+"""The evaluation harness (experiments E1-E9, see EXPERIMENTS.md).
+
+The paper contains no measurement tables - its figures are specifications
+and algorithms - so the reproduction turns each *quantitative claim* into
+an experiment: one-round reconfiguration (E1-E3), forwarding cost (E4),
+obsolete-view suppression (E5), steady-state multicast (E6), blocking
+windows (E7), crash recovery (E8).  Each experiment is a pure function of
+its parameters over the deterministic simulator, returning structured
+rows; the ``benchmarks/`` tree wraps them in pytest-benchmark and prints
+the claim-versus-measured tables.
+"""
+
+from repro.experiments.reconfig import (
+    ALGORITHMS,
+    ReconfigResult,
+    measure_reconfiguration,
+    reconfiguration_sweep,
+)
+from repro.experiments.forwarding import ForwardingResult, measure_forwarding
+from repro.experiments.obsolete import ObsoleteViewResult, measure_obsolete_views
+from repro.experiments.throughput import ThroughputResult, measure_throughput
+from repro.experiments.blocking import BlockingResult, measure_blocking_window
+from repro.experiments.crash import CrashRecoveryResult, measure_crash_recovery
+from repro.experiments.extensions import (
+    CompactSyncResult,
+    OrderingResult,
+    TwoTierResult,
+    measure_compact_syncs,
+    measure_ordering_overhead,
+    measure_two_tier,
+)
+from repro.experiments.servers import ServerTierResult, measure_server_tier
+from repro.experiments.tables import format_table
+
+__all__ = [
+    "ALGORITHMS",
+    "BlockingResult",
+    "CompactSyncResult",
+    "CrashRecoveryResult",
+    "ForwardingResult",
+    "ObsoleteViewResult",
+    "OrderingResult",
+    "ReconfigResult",
+    "ServerTierResult",
+    "ThroughputResult",
+    "TwoTierResult",
+    "format_table",
+    "measure_blocking_window",
+    "measure_compact_syncs",
+    "measure_crash_recovery",
+    "measure_forwarding",
+    "measure_obsolete_views",
+    "measure_ordering_overhead",
+    "measure_reconfiguration",
+    "measure_server_tier",
+    "measure_throughput",
+    "measure_two_tier",
+    "reconfiguration_sweep",
+]

@@ -1,0 +1,71 @@
+"""E7: the application blocking window (Section 5.3).
+
+Self Delivery plus Virtual Synchrony require blocking the application
+from sending during a view change ([19], cited in Section 5.3).  The cost
+of that guarantee is the *blocking window*: the time between the block
+request (right after the first start_change) and the view delivery that
+unblocks.  With the paper's parallel design the window is roughly the
+membership round; sequential designs extend it by their extra rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.baselines import SequentialVsEndpoint, TwoRoundVsEndpoint
+from repro.checking.events import BlockEvent, ViewEvent
+from repro.core import GcsEndpoint
+from repro.core.wv_endpoint import WvRfifoEndpoint
+from repro.net import ConstantLatency, LatencyModel, SimWorld
+
+
+@dataclass
+class BlockingResult:
+    algorithm: str
+    group_size: int
+    mean_blocking_window: float
+    max_blocking_window: float
+
+
+def measure_blocking_window(
+    endpoint_cls: Type[WvRfifoEndpoint] = GcsEndpoint,
+    *,
+    group_size: int = 6,
+    round_duration: float = 3.0,
+    latency: Optional[LatencyModel] = None,
+    algorithm_name: str = "",
+) -> BlockingResult:
+    latency = latency or ConstantLatency(1.0)
+    world = SimWorld(
+        latency=latency,
+        membership="oracle",
+        round_duration=round_duration,
+        endpoint_cls=endpoint_cls,
+        gc_views=False,
+    )
+    nodes = world.add_nodes([f"p{i}" for i in range(group_size)])
+    world.start()
+    world.run()
+    for node in nodes:
+        node.send("load-" + node.pid)
+    world.run()
+    mark = world.now()
+    world.crash(nodes[-1].pid)
+    world.run()
+
+    blocked_at: Dict[str, float] = {}
+    windows: List[float] = []
+    for event in world.trace:
+        if event.time < mark:
+            continue
+        if isinstance(event, BlockEvent):
+            blocked_at.setdefault(event.proc, event.time)
+        elif isinstance(event, ViewEvent) and event.proc in blocked_at:
+            windows.append(event.time - blocked_at.pop(event.proc))
+    return BlockingResult(
+        algorithm=algorithm_name or endpoint_cls.__name__,
+        group_size=group_size,
+        mean_blocking_window=sum(windows) / len(windows) if windows else 0.0,
+        max_blocking_window=max(windows, default=0.0),
+    )

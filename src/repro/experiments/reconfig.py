@@ -1,0 +1,127 @@
+"""E1-E3: reconfiguration latency, message cost, and parallelism.
+
+The paper's headline claim (Sections 1, 5, 9): the virtual synchrony
+round runs *in parallel* with the membership round, so the GCS view is
+delivered as soon as the membership view is - no extra rounds and no
+identifier pre-agreement messages.  The prior-art baselines pay one
+(sequential) or two (pre-agreement) extra message exchanges.
+
+``measure_reconfiguration`` runs one controlled view change - a settled
+group loses a member - and reports, per algorithm:
+
+* ``membership_latency`` - trigger to last membership-view delivery;
+* ``gcs_latency`` - trigger to last GCS-view delivery;
+* ``extra_rounds`` - the gap between the two, in units of the mean
+  one-way network latency (the paper's "communication rounds");
+* message counts by kind during the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.baselines import SequentialVsEndpoint, TwoRoundVsEndpoint
+from repro.checking.events import MbrshpViewEvent, ViewEvent
+from repro.checking.properties import check_all_safety
+from repro.core import GcsEndpoint
+from repro.core.wv_endpoint import WvRfifoEndpoint
+from repro.net import ConstantLatency, LatencyModel, SimWorld
+
+ALGORITHMS: Dict[str, Type[WvRfifoEndpoint]] = {
+    "gcs-1round (paper)": GcsEndpoint,
+    "sequential-vs": SequentialVsEndpoint,
+    "two-round-vs": TwoRoundVsEndpoint,
+}
+
+
+@dataclass
+class ReconfigResult:
+    algorithm: str
+    group_size: int
+    membership_latency: float
+    gcs_latency: float
+    extra_latency: float
+    extra_rounds: float
+    messages: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sync_messages(self) -> int:
+        return self.messages.get("SyncMsg", 0) + self.messages.get("BaselineSyncMsg", 0)
+
+    @property
+    def agreement_messages(self) -> int:
+        return self.messages.get("ProposeIdMsg", 0)
+
+
+def measure_reconfiguration(
+    endpoint_cls: Type[WvRfifoEndpoint],
+    *,
+    group_size: int = 8,
+    latency: Optional[LatencyModel] = None,
+    round_duration: float = 3.0,
+    warm_messages: int = 2,
+    check: bool = False,
+    algorithm_name: str = "",
+) -> ReconfigResult:
+    """One controlled view change (a member leaves a settled group)."""
+    latency = latency or ConstantLatency(1.0)
+    world = SimWorld(
+        latency=latency,
+        membership="oracle",
+        round_duration=round_duration,
+        endpoint_cls=endpoint_cls,
+        gc_views=False,
+    )
+    nodes = world.add_nodes([f"p{i:03d}" for i in range(group_size)])
+    world.start()
+    world.run()
+    for _ in range(warm_messages):
+        for node in nodes:
+            node.send(f"warm-{node.pid}")
+    world.run()
+
+    world.network.reset_counters()
+    trigger_time = world.now()
+    world.crash(nodes[-1].pid)
+    world.run()
+
+    view = world.oracle.views_formed[-1]
+    membership_time = max(
+        e.time for e in world.trace.of_type(MbrshpViewEvent) if e.view == view
+    )
+    gcs_time = max(e.time for e in world.trace.of_type(ViewEvent) if e.view == view)
+    if check:
+        check_all_safety(world.trace, list(world.nodes))
+    extra = gcs_time - membership_time
+    return ReconfigResult(
+        algorithm=algorithm_name or endpoint_cls.__name__,
+        group_size=group_size,
+        membership_latency=membership_time - trigger_time,
+        gcs_latency=gcs_time - trigger_time,
+        extra_latency=extra,
+        extra_rounds=extra / latency.mean() if latency.mean() else 0.0,
+        messages=dict(world.network.totals()),
+    )
+
+
+def reconfiguration_sweep(
+    group_sizes: Iterable[int],
+    *,
+    latency: Optional[LatencyModel] = None,
+    round_duration: float = 3.0,
+) -> List[ReconfigResult]:
+    """E1/E2 sweep: every algorithm at every group size."""
+    results = []
+    for n in group_sizes:
+        for name, endpoint_cls in ALGORITHMS.items():
+            results.append(
+                measure_reconfiguration(
+                    endpoint_cls,
+                    group_size=n,
+                    latency=latency,
+                    round_duration=round_duration,
+                    algorithm_name=name,
+                )
+            )
+    return results

@@ -1,0 +1,79 @@
+"""E6: steady-state within-view FIFO multicast.
+
+With the group settled, every member multicasts ``messages`` payloads;
+the experiment measures total deliveries, simulated completion time and
+end-to-end delivery latency percentiles - the cost side of the service
+that Sections 5.1's WV_RFIFO layer provides between reconfigurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.checking.events import DeliverEvent, SendEvent
+from repro.net import ConstantLatency, LatencyModel, SimWorld
+
+
+@dataclass
+class ThroughputResult:
+    group_size: int
+    messages_per_sender: int
+    total_deliveries: int
+    sim_duration: float
+    deliveries_per_time_unit: float
+    latency_p50: float
+    latency_p99: float
+    wire_messages: int
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+def measure_throughput(
+    *,
+    group_size: int = 8,
+    messages_per_sender: int = 20,
+    latency: Optional[LatencyModel] = None,
+) -> ThroughputResult:
+    latency = latency or ConstantLatency(1.0)
+    world = SimWorld(latency=latency, membership="oracle", round_duration=1.0)
+    nodes = world.add_nodes([f"p{i:03d}" for i in range(group_size)])
+    world.start()
+    world.run()
+    world.network.reset_counters()
+
+    start = world.now()
+    for round_no in range(messages_per_sender):
+        for node in nodes:
+            node.send((node.pid, round_no))
+    world.run()
+    duration = world.now() - start
+
+    send_times: Dict[object, float] = {}
+    latencies: List[float] = []
+    deliveries = 0
+    for event in world.trace:
+        if isinstance(event, SendEvent):
+            send_times[event.payload] = event.time
+        elif isinstance(event, DeliverEvent) and event.time >= start:
+            deliveries += 1
+            sent_at = send_times.get(event.payload)
+            if sent_at is not None:
+                latencies.append(event.time - sent_at)
+    return ThroughputResult(
+        group_size=group_size,
+        messages_per_sender=messages_per_sender,
+        total_deliveries=deliveries,
+        sim_duration=duration,
+        deliveries_per_time_unit=deliveries / duration if duration else 0.0,
+        latency_p50=_percentile(latencies, 0.50),
+        latency_p99=_percentile(latencies, 0.99),
+        wire_messages=sum(world.network.totals().values()),
+    )

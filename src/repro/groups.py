@@ -1,0 +1,202 @@
+"""Multiple multicast groups over shared processes (paper Section 1).
+
+The paper restricts its presentation to a single group "for simplicity's
+sake" but motivates the client-server architecture with scalability "in
+the number of groups": membership servers track many groups, while a
+client process runs a GCS end-point *per group it joins* over one shared
+transport.  This module realises that: a
+:class:`MultiGroupProcess` hosts one end-point automaton per joined
+group, wire messages travel in :class:`GroupEnvelope` wrappers, and each
+group has its own membership management - so reconfiguring one group
+never touches the others (experiment E13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.checking.events import GcsTrace
+from repro.core.gcs_endpoint import GcsEndpoint
+from repro.core.messages import WireMessage
+from repro.core.runner import EndpointRunner
+from repro.membership.oracle import OracleMembership
+from repro.net.latency import LatencyModel
+from repro.net.network import SimNetwork
+from repro.net.simclock import EventScheduler
+from repro.net.transport import SimTransport
+from repro.types import ProcessId, View
+
+GroupName = str
+
+
+@dataclass(frozen=True)
+class GroupEnvelope:
+    """A group-tagged wire message on the shared transport."""
+
+    group: GroupName
+    message: WireMessage
+
+
+class MultiGroupProcess:
+    """One client process participating in any number of groups."""
+
+    def __init__(self, pid: ProcessId, world: "MultiGroupWorld") -> None:
+        self.pid = pid
+        self.world = world
+        self.transport = SimTransport(pid, world.network, self._on_wire)
+        self._runners: Dict[GroupName, EndpointRunner] = {}
+        self._reliable: Dict[GroupName, FrozenSet[ProcessId]] = {}
+        # observable per group
+        self.delivered: Dict[GroupName, List[Tuple[ProcessId, Any]]] = {}
+        self.views: Dict[GroupName, List[Tuple[View, FrozenSet[ProcessId]]]] = {}
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+
+    def groups(self) -> List[GroupName]:
+        return sorted(self._runners)
+
+    def send(self, group: GroupName, payload: Any) -> None:
+        """Multicast ``payload`` to the current view of ``group``."""
+        self._runners[group].app_send(payload)
+
+    def current_view(self, group: GroupName) -> View:
+        return self._runners[group].endpoint.current_view
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def _runner_for(self, group: GroupName) -> EndpointRunner:
+        runner = self._runners.get(group)
+        if runner is not None:
+            return runner
+        endpoint = GcsEndpoint(self.pid, gc_views=True)
+        self.delivered[group] = []
+        self.views[group] = []
+        runner = EndpointRunner(
+            endpoint,
+            send_wire=lambda targets, m, g=group: self.transport.send(
+                targets, GroupEnvelope(g, m)
+            ),
+            set_reliable=lambda targets, g=group: self._set_reliable(g, targets),
+            on_deliver=lambda sender, payload, g=group: self.delivered[g].append(
+                (sender, payload)
+            ),
+            on_view=lambda view, T, g=group: self.views[g].append((view, T)),
+            auto_block_ok=True,
+            clock=lambda: self.world.clock.now,
+            trace=self.world.trace,
+        )
+        self._runners[group] = runner
+        return runner
+
+    def _set_reliable(self, group: GroupName, targets: Iterable[ProcessId]) -> None:
+        # One transport serves all groups: keep the union reliable.  Being
+        # more reliable than one group asks is the safe direction of the
+        # CO_RFIFO contract.
+        self._reliable[group] = frozenset(targets)
+        union: Set[ProcessId] = set()
+        for targets_of_group in self._reliable.values():
+            union |= targets_of_group
+        self.transport.set_reliable(union)
+
+    def _on_wire(self, src: ProcessId, message: Any) -> None:
+        if not isinstance(message, GroupEnvelope):
+            return
+        runner = self._runners.get(message.group)
+        if runner is not None:
+            runner.receive(src, message.message)
+
+    # membership notice entry points, called by the world's per-group oracle
+    def _membership_start_change(self, group: GroupName, cid: int, members) -> None:
+        self._runner_for(group).membership_start_change(cid, members)
+
+    def _membership_view(self, group: GroupName, view: View) -> None:
+        self._runner_for(group).membership_view(view)
+
+
+class MultiGroupWorld:
+    """A simulated deployment hosting many groups over shared processes."""
+
+    def __init__(
+        self,
+        *,
+        latency: Optional[LatencyModel] = None,
+        round_duration: float = 1.0,
+    ) -> None:
+        self.clock = EventScheduler()
+        self.network = SimNetwork(self.clock, latency)
+        self.trace = GcsTrace()
+        self.round_duration = round_duration
+        self.processes: Dict[ProcessId, MultiGroupProcess] = {}
+        self._oracles: Dict[GroupName, OracleMembership] = {}
+        self._members: Dict[GroupName, Set[ProcessId]] = {}
+
+    # ------------------------------------------------------------------
+    # construction and membership
+    # ------------------------------------------------------------------
+
+    def add_process(self, pid: ProcessId) -> MultiGroupProcess:
+        if pid in self.processes:
+            raise ValueError(f"duplicate process {pid!r}")
+        process = MultiGroupProcess(pid, self)
+        self.processes[pid] = process
+        return process
+
+    def _oracle_for(self, group: GroupName) -> OracleMembership:
+        oracle = self._oracles.get(group)
+        if oracle is None:
+            oracle = OracleMembership(self.clock, round_duration=self.round_duration)
+            self._oracles[group] = oracle
+            self._members[group] = set()
+        return oracle
+
+    def join(self, pid: ProcessId, group: GroupName) -> None:
+        """Add ``pid`` to ``group`` and reconfigure that group only."""
+        oracle = self._oracle_for(group)
+        process = self.processes[pid]
+        process._runner_for(group)
+        if pid not in {p for p in self._members[group]}:
+            oracle.attach_client(
+                pid,
+                on_start_change=lambda cid, members, g=group, pr=process:
+                    pr._membership_start_change(g, cid, members),
+                on_view=lambda view, g=group, pr=process:
+                    pr._membership_view(g, view),
+            )
+        self._members[group].add(pid)
+        oracle.reconfigure([sorted(self._members[group])])
+
+    def leave(self, pid: ProcessId, group: GroupName) -> None:
+        """Remove ``pid`` from ``group`` and reconfigure that group only."""
+        members = self._members.get(group, set())
+        members.discard(pid)
+        if members:
+            self._oracles[group].reconfigure([sorted(members)])
+
+    def members(self, group: GroupName) -> FrozenSet[ProcessId]:
+        return frozenset(self._members.get(group, set()))
+
+    def group_view(self, group: GroupName) -> Optional[View]:
+        oracle = self._oracles.get(group)
+        if oracle is None or not oracle.views_formed:
+            return None
+        return oracle.views_formed[-1]
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        return self.clock.run(max_events)
+
+    def settled(self, group: GroupName) -> bool:
+        view = self.group_view(group)
+        if view is None:
+            return False
+        return all(
+            self.processes[pid].current_view(group) == view for pid in view.members
+        )

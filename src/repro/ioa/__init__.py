@@ -1,0 +1,26 @@
+"""Executable I/O automaton framework (paper Section 2 and Appendix A).
+
+Exports the pieces needed to state, compose, and execute the paper's
+specification and algorithm automata: actions, the automaton base class
+with the inheritance construct of [26], composition/hiding, schedulers,
+and trace recording.
+"""
+
+from repro.ioa.action import Action, ActionKind, method_suffix
+from repro.ioa.automaton import Automaton
+from repro.ioa.composition import Composition
+from repro.ioa.scheduler import FairScheduler, RandomScheduler, SchedulerBase
+from repro.ioa.trace import Trace, TraceEvent
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Automaton",
+    "Composition",
+    "FairScheduler",
+    "RandomScheduler",
+    "SchedulerBase",
+    "Trace",
+    "TraceEvent",
+    "method_suffix",
+]

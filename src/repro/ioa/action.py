@@ -1,0 +1,44 @@
+"""Actions of the I/O automaton model (Section 2).
+
+An action is identified by a name and a tuple of parameters.  By the
+paper's convention, external actions of per-process automata carry the
+process subscript as their *first* parameter (``view_p(v)`` becomes
+``Action("view", (p, v))``), except where the paper itself uses two
+subscripts (``deliver_{p,q}(m)`` becomes ``Action("co_rfifo.deliver",
+(p, q, m))`` with sender first, as in Figure 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+class ActionKind(enum.Enum):
+    """Classification of actions in an automaton signature."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A named action instance with bound parameters."""
+
+    name: str
+    params: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in self.params)
+        return f"{self.name}({inner})"
+
+
+def method_suffix(action_name: str) -> str:
+    """Translate an action name to a Python method-name suffix.
+
+    Dotted names such as ``co_rfifo.send`` map to ``co_rfifo_send`` so
+    that automata can declare ``_pre_co_rfifo_send`` and friends.
+    """
+    return action_name.replace(".", "_")

@@ -1,0 +1,231 @@
+"""Executable I/O automata with the inheritance construct of [26].
+
+An automaton subclass declares, per class in its inheritance chain:
+
+``SIGNATURE``
+    mapping of action name to :class:`~repro.ioa.action.ActionKind`.  The
+    effective signature merges the chain (derived classes may add actions
+    or re-declare an action they modify).
+
+``PARAM_PROJECTIONS``
+    mapping of action name to a function that projects *this* class's
+    parameter tuple for the action onto the parameter tuple expected by
+    the parent level (used when a child extends an action's signature,
+    e.g. ``view_p(v, T) modifies wv_rfifo.view_p(v)``).
+
+``_state(self)``
+    creates this class's state variables as instance attributes.  The
+    framework calls these base-first and records which class *owns* each
+    variable, which lets strict mode enforce the rule of [26] that a
+    child's added effects never modify parent state.
+
+``_pre_<action>(self, *params)`` / ``_eff_<action>(self, *params)``
+    this class's contribution to the action's precondition / effect.
+    Along the chain, preconditions are conjoined and effects run
+    child-first, then parent - exactly the transition-restriction
+    semantics of the paper's Section 2.  Dots in action names map to
+    underscores (:func:`~repro.ioa.action.method_suffix`).
+
+``_candidates_<action>(self)``
+    yields parameter tuples for which a locally controlled action might
+    currently be enabled (the most-derived definition wins).  This is what
+    makes the automata *executable*: rather than scanning an infinite
+    parameter space, each automaton proposes the finitely many bindings
+    its state makes relevant.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.errors import ActionNotEnabled, InheritanceError, UnknownAction
+from repro.ioa.action import Action, ActionKind, method_suffix
+
+_Projection = Callable[..., Tuple[Any, ...]]
+
+
+class Automaton:
+    """Base class of all executable I/O automata."""
+
+    SIGNATURE: Dict[str, ActionKind] = {}
+    PARAM_PROJECTIONS: Dict[str, _Projection] = {}
+
+    def __init__(self, name: str, *, strict: bool = False) -> None:
+        self.name = name
+        # When True, every effect piece is checked against the ownership
+        # rule of the inheritance construct (slow; meant for tests).
+        self.strict = strict
+        self._signature = self._merged_signature()
+        self._owners: Dict[str, Type[Automaton]] = {}
+        self._init_state_chain()
+
+    # ------------------------------------------------------------------
+    # signature
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _merged_signature(cls) -> Dict[str, ActionKind]:
+        merged: Dict[str, ActionKind] = {}
+        for klass in reversed(cls.__mro__):
+            merged.update(klass.__dict__.get("SIGNATURE", {}))
+        return merged
+
+    @property
+    def signature(self) -> Dict[str, ActionKind]:
+        """The effective (merged) signature of this automaton."""
+        return dict(self._signature)
+
+    def kind_of(self, action_name: str) -> ActionKind:
+        try:
+            return self._signature[action_name]
+        except KeyError:
+            raise UnknownAction(f"{self.name}: unknown action {action_name!r}") from None
+
+    def locally_controlled(self) -> List[str]:
+        """Names of this automaton's output and internal actions."""
+        return [
+            name
+            for name, kind in self._signature.items()
+            if kind in (ActionKind.OUTPUT, ActionKind.INTERNAL)
+        ]
+
+    def accepts(self, action: Action) -> bool:
+        """Whether this automaton takes ``action`` as an input.
+
+        Per-process automata override this to claim only the actions
+        subscripted with their own process identifier.
+        """
+        return self._signature.get(action.name) is ActionKind.INPUT
+
+    # ------------------------------------------------------------------
+    # state ownership
+    # ------------------------------------------------------------------
+
+    def _init_state_chain(self) -> None:
+        for klass in reversed(type(self).__mro__):
+            if "_state" not in klass.__dict__:
+                continue
+            before = set(self.__dict__)
+            klass.__dict__["_state"](self)
+            for attr in set(self.__dict__) - before:
+                self._owners[attr] = klass
+
+    def _state(self) -> None:
+        """Declare state variables (override per class)."""
+
+    def reset_state(self) -> None:
+        """Reset all state variables to their initial values (Section 8)."""
+        for attr in list(self._owners):
+            delattr(self, attr)
+        self._owners.clear()
+        self._init_state_chain()
+
+    def state_vars(self) -> Dict[str, Any]:
+        """A shallow snapshot of the declared state variables."""
+        return {attr: getattr(self, attr) for attr in self._owners}
+
+    def _ancestor_vars(self, klass: Type["Automaton"]) -> Dict[str, Any]:
+        """Variables owned by strict ancestors of ``klass``."""
+        return {
+            attr: getattr(self, attr)
+            for attr, owner in self._owners.items()
+            if owner is not klass and issubclass(klass, owner)
+        }
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+
+    def _walk(self, prefix: str, action: Action) -> Iterator[Tuple[Type["Automaton"], Callable, Tuple]]:
+        """Yield (class, piece, params-at-that-level), applying projections."""
+        params = action.params
+        projected_below: List[Type[Automaton]] = []
+        for klass in type(self).__mro__:
+            if not issubclass(klass, Automaton):
+                continue
+            fn = klass.__dict__.get(f"{prefix}{method_suffix(action.name)}")
+            if fn is not None:
+                yield klass, fn, params
+            projection = klass.__dict__.get("PARAM_PROJECTIONS", {}).get(action.name)
+            if projection is not None and klass not in projected_below:
+                params = tuple(projection(*params))
+                projected_below.append(klass)
+
+    def precondition(self, action: Action) -> bool:
+        """Conjunction of all precondition pieces along the chain."""
+        if action.name not in self._signature:
+            raise UnknownAction(f"{self.name}: unknown action {action.name!r}")
+        if self._signature[action.name] is ActionKind.INPUT:
+            return True  # input actions are enabled in every state
+        for _klass, fn, params in self._walk("_pre_", action):
+            if not fn(self, *params):
+                return False
+        return True
+
+    def _run_effects(self, action: Action) -> None:
+        for klass, fn, params in self._walk("_eff_", action):
+            if self.strict:
+                before = copy.deepcopy(self._ancestor_vars(klass))
+                fn(self, *params)
+                after = self._ancestor_vars(klass)
+                for attr, old in before.items():
+                    if after[attr] != old:
+                        raise InheritanceError(
+                            f"{self.name}: effect of {klass.__name__} for action "
+                            f"{action.name!r} modified parent variable {attr!r}"
+                        )
+            else:
+                fn(self, *params)
+
+    def is_enabled(self, action: Action) -> bool:
+        """Whether ``action`` can be taken in the current state."""
+        if action.name not in self._signature:
+            return False
+        if self._signature[action.name] is ActionKind.INPUT:
+            return self.accepts(action)
+        return self.precondition(action)
+
+    def apply(self, action: Action) -> None:
+        """Take a step with ``action``, executing its effects atomically."""
+        kind = self.kind_of(action.name)
+        if kind is not ActionKind.INPUT and not self.precondition(action):
+            raise ActionNotEnabled(f"{self.name}: {action!r} is not enabled")
+        self._run_effects(action)
+
+    # ------------------------------------------------------------------
+    # candidate enumeration
+    # ------------------------------------------------------------------
+
+    def candidates(self, action_name: str) -> Iterable[Tuple[Any, ...]]:
+        """Parameter tuples worth testing for a locally controlled action."""
+        fn = getattr(self, f"_candidates_{method_suffix(action_name)}", None)
+        if fn is None:
+            return ()
+        return fn()
+
+    def enabled_actions(self) -> List[Action]:
+        """All currently enabled locally controlled actions (one per binding)."""
+        enabled = []
+        for name in self.locally_controlled():
+            for params in self.candidates(name):
+                action = Action(name, tuple(params))
+                if self.precondition(action):
+                    enabled.append(action)
+        return enabled
+
+    # ------------------------------------------------------------------
+    # tasks (fairness)
+    # ------------------------------------------------------------------
+
+    def tasks(self) -> Dict[str, List[str]]:
+        """Task partition: by default each locally controlled action is a task.
+
+        This is the convention the paper uses for its end-point automata
+        ("each locally controlled action is defined to be a task by
+        itself").
+        """
+        return {name: [name] for name in self.locally_controlled()}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

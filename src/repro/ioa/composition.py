@@ -1,0 +1,129 @@
+"""Composition and hiding of I/O automata (Section 2).
+
+The composition operation matches output and input actions with the same
+name across component automata: when a component performs a step
+involving an output action, every component that has the action as an
+input takes the same step.  The result of composing an output with inputs
+remains an output (allowing further composition); the :meth:`hide`
+operator re-classifies outputs as internal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ActionNotEnabled, CompositionError
+from repro.ioa.action import Action, ActionKind
+from repro.ioa.automaton import Automaton
+from repro.ioa.trace import Trace
+
+
+class Composition:
+    """A closed system of component automata executing matched steps."""
+
+    def __init__(self, components: Sequence[Automaton], name: str = "system") -> None:
+        names = [c.name for c in components]
+        if len(set(names)) != len(names):
+            raise CompositionError(f"duplicate component names: {names}")
+        self.name = name
+        self.components: List[Automaton] = list(components)
+        self._by_name: Dict[str, Automaton] = {c.name: c for c in components}
+        self._hidden: Set[str] = set()
+        self.trace = Trace()
+        self._validate_signatures()
+
+    def _validate_signatures(self) -> None:
+        # An action name may be an output of several *per-process* automata
+        # (distinguished by their parameters), but the same *bound* action
+        # must have a single controller; we check the cheap static part
+        # here and the dynamic part when executing.
+        for component in self.components:
+            for action_name, kind in component.signature.items():
+                if kind is ActionKind.INTERNAL:
+                    for other in self.components:
+                        if other is component:
+                            continue
+                        if action_name in other.signature:
+                            raise CompositionError(
+                                f"internal action {action_name!r} of {component.name} "
+                                f"also appears in {other.name}"
+                            )
+
+    def component(self, name: str) -> Automaton:
+        return self._by_name[name]
+
+    def hide(self, action_names: Iterable[str]) -> "Composition":
+        """Re-classify the given output actions as internal."""
+        self._hidden.update(action_names)
+        return self
+
+    def kind_of(self, action: Action) -> ActionKind:
+        """The composed system's classification of ``action``."""
+        if action.name in self._hidden:
+            return ActionKind.INTERNAL
+        kinds = {
+            component.signature[action.name]
+            for component in self.components
+            if action.name in component.signature
+        }
+        if ActionKind.OUTPUT in kinds:
+            return ActionKind.OUTPUT
+        if ActionKind.INTERNAL in kinds:
+            return ActionKind.INTERNAL
+        return ActionKind.INPUT
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def controllers(self, action: Action) -> List[Automaton]:
+        """Components for which ``action`` is a locally controlled action."""
+        return [
+            c
+            for c in self.components
+            if c.signature.get(action.name) in (ActionKind.OUTPUT, ActionKind.INTERNAL)
+            and c.is_enabled(action)
+        ]
+
+    def enabled_actions(self) -> List[Tuple[Automaton, Action]]:
+        """All enabled locally controlled actions across components."""
+        enabled = []
+        for component in self.components:
+            for action in component.enabled_actions():
+                enabled.append((component, action))
+        return enabled
+
+    def execute(self, owner: Automaton, action: Action, record: bool = True) -> None:
+        """Perform one composed step: ``owner`` plus all accepting inputs."""
+        owner.apply(action)
+        for component in self.components:
+            if component is owner:
+                continue
+            if component.signature.get(action.name) is ActionKind.INPUT and component.accepts(action):
+                component.apply(action)
+        if record:
+            self.trace.record(action, owner.name, self.kind_of(action))
+
+    def inject(self, action: Action, record: bool = True) -> None:
+        """Feed an environment input action to every accepting component.
+
+        Used when the composition is *open*: the environment (a test, a
+        driver, hypothesis) plays the missing output side.
+        """
+        accepted = False
+        for component in self.components:
+            if component.signature.get(action.name) is ActionKind.INPUT and component.accepts(action):
+                component.apply(action)
+                accepted = True
+        if not accepted:
+            raise ActionNotEnabled(f"no component accepts input {action!r}")
+        if record:
+            self.trace.record(action, "env", ActionKind.INPUT)
+
+    def quiescent(self) -> bool:
+        """True when no locally controlled action is enabled anywhere."""
+        return not self.enabled_actions()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(c.name for c in self.components)
+        return f"<Composition {self.name}: {inner}>"

@@ -1,0 +1,33 @@
+"""Membership service substrate (the paper's external MBRSHP service).
+
+Two implementations of the Figure 2 interface:
+
+* :class:`~repro.membership.server.MembershipServer` - dedicated
+  membership servers in the client-server architecture of [27], with a
+  one-round (common case) inter-server agreement and a topology-driven
+  failure detector;
+* :class:`~repro.membership.oracle.OracleMembership` - a centralized
+  oracle with scripted timing, for controlled experiments.
+"""
+
+from repro.membership.failure_detector import TopologyFailureDetector
+from repro.membership.oracle import OracleMembership
+from repro.membership.protocol import (
+    SERVER_PREFIX,
+    ServerProposal,
+    StartChangeNotice,
+    ViewNotice,
+    server_id,
+)
+from repro.membership.server import MembershipServer
+
+__all__ = [
+    "SERVER_PREFIX",
+    "MembershipServer",
+    "OracleMembership",
+    "ServerProposal",
+    "StartChangeNotice",
+    "TopologyFailureDetector",
+    "ViewNotice",
+    "server_id",
+]

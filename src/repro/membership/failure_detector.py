@@ -1,0 +1,69 @@
+"""Failure detection for membership servers.
+
+The paper's membership liveness is conditional on the failure detector
+and network (Section 3.1); here the detector watches the simulated
+network's topology and, after a configurable detection delay, reports
+each server's reachable-server set.  The delay lets experiments model
+slow failure detection; zero-delay detection gives the idealised runs
+used in the liveness tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from repro.membership.server import MembershipServer
+from repro.types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - avoids the membership<->net cycle
+    from repro.net.network import SimNetwork
+    from repro.net.simclock import EventScheduler
+
+
+class TopologyFailureDetector:
+    """Feeds reachability changes of the server tier to each server."""
+
+    def __init__(
+        self,
+        clock: "EventScheduler",
+        network: "SimNetwork",
+        detection_delay: float = 0.0,
+    ) -> None:
+        self.clock = clock
+        self.network = network
+        self.detection_delay = detection_delay
+        self._servers: Dict[ProcessId, MembershipServer] = {}
+        self._generation = 0
+        network.on_topology_change(self._on_topology_change)
+
+    def attach(self, server: MembershipServer) -> None:
+        self._servers[server.sid] = server
+
+    def server_ids(self) -> List[ProcessId]:
+        return sorted(self._servers)
+
+    def reachable_servers(self, sid: ProcessId) -> frozenset:
+        reachable = self.network.reachable_from(sid)
+        return frozenset(s for s in self._servers if s in reachable)
+
+    def bootstrap(self) -> None:
+        """Deliver the initial reachability report to every server."""
+        for sid, server in self._servers.items():
+            server.activate(self.reachable_servers(sid))
+
+    def _on_topology_change(self) -> None:
+        # Suspicions from superseded topologies must not fire: a newer
+        # change invalidates older pending reports.
+        self._generation += 1
+        generation = self._generation
+
+        def report() -> None:
+            if generation != self._generation:
+                return
+            for sid, server in self._servers.items():
+                server.set_reachable(self.reachable_servers(sid))
+
+        if self.detection_delay <= 0:
+            report()
+        else:
+            self.clock.schedule(self.detection_delay, report)

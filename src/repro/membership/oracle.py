@@ -1,0 +1,149 @@
+"""A centralized membership oracle.
+
+For controlled experiments (and as the degenerate single-server case of
+the client-server architecture), ``OracleMembership`` plays the external
+membership service with *configurable timing*: after a reconfiguration
+trigger it issues ``start_change`` notices ``detection_delay`` later and
+the agreed ``view`` after a further ``round_duration`` - the knob the
+parallelism experiments (E1/E3) sweep to model membership rounds of
+different lengths.
+
+It maintains the Figure 2 discipline per client (fresh increasing cids, a
+start_change before every view, startId read off the latest cids), and it
+cancels a pending view delivery for a client whenever a newer
+start_change supersedes it - which is how the service, like the paper's,
+never delivers views it already knows to be out of date.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro._collections import frozendict
+from repro.types import ProcessId, StartChangeId, View, ViewId
+
+if TYPE_CHECKING:  # pragma: no cover - avoids the membership<->net cycle
+    from repro.net.simclock import EventScheduler, ScheduledEvent
+
+# Client-side hooks: (cid, members) -> None and (view) -> None.
+StartChangeSink = Callable[[StartChangeId, FrozenSet[ProcessId]], None]
+ViewSink = Callable[[View], None]
+
+
+class OracleMembership:
+    """Centralized MBRSHP implementation with scripted timing."""
+
+    def __init__(
+        self,
+        clock: EventScheduler,
+        *,
+        detection_delay: float = 0.0,
+        round_duration: float = 1.0,
+    ) -> None:
+        self.clock = clock
+        self.detection_delay = detection_delay
+        self.round_duration = round_duration
+        self._start_change_sinks: Dict[ProcessId, StartChangeSink] = {}
+        self._view_sinks: Dict[ProcessId, ViewSink] = {}
+        self._cid = itertools.count(start=1)
+        self._counter = itertools.count(start=1)
+        self._last_cid: Dict[ProcessId, StartChangeId] = {}
+        self._crashed: set = set()
+        # Pending scheduled notifications per client, cancellable when a
+        # newer reconfiguration supersedes them.
+        self._pending: Dict[ProcessId, List[ScheduledEvent]] = {}
+        self.views_formed: List[View] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach_client(
+        self,
+        pid: ProcessId,
+        on_start_change: StartChangeSink,
+        on_view: ViewSink,
+    ) -> None:
+        self._start_change_sinks[pid] = on_start_change
+        self._view_sinks[pid] = on_view
+
+    def client_crashed(self, pid: ProcessId) -> None:
+        self._crashed.add(pid)
+
+    def client_recovered(self, pid: ProcessId) -> None:
+        self._crashed.discard(pid)
+
+    # ------------------------------------------------------------------
+    # reconfiguration
+    # ------------------------------------------------------------------
+
+    def _cancel_pending(self, pid: ProcessId) -> None:
+        for event in self._pending.pop(pid, []):
+            event.cancel()
+
+    def reconfigure(
+        self,
+        groups: Iterable[Iterable[ProcessId]],
+        *,
+        extra_changes: int = 0,
+    ) -> List[View]:
+        """Form one view per group; return them (delivery is scheduled).
+
+        ``extra_changes`` inserts additional start_change notifications
+        (membership "changing its mind") before the final one, spaced
+        evenly across the round - used by tests of repeated changes.
+        """
+        views: List[View] = []
+        for group in groups:
+            members = frozenset(group) - self._crashed
+            if not members:
+                continue
+            views.append(self._reconfigure_group(members, extra_changes))
+        return views
+
+    def _reconfigure_group(self, members: FrozenSet[ProcessId], extra_changes: int) -> View:
+        detect = self.detection_delay
+        round_end = detect + self.round_duration
+        spacing = self.round_duration / (extra_changes + 1) if extra_changes else 0.0
+
+        for pid in members:
+            self._cancel_pending(pid)
+
+        final_cids: Dict[ProcessId, StartChangeId] = {}
+        for round_index in range(extra_changes + 1):
+            at = detect + round_index * spacing
+            for pid in sorted(members):
+                cid = next(self._cid)
+                final_cids[pid] = cid
+                self._schedule_start_change(pid, at, cid, members)
+        view = View(ViewId(next(self._counter)), members, frozendict(final_cids))
+        self.views_formed.append(view)
+        for pid in sorted(members):
+            self._schedule_view(pid, round_end, view)
+        return view
+
+    def _schedule_start_change(
+        self, pid: ProcessId, delay: float, cid: StartChangeId, members: FrozenSet[ProcessId]
+    ) -> None:
+        def fire() -> None:
+            if pid in self._crashed:
+                return
+            self._last_cid[pid] = cid
+            sink = self._start_change_sinks.get(pid)
+            if sink is not None:
+                sink(cid, members)
+
+        event = self.clock.schedule(delay, fire)
+        self._pending.setdefault(pid, []).append(event)
+
+    def _schedule_view(self, pid: ProcessId, delay: float, view: View) -> None:
+        def fire() -> None:
+            if pid in self._crashed:
+                return
+            sink = self._view_sinks.get(pid)
+            if sink is not None:
+                sink(view)
+
+        event = self.clock.schedule(delay, fire)
+        self._pending.setdefault(pid, []).append(event)

@@ -1,0 +1,251 @@
+"""A dedicated membership server (the client-server architecture of [27]).
+
+Each server manages a set of *local clients*.  Servers learn about each
+other's clients through proposals, agree on views in (usually) a single
+proposal round, and notify their clients through ``start_change`` and
+``view`` notices - implementing the MBRSHP specification of Figure 2 at
+every client.
+
+Protocol sketch.  Rounds are identified by a monotone *round number*
+shared by adoption (a server that sees a higher round joins it):
+
+1. A trigger fires - the failure detector reports a changed reachable
+   set, or a local client joins/leaves/crashes/recovers - and the server
+   starts round ``r+1``: it picks fresh start_change identifiers for its
+   local clients, announces ``start_change(cid, estimate)`` to each, and
+   sends every reachable server a :class:`ServerProposal` carrying its
+   round, configuration, clients, cids, estimate and view-counter
+   watermark.
+2. A server receiving a proposal with a higher round adopts that round
+   (announcing fresh start_changes and re-proposing).
+3. A view forms from a *complete, consistent* round: proposals from all
+   servers of the configuration, with this round and configuration, all
+   announcing the same estimate, which equals the union of their client
+   sets.  If the round is complete but estimates disagree with the union
+   (stale client registries), the server bumps to the next round with the
+   correct union - everyone else follows, and since by then all registries
+   agree, that next round forms the view.  The common case is one round;
+   the cold-registry case is two.
+
+Formation is deterministic from the proposal set (counter = max watermark
++ 1, origin = least server of the configuration, startId = union of the
+proposals' cid maps), so all servers of a stable configuration deliver
+the *same* view triple - which the GCS algorithm's agreement relies on.
+Per-client spec compliance (Figure 2) is checked in the tests by
+replaying each client's notice stream through ``MbrshpSpec``.
+
+The membership service itself never crashes and never forgets the
+per-client cid and view-counter watermarks, which is what preserves Local
+Monotonicity across client recoveries (Section 8).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro._collections import frozendict
+from repro.membership.protocol import ServerProposal, StartChangeNotice, ViewNotice
+from repro.types import ProcessId, StartChangeId, View, ViewId
+
+SendFn = Callable[[ProcessId, Any], None]
+
+
+class MembershipServer:
+    """One membership server; communicates via an injected ``send``."""
+
+    def __init__(
+        self,
+        sid: ProcessId,
+        send: SendFn,
+        clients: Iterable[ProcessId] = (),
+    ) -> None:
+        self.sid = sid
+        self._send = send
+        self.local_clients: Set[ProcessId] = set(clients)
+        self.reachable: FrozenSet[ProcessId] = frozenset({sid})
+        self.round = 0
+        self.max_counter = 0
+        # Per-client watermarks; never reset (the service keeps its state).
+        self._next_cid: Dict[ProcessId, StartChangeId] = {}
+        self._announced_estimate: Optional[FrozenSet[ProcessId]] = None
+        self._crashed_clients: Set[ProcessId] = set()
+        # Figure 2 mode discipline, per local client.
+        self._mode: Dict[ProcessId, str] = {}
+        # Latest proposal per server (highest round wins).
+        self._proposals: Dict[ProcessId, ServerProposal] = {}
+        self._formed_round = -1
+        self.views_delivered = 0
+        self.rounds_started = 0
+        # Until activated (failure-detector bootstrap), configuration
+        # triggers accumulate silently instead of starting rounds, so
+        # initial client registration costs a single round.
+        self.active = False
+
+    # ------------------------------------------------------------------
+    # triggers
+    # ------------------------------------------------------------------
+
+    def activate(self, servers: Iterable[ProcessId]) -> None:
+        """Bootstrap: first reachability report; starts the first round."""
+        self.active = True
+        self.reachable = frozenset(servers) | {self.sid}
+        self.begin_round(self.round + 1)
+
+    def set_reachable(self, servers: Iterable[ProcessId]) -> None:
+        """Failure-detector input: the servers currently reachable."""
+        if not self.active:
+            self.activate(servers)
+            return
+        reachable = frozenset(servers) | {self.sid}
+        if reachable == self.reachable:
+            return
+        self.reachable = reachable
+        self.begin_round(self.round + 1)
+
+    def _trigger(self) -> None:
+        if self.active:
+            self.begin_round(self.round + 1)
+
+    def add_client(self, client: ProcessId) -> None:
+        if client in self.local_clients:
+            return
+        self.local_clients.add(client)
+        self._trigger()
+
+    def remove_client(self, client: ProcessId) -> None:
+        if client not in self.local_clients:
+            return
+        self.local_clients.discard(client)
+        self._crashed_clients.discard(client)
+        self._trigger()
+
+    def client_crashed(self, client: ProcessId) -> None:
+        if client in self.local_clients and client not in self._crashed_clients:
+            self._crashed_clients.add(client)
+            self._trigger()
+
+    def client_recovered(self, client: ProcessId) -> None:
+        if client in self._crashed_clients:
+            self._crashed_clients.discard(client)
+            self._trigger()
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+
+    def active_clients(self) -> FrozenSet[ProcessId]:
+        return frozenset(self.local_clients - self._crashed_clients)
+
+    def _registry_estimate(self) -> FrozenSet[ProcessId]:
+        """Union of client sets over current-config proposals + own clients."""
+        estimate = set(self.active_clients())
+        for sid, proposal in self._proposals.items():
+            if sid != self.sid and proposal.config == self.reachable:
+                estimate |= proposal.local_clients
+        return frozenset(estimate)
+
+    def begin_round(self, round_no: int, estimate: Optional[FrozenSet[ProcessId]] = None) -> None:
+        """Start (or adopt) membership round ``round_no``."""
+        if round_no <= self.round and self._proposals.get(self.sid) is not None:
+            return
+        self.round = round_no
+        self.rounds_started += 1
+        if estimate is None:
+            estimate = self._registry_estimate()
+        self._announced_estimate = estimate
+        cids: Dict[ProcessId, StartChangeId] = {}
+        for client in sorted(self.active_clients()):
+            if client not in estimate:
+                continue
+            cid = self._next_cid.get(client, 0) + 1
+            self._next_cid[client] = cid
+            cids[client] = cid
+            self._mode[client] = "change_started"
+            self._send(client, StartChangeNotice(client, cid, estimate))
+        proposal = ServerProposal(
+            server=self.sid,
+            attempt=round_no,
+            config=self.reachable,
+            local_clients=self.active_clients(),
+            cids=frozendict(cids),
+            estimate=estimate,
+            max_counter=self.max_counter,
+        )
+        self._proposals[self.sid] = proposal
+        for sid in self.reachable:
+            if sid != self.sid:
+                self._send(sid, proposal)
+        self._maybe_form_view()
+
+    def on_message(self, src: ProcessId, message: Any) -> None:
+        if isinstance(message, ServerProposal):
+            self._on_proposal(message)
+
+    def _on_proposal(self, proposal: ServerProposal) -> None:
+        if proposal.server not in self.reachable:
+            return  # stale sender; our FD will tell us if it comes back
+        current = self._proposals.get(proposal.server)
+        if current is not None and current.attempt >= proposal.attempt:
+            return
+        self._proposals[proposal.server] = proposal
+        if proposal.attempt > self.round and proposal.config == self.reachable:
+            # Adopt the higher round: fresh start_changes, re-propose.
+            self.begin_round(proposal.attempt)
+            return
+        self._maybe_form_view()
+
+    def _round_proposals(self) -> Optional[List[ServerProposal]]:
+        """Proposals from every reachable server for the current round."""
+        proposals = []
+        for sid in self.reachable:
+            proposal = self._proposals.get(sid)
+            if (
+                proposal is None
+                or proposal.config != self.reachable
+                or proposal.attempt != self.round
+            ):
+                return None
+            proposals.append(proposal)
+        return proposals
+
+    def _maybe_form_view(self) -> None:
+        if self.round <= self._formed_round:
+            return
+        proposals = self._round_proposals()
+        if proposals is None:
+            return
+        members = frozenset().union(*(p.local_clients for p in proposals))
+        if not members:
+            return
+        if members != self._announced_estimate:
+            # Our announcement was stale (a peer brought clients we did not
+            # know about, or lost some): bump to the next round with the
+            # correct union.  Peers compute the same union and do the same,
+            # so the next round is consistent and forms the view.
+            self.begin_round(self.round + 1, estimate=members)
+            return
+        if any(p.estimate != members for p in proposals):
+            # A peer announced a stale estimate; it will bump the round
+            # itself (previous branch, at its site) - wait for its revision
+            # rather than delivering a view it could never deliver.
+            return
+        start_ids: Dict[ProcessId, StartChangeId] = {}
+        for proposal in proposals:
+            start_ids.update(dict(proposal.cids))
+        if set(start_ids) != set(members):
+            return  # incomplete cid coverage; a revision is on its way
+        counter = max(p.max_counter for p in proposals) + 1
+        origin = min(self.reachable)
+        view = View(ViewId(counter, origin), members, frozendict(start_ids))
+        self.max_counter = counter
+        self._formed_round = self.round
+        for client in sorted(self.active_clients() & members):
+            self._mode[client] = "normal"
+            self._send(client, ViewNotice(client, view))
+            self.views_delivered += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<MembershipServer {self.sid} clients={sorted(self.local_clients)} "
+            f"reachable={sorted(self.reachable)} round={self.round}>"
+        )

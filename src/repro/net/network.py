@@ -1,0 +1,168 @@
+"""The simulated point-to-point network.
+
+``SimNetwork`` carries messages between registered processes with
+per-link latency and FIFO ordering, and models *partitions*: processes in
+different partition groups cannot exchange messages.  When a partition
+cuts a link, every message still in flight on it is *bounced back* to the
+sending transport at that instant (a failed transmission); the transport
+decides, based on its reliable set, whether to retransmit after the heal
+or to drop (realising CO_RFIFO's ``lose``).  Bouncing at partition time -
+rather than silently checking connectivity at arrival - keeps the
+per-link FIFO/no-gap discipline easy to preserve across flapping links.
+
+The network also keeps per-kind message counters; the benchmark harness
+reads them to reproduce the paper's message-cost claims.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.simclock import EventScheduler, ScheduledEvent
+from repro.types import ProcessId
+
+# receiver callback: (src, message) -> None
+DeliveryHandler = Callable[[ProcessId, Any], None]
+# bounce callback: (dst, message) -> None, invoked on failed transmission
+BounceHandler = Callable[[ProcessId, Any], None]
+
+Link = Tuple[ProcessId, ProcessId]
+
+
+class SimNetwork:
+    """Latency-modelled, partitionable, per-link-FIFO message fabric."""
+
+    def __init__(
+        self,
+        clock: EventScheduler,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.clock = clock
+        self.latency = latency or ConstantLatency(1.0)
+        self._handlers: Dict[ProcessId, DeliveryHandler] = {}
+        self._bounce: Dict[ProcessId, BounceHandler] = {}
+        self._group: Dict[ProcessId, int] = {}
+        self._partition_listeners: List[Callable[[], None]] = []
+        # Messages on the wire, per link, in arrival order.
+        self._in_flight: Dict[Link, Deque[Tuple[ScheduledEvent, Any]]] = {}
+        # Last scheduled arrival per link, to keep per-link FIFO even with
+        # jittered latencies.
+        self._last_arrival: Dict[Link, float] = {}
+        self.sent = Counter()  # message-kind -> count handed to the network
+        self.delivered = Counter()  # message-kind -> count delivered
+        self.bounced = Counter()  # message-kind -> count bounced by partitions
+        # message-kind -> estimated wire volume, for kinds that define
+        # estimated_size() (currently synchronization messages)
+        self.volume = Counter()
+
+    # ------------------------------------------------------------------
+    # registration and topology
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        pid: ProcessId,
+        handler: DeliveryHandler,
+        bounce: Optional[BounceHandler] = None,
+    ) -> None:
+        self._handlers[pid] = handler
+        if bounce is not None:
+            self._bounce[pid] = bounce
+        self._group.setdefault(pid, 0)
+
+    def processes(self) -> List[ProcessId]:
+        return sorted(self._handlers)
+
+    def connected(self, p: ProcessId, q: ProcessId) -> bool:
+        return self._group.get(p, 0) == self._group.get(q, 0)
+
+    def reachable_from(self, p: ProcessId) -> Set[ProcessId]:
+        group = self._group.get(p, 0)
+        return {q for q in self._handlers if self._group.get(q, 0) == group}
+
+    def partition(self, groups: Iterable[Iterable[ProcessId]]) -> None:
+        """Split the network; unmentioned processes join group 0."""
+        assignment: Dict[ProcessId, int] = {}
+        for index, group in enumerate(groups, start=1):
+            for pid in group:
+                assignment[pid] = index
+        for pid in self._handlers:
+            self._group[pid] = assignment.get(pid, 0)
+        self._flush_cut_links()
+        self._notify_topology()
+
+    def heal(self) -> None:
+        """Merge all partitions back into one connected component."""
+        for pid in self._group:
+            self._group[pid] = 0
+        self._notify_topology()
+
+    def on_topology_change(self, listener: Callable[[], None]) -> None:
+        self._partition_listeners.append(listener)
+
+    def _notify_topology(self) -> None:
+        for listener in list(self._partition_listeners):
+            listener()
+
+    def _flush_cut_links(self) -> None:
+        """Bounce everything in flight on links the new topology cuts."""
+        for (src, dst), flight in self._in_flight.items():
+            if self.connected(src, dst):
+                continue
+            bounce = self._bounce.get(src)
+            while flight:
+                event, message = flight.popleft()
+                event.cancel()
+                self.bounced[self.kind_of(message)] += 1
+                if bounce is not None:
+                    bounce(dst, message)
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def kind_of(message: Any) -> str:
+        return type(message).__name__
+
+    def send(self, src: ProcessId, dst: ProcessId, message: Any) -> bool:
+        """Put ``message`` on the wire; False if src and dst are partitioned."""
+        if not self.connected(src, dst):
+            return False
+        kind = self.kind_of(message)
+        self.sent[kind] += 1
+        size = getattr(message, "estimated_size", None)
+        if size is not None:
+            self.volume[kind] += size()
+        link = (src, dst)
+        arrival = self.clock.now + self.latency.sample(src, dst)
+        arrival = max(arrival, self._last_arrival.get(link, 0.0))
+        self._last_arrival[link] = arrival
+        flight = self._in_flight.setdefault(link, deque())
+
+        def deliver() -> None:
+            if flight and flight[0][1] is message:
+                flight.popleft()
+            self.delivered[kind] += 1
+            handler = self._handlers.get(dst)
+            if handler is not None:
+                handler(src, message)
+
+        event = self.clock.schedule_at(arrival, deliver)
+        flight.append((event, message))
+        return True
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        self.sent.clear()
+        self.delivered.clear()
+        self.bounced.clear()
+        self.volume.clear()
+
+    def totals(self) -> Dict[str, int]:
+        return dict(self.sent)

@@ -1,0 +1,100 @@
+"""Deterministic discrete-event clock.
+
+A tiny event-driven scheduler: callbacks are executed in timestamp order
+(FIFO among equal timestamps, by insertion sequence), and the clock jumps
+from event to event.  Everything in :mod:`repro.net` - message
+deliveries, failure-detector timeouts, membership rounds, fault
+injections - runs on one of these, which makes simulated runs exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class ScheduledEvent:
+    """Handle returned by :meth:`EventScheduler.schedule`; cancellable."""
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    def cancel(self) -> None:
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+
+class EventScheduler:
+    """A timestamp-ordered callback queue with a virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[_Entry] = []
+        self._seq = itertools.count()
+        self.executed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Run ``callback`` at ``now + delay`` (delay must be >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        entry = _Entry(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, entry)
+        return ScheduledEvent(entry)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def pending(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def step(self) -> bool:
+        """Execute the next event; return False when the queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            entry.callback()
+            self.executed += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``); return count."""
+        count = 0
+        while (max_events is None or count < max_events) and self.step():
+            count += 1
+        return count
+
+    def run_until(self, time: float) -> int:
+        """Run events with timestamps <= ``time``; advance the clock to it."""
+        count = 0
+        while self._heap:
+            entry = self._heap[0]
+            if entry.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if entry.time > time:
+                break
+            self.step()
+            count += 1
+        self.now = max(self.now, time)
+        return count

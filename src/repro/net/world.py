@@ -1,0 +1,313 @@
+"""The complete simulated deployment (the paper's Figure 1, executable).
+
+``SimWorld`` assembles, on one discrete-event clock:
+
+* a :class:`~repro.net.network.SimNetwork` with a latency model and
+  partition support;
+* one :class:`SimNode` per client process - a GCS end-point automaton
+  driven reactively by an :class:`~repro.core.runner.EndpointRunner`
+  over a :class:`~repro.net.transport.SimTransport`;
+* a membership service: either the centralized
+  :class:`~repro.membership.oracle.OracleMembership` (scripted timing,
+  for controlled experiments) or a tier of
+  :class:`~repro.membership.server.MembershipServer` processes with a
+  topology failure detector (the full client-server architecture).
+
+All externally observable behaviour lands in a single time-stamped
+:class:`~repro.checking.events.GcsTrace`, so the property checkers of
+:mod:`repro.checking` apply to simulated runs unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Type
+
+from repro.checking.events import GcsTrace
+from repro.core.forwarding import ForwardingStrategy
+from repro.core.gcs_endpoint import GcsEndpoint
+from repro.core.messages import WireMessage
+from repro.core.runner import EndpointRunner
+from repro.errors import TransportError
+from repro.membership.failure_detector import TopologyFailureDetector
+from repro.membership.oracle import OracleMembership
+from repro.membership.protocol import StartChangeNotice, ViewNotice, server_id
+from repro.membership.server import MembershipServer
+from repro.net.latency import LatencyModel
+from repro.net.network import SimNetwork
+from repro.net.simclock import EventScheduler
+from repro.types import ProcessId, View
+
+
+class SimNode:
+    """One client process: endpoint + runner + transport, wired up."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        world: "SimWorld",
+        endpoint: GcsEndpoint,
+    ) -> None:
+        self.pid = pid
+        self.world = world
+        self.endpoint = endpoint
+        self.delivered: List[Tuple[ProcessId, Any]] = []
+        self.views: List[Tuple[View, FrozenSet[ProcessId]]] = []
+        # Optional application hooks, invoked after the node's own
+        # bookkeeping; see :meth:`set_app`.
+        self._app_on_deliver: Optional[Callable[[ProcessId, Any], None]] = None
+        self._app_on_view: Optional[Callable[[View, FrozenSet[ProcessId]], None]] = None
+        # Optional overlay interceptors (e.g. the two-tier hierarchy of
+        # repro.net.hierarchy): return True to consume the send/receive.
+        self.wire_interceptor: Optional[Callable[[FrozenSet[ProcessId], Any], bool]] = None
+        self.receive_interceptor: Optional[Callable[[ProcessId, Any], bool]] = None
+        self.transport = world.network and None  # replaced below
+        from repro.net.transport import SimTransport  # local import: no cycle
+
+        self.transport = SimTransport(pid, world.network, self._on_wire_message)
+        self.runner = EndpointRunner(
+            endpoint,
+            send_wire=self._send_wire,
+            set_reliable=self.transport.set_reliable,
+            on_deliver=self._record_delivery,
+            on_view=self._record_view,
+            auto_block_ok=True,
+            clock=lambda: world.clock.now,
+            trace=world.trace,
+        )
+
+    # -- outbound ---------------------------------------------------------
+
+    def _send_wire(self, targets: FrozenSet[ProcessId], message: WireMessage) -> None:
+        if self.wire_interceptor is not None and self.wire_interceptor(targets, message):
+            return
+        self.transport.send(targets, message)
+
+    def send(self, payload: Any) -> None:
+        """Application-level multicast to the current view."""
+        self.runner.app_send(payload)
+
+    # -- inbound ----------------------------------------------------------
+
+    def _on_wire_message(self, src: ProcessId, message: Any) -> None:
+        if self.receive_interceptor is not None and self.receive_interceptor(src, message):
+            return
+        if isinstance(message, StartChangeNotice):
+            self.runner.membership_start_change(message.cid, message.members)
+        elif isinstance(message, ViewNotice):
+            self.runner.membership_view(message.view)
+        else:
+            self.runner.receive(src, message)
+
+    def set_app(
+        self,
+        on_deliver: Optional[Callable[[ProcessId, Any], None]] = None,
+        on_view: Optional[Callable[[View, FrozenSet[ProcessId]], None]] = None,
+    ) -> None:
+        """Attach application callbacks for deliveries and view changes."""
+        self._app_on_deliver = on_deliver
+        self._app_on_view = on_view
+
+    def _record_delivery(self, sender: ProcessId, payload: Any) -> None:
+        self.delivered.append((sender, payload))
+        if self._app_on_deliver is not None:
+            self._app_on_deliver(sender, payload)
+
+    def _record_view(self, view: View, transitional: FrozenSet[ProcessId]) -> None:
+        self.views.append((view, transitional))
+        if self._app_on_view is not None:
+            self._app_on_view(view, transitional)
+
+    # -- fault injection ----------------------------------------------------
+
+    def crash(self) -> None:
+        self.runner.crash()
+        self.transport.crash()
+
+    def recover(self) -> None:
+        self.transport.recover()
+        self.runner.recover()
+
+    @property
+    def current_view(self) -> View:
+        return self.endpoint.current_view
+
+    def __repr__(self) -> str:
+        return f"<SimNode {self.pid} view={self.endpoint.current_view.vid!r}>"
+
+
+class SimWorld:
+    """A simulated cluster of GCS clients plus a membership service."""
+
+    def __init__(
+        self,
+        *,
+        latency: Optional[LatencyModel] = None,
+        membership: str = "oracle",
+        detection_delay: float = 0.0,
+        round_duration: float = 1.0,
+        servers: int = 1,
+        forwarding: Optional[ForwardingStrategy] = None,
+        endpoint_cls: Type[GcsEndpoint] = GcsEndpoint,
+        gc_views: bool = True,
+        strict: bool = False,
+        compact_syncs: bool = False,
+        ack_gc_interval: Optional[int] = None,
+    ) -> None:
+        self.clock = EventScheduler()
+        self.network = SimNetwork(self.clock, latency)
+        self.trace = GcsTrace()
+        self.nodes: Dict[ProcessId, SimNode] = {}
+        self._endpoint_cls = endpoint_cls
+        self._endpoint_kwargs: Dict[str, Any] = {"gc_views": gc_views, "strict": strict}
+        if forwarding is not None:
+            self._endpoint_kwargs["forwarding"] = forwarding
+        if compact_syncs:
+            self._endpoint_kwargs["compact_syncs"] = True
+        if ack_gc_interval is not None:
+            self._endpoint_kwargs["ack_gc_interval"] = ack_gc_interval
+        self.membership_mode = membership
+        self.servers: Dict[ProcessId, MembershipServer] = {}
+        self.oracle: Optional[OracleMembership] = None
+        self.failure_detector: Optional[TopologyFailureDetector] = None
+        if membership == "oracle":
+            self.oracle = OracleMembership(
+                self.clock,
+                detection_delay=detection_delay,
+                round_duration=round_duration,
+            )
+        elif membership == "servers":
+            self.failure_detector = TopologyFailureDetector(
+                self.clock, self.network, detection_delay
+            )
+            for index in range(servers):
+                self._add_server(server_id(str(index)))
+        else:
+            raise ValueError(f"membership must be 'oracle' or 'servers', got {membership!r}")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _add_server(self, sid: ProcessId) -> MembershipServer:
+        server = MembershipServer(sid, send=self._server_send(sid))
+        self.servers[sid] = server
+        self.network.register(sid, lambda src, msg, s=server: s.on_message(src, msg))
+        assert self.failure_detector is not None
+        self.failure_detector.attach(server)
+        return server
+
+    def _server_send(self, sid: ProcessId) -> Callable[[ProcessId, Any], None]:
+        def send(dst: ProcessId, message: Any) -> None:
+            self.network.send(sid, dst, message)
+
+        return send
+
+    def add_node(self, pid: ProcessId, server: Optional[ProcessId] = None) -> SimNode:
+        """Create a client process; in server mode, attach it to ``server``."""
+        if pid in self.nodes:
+            raise ValueError(f"duplicate process {pid!r}")
+        endpoint = self._endpoint_cls(pid, **self._endpoint_kwargs)
+        node = SimNode(pid, self, endpoint)
+        self.nodes[pid] = node
+        if self.oracle is not None:
+            self.oracle.attach_client(
+                pid,
+                on_start_change=node.runner.membership_start_change,
+                on_view=node.runner.membership_view,
+            )
+        else:
+            sids = sorted(self.servers)
+            if not sids:
+                raise TransportError("no membership servers configured")
+            home = server or sids[hash(pid) % len(sids)]
+            self.servers[home].add_client(pid)
+            node.home_server = home  # type: ignore[attr-defined]
+        return node
+
+    def add_nodes(self, pids: Iterable[ProcessId]) -> List[SimNode]:
+        return [self.add_node(pid) for pid in pids]
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Kick off the initial view formation for all registered clients."""
+        if self.oracle is not None:
+            self.oracle.reconfigure([list(self.nodes)])
+        else:
+            assert self.failure_detector is not None
+            self.failure_detector.bootstrap()
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        return self.clock.run(max_events)
+
+    def run_until(self, time: float) -> int:
+        return self.clock.run_until(time)
+
+    def now(self) -> float:
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[ProcessId]], *, reconfigure: bool = True) -> None:
+        """Split client (and, in server mode, server) processes into groups.
+
+        In server mode each listed group should contain the servers meant
+        to serve it; clients of a group are reported to those servers by
+        the failure detector.
+        """
+        groups = [list(group) for group in groups]
+        self.network.partition(groups)
+        if reconfigure and self.oracle is not None:
+            client_groups = [
+                [pid for pid in group if pid in self.nodes] for group in groups
+            ]
+            self.oracle.reconfigure([g for g in client_groups if g])
+
+    def heal(self, *, reconfigure: bool = True) -> None:
+        self.network.heal()
+        if reconfigure and self.oracle is not None:
+            self.oracle.reconfigure([list(self.nodes)])
+
+    def crash(self, pid: ProcessId, *, reconfigure: bool = True) -> None:
+        node = self.nodes[pid]
+        node.crash()
+        if self.oracle is not None:
+            self.oracle.client_crashed(pid)
+            if reconfigure:
+                self.oracle.reconfigure([[p for p in self.nodes if p != pid]])
+        else:
+            home = getattr(node, "home_server")
+            self.servers[home].client_crashed(pid)
+
+    def recover(self, pid: ProcessId, *, reconfigure: bool = True) -> None:
+        node = self.nodes[pid]
+        node.recover()
+        if self.oracle is not None:
+            self.oracle.client_recovered(pid)
+            if reconfigure:
+                self.oracle.reconfigure([list(self.nodes)])
+        else:
+            home = getattr(node, "home_server")
+            self.servers[home].client_recovered(pid)
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def node(self, pid: ProcessId) -> SimNode:
+        return self.nodes[pid]
+
+    def current_views(self) -> Dict[ProcessId, View]:
+        return {pid: node.endpoint.current_view for pid, node in self.nodes.items()}
+
+    def all_in_view(self, view: View) -> bool:
+        return all(
+            self.nodes[pid].endpoint.current_view == view for pid in view.members
+        )
+
+    def message_counts(self) -> Dict[str, int]:
+        return self.network.totals()

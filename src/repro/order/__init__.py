@@ -1,0 +1,24 @@
+"""Stronger ordering layers built on the FIFO service.
+
+The paper deliberately provides FIFO multicast "since FIFO is a basic
+service upon which one can build stronger services", citing the totally
+ordered multicast of [13] as implementable atop WV_RFIFO (Section 4.1.1).
+This package supplies two such layers, as library-grade applications of
+the GCS:
+
+* :class:`~repro.order.total.TotalOrderNode` - total order within each
+  view via a deterministic fixed sequencer (the least view member);
+  virtual synchrony makes the sequencer handover safe.
+* :class:`~repro.order.causal.CausalOrderNode` - causal order within each
+  view via vector clocks; the GCS's per-sender FIFO covers the
+  same-sender component, the vector delays cross-sender deliveries.
+
+Both work against any object with the group-member interface (``pid``,
+``send(payload)``, ``set_app(on_deliver, on_view)``) - e.g. a
+:class:`~repro.net.world.SimNode`.
+"""
+
+from repro.order.causal import CausalOrderNode
+from repro.order.total import TotalOrderNode
+
+__all__ = ["CausalOrderNode", "TotalOrderNode"]

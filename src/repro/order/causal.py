@@ -1,0 +1,106 @@
+"""Causally ordered multicast over the virtually synchronous FIFO service.
+
+Vector-clock protocol, per view: each member tags its k-th data message
+with the vector of messages it had *delivered* from each member before
+sending.  A receiver delays a message until its own delivered-vector
+dominates the tag (excluding the sender's own component, which the GCS's
+per-sender FIFO already sequences).
+
+Virtual synchrony makes the per-view vectors sound: members moving
+together delivered identical message sets in the old view, so starting
+every vector from zero at each view change preserves causality across
+views for the surviving members - any message causally before ``m`` and
+sent in an earlier view was delivered before the view change everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ClientMisuseError
+from repro.types import ProcessId, View, initial_view
+
+CAUSAL = "co-data"
+
+
+class CausalOrderNode:
+    """A group member delivering application payloads in causal order."""
+
+    def __init__(
+        self,
+        member: Any,
+        on_deliver: Optional[Callable[[ProcessId, Any], None]] = None,
+        on_view: Optional[Callable[[View, FrozenSet[ProcessId]], None]] = None,
+    ) -> None:
+        self.member = member
+        self.pid: ProcessId = member.pid
+        self._app_deliver = on_deliver
+        self._app_view = on_view
+        self.view: View = initial_view(self.pid)
+        self._delivered_counts: Dict[ProcessId, int] = {}
+        self._pending: List[Tuple[ProcessId, Dict[ProcessId, int], Any]] = []
+        self._outbox: List[Any] = []
+        self.delivered: List[Tuple[ProcessId, Any]] = []
+        member.set_app(on_deliver=self._gcs_deliver, on_view=self._gcs_view)
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+
+    def broadcast(self, payload: Any) -> None:
+        """Multicast ``payload`` for causally ordered delivery."""
+        tag = dict(self._delivered_counts)
+        try:
+            self.member.send((CAUSAL, tag, payload))
+        except ClientMisuseError:
+            self._outbox.append(payload)
+
+    # ------------------------------------------------------------------
+    # GCS callbacks
+    # ------------------------------------------------------------------
+
+    def _gcs_deliver(self, sender: ProcessId, message: Any) -> None:
+        if message[0] != CAUSAL:
+            return
+        _tag, vector, payload = message
+        self._pending.append((sender, vector, payload))
+        self._drain()
+
+    def _gcs_view(self, view: View, transitional: FrozenSet[ProcessId]) -> None:
+        # Within-view delivery plus Virtual Synchrony means nothing causal
+        # can be pending across the change for co-movers; reset vectors.
+        self.view = view
+        self._delivered_counts = {}
+        self._pending = []
+        if self._app_view is not None:
+            self._app_view(view, transitional)
+        outbox, self._outbox = self._outbox, []
+        for payload in outbox:
+            self.broadcast(payload)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _deliverable(self, sender: ProcessId, vector: Dict[ProcessId, int]) -> bool:
+        for origin, count in vector.items():
+            if origin == sender:
+                continue  # same-sender order is the GCS's FIFO guarantee
+            if self._delivered_counts.get(origin, 0) < count:
+                return False
+        return True
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for entry in list(self._pending):
+                sender, vector, payload = entry
+                if not self._deliverable(sender, vector):
+                    continue
+                self._pending.remove(entry)
+                self._delivered_counts[sender] = self._delivered_counts.get(sender, 0) + 1
+                self.delivered.append((sender, payload))
+                if self._app_deliver is not None:
+                    self._app_deliver(sender, payload)
+                progressed = True

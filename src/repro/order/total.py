@@ -1,0 +1,166 @@
+"""Totally ordered multicast over the virtually synchronous FIFO service.
+
+Fixed-sequencer protocol, per view:
+
+* every member multicasts ``("to-data", k, payload)`` where ``k`` is its
+  k-th data message in the current view;
+* the *sequencer* - deterministically the least member of the view -
+  multicasts ``("to-order", n, msg_id)`` assigning global sequence
+  numbers in the order it delivers the data;
+* everyone delivers payloads strictly in sequence-number order, buffering
+  whichever of the data/order pair arrives first.
+
+A data message is identified by ``(vid, sender, k)`` where ``vid`` is the
+view in which the GCS delivered it - the same at every receiver, because
+the service delivers messages in the view they were sent.
+
+Virtual synchrony is what makes the view change safe: members moving
+together deliver the *same* set of data and order messages in the old
+view, so they agree exactly on which data remain unordered; the new
+sequencer (least member of the new view) assigns those deterministically
+sorted leftovers fresh numbers before any new-view data.  Members of the
+transitional set therefore continue with identical total orders and no
+extra agreement round - precisely the continuation the paper's Section
+4.1.2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import ClientMisuseError
+from repro.types import ProcessId, View, ViewId, initial_view
+
+DATA = "to-data"
+ORDER = "to-order"
+
+# (view id at delivery, sender, per-sender index): globally unique.
+MsgId = Tuple[ViewId, ProcessId, int]
+
+
+class TotalOrderNode:
+    """A group member delivering application payloads in total order."""
+
+    def __init__(
+        self,
+        member: Any,
+        on_deliver: Optional[Callable[[ProcessId, Any], None]] = None,
+        on_view: Optional[Callable[[View, FrozenSet[ProcessId]], None]] = None,
+    ) -> None:
+        self.member = member
+        self.pid: ProcessId = member.pid
+        self._app_deliver = on_deliver
+        self._app_view = on_view
+        self.view: View = initial_view(self.pid)
+        self.sequencer: ProcessId = self.pid
+        # sending side
+        self._next_local_index = 1
+        # receiving side
+        self._data: Dict[MsgId, Any] = {}
+        self._order: Dict[int, MsgId] = {}
+        self._delivered_ids: Set[MsgId] = set()
+        self._next_seq_to_deliver = 1
+        # sequencer side
+        self._next_seq_to_assign = 1
+        self._sequenced: Set[MsgId] = set()
+        # payloads the application offered while the GCS had us blocked;
+        # re-sent (with fresh indices) once the new view unblocks us.
+        self._outbox: List[Any] = []
+        self.delivered: List[Tuple[ProcessId, Any]] = []
+        member.set_app(on_deliver=self._gcs_deliver, on_view=self._gcs_view)
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+
+    def broadcast(self, payload: Any) -> None:
+        """Multicast ``payload`` for totally ordered delivery.
+
+        If a view change has the GCS blocked, the payload is parked and
+        re-sent as soon as the new view unblocks the application.
+        """
+        try:
+            self.member.send((DATA, self._next_local_index, payload))
+        except ClientMisuseError:
+            self._outbox.append(payload)
+            return
+        self._next_local_index += 1
+
+    def total_order(self) -> List[Tuple[ProcessId, Any]]:
+        """The totally ordered (sender, payload) deliveries so far."""
+        return list(self.delivered)
+
+    # ------------------------------------------------------------------
+    # GCS callbacks
+    # ------------------------------------------------------------------
+
+    def _gcs_deliver(self, sender: ProcessId, message: Any) -> None:
+        kind = message[0]
+        if kind == DATA:
+            _tag, index, payload = message
+            msg_id: MsgId = (self.view.vid, sender, index)
+            self._data[msg_id] = payload
+            if self.pid == self.sequencer:
+                self._assign(msg_id)
+            self._drain()
+        elif kind == ORDER:
+            _tag, seq, msg_id = message
+            self._order[seq] = msg_id
+            self._drain()
+
+    def _gcs_view(self, view: View, transitional: FrozenSet[ProcessId]) -> None:
+        # Everyone moving together processed identical data/order sets in
+        # the old view (Virtual Synchrony), so this handover computes the
+        # same leftovers - data delivered but never ordered - everywhere.
+        leftovers = sorted(m for m in self._data if m not in self._delivered_ids)
+        self.view = view
+        self.sequencer = min(view.members)
+        self._next_local_index = 1
+        self._order = {}
+        self._next_seq_to_deliver = 1
+        self._next_seq_to_assign = 1
+        self._sequenced = set()
+        self._data = {m: self._data[m] for m in leftovers}
+        if self._app_view is not None:
+            self._app_view(view, transitional)
+        if self.pid == self.sequencer:
+            for msg_id in leftovers:
+                self._assign(msg_id)
+        self._drain()
+        outbox, self._outbox = self._outbox, []
+        for payload in outbox:
+            self.broadcast(payload)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _assign(self, msg_id: MsgId) -> None:
+        if msg_id in self._sequenced or msg_id in self._delivered_ids:
+            return
+        try:
+            self.member.send((ORDER, self._next_seq_to_assign, msg_id))
+        except ClientMisuseError:
+            # Blocked mid-change: the data stays unordered and becomes a
+            # leftover that the (possibly new) sequencer reassigns after
+            # the view - dropping here is safe, not lossy.
+            return
+        self._sequenced.add(msg_id)
+        self._next_seq_to_assign += 1
+
+    def _drain(self) -> None:
+        while self._next_seq_to_deliver in self._order:
+            msg_id = self._order[self._next_seq_to_deliver]
+            if msg_id in self._delivered_ids:
+                # stale assignment (e.g. a recovered ex-sequencer re-offered
+                # an id we already delivered): skip the slot
+                self._next_seq_to_deliver += 1
+                continue
+            if msg_id not in self._data:
+                return  # order arrived before the data; wait for it
+            payload = self._data.pop(msg_id)
+            self._delivered_ids.add(msg_id)
+            self._next_seq_to_deliver += 1
+            self.delivered.append((msg_id[1], payload))
+            if self._app_deliver is not None:
+                self._app_deliver(msg_id[1], payload)

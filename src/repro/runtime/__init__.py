@@ -1,0 +1,28 @@
+"""asyncio runtime: the deployable face of the library (cf. the paper's
+C++ implementation).
+
+* :class:`AsyncGcsNode` - one group member with an async send/receive API;
+* :class:`AsyncCluster` - in-process cluster with managed membership;
+* :class:`AsyncHub` - lossless in-process transport;
+* :class:`TcpTransport` - a length-prefixed TCP transport for
+  cross-process deployments among trusted peers.
+"""
+
+from repro.runtime.cluster import AsyncCluster
+from repro.runtime.node import AsyncGcsNode, Delivery, ViewChange
+from repro.runtime.tcp import TcpTransport, encode_frame, read_frame
+from repro.runtime.tcp_cluster import TcpCluster, TcpGcsNode
+from repro.runtime.transport import AsyncHub
+
+__all__ = [
+    "AsyncCluster",
+    "AsyncGcsNode",
+    "AsyncHub",
+    "Delivery",
+    "TcpCluster",
+    "TcpGcsNode",
+    "TcpTransport",
+    "ViewChange",
+    "encode_frame",
+    "read_frame",
+]

@@ -1,0 +1,124 @@
+"""Convenience cluster for asyncio deployments.
+
+``AsyncCluster`` bundles an :class:`~repro.runtime.transport.AsyncHub`,
+an in-process membership coordinator (the Figure 2 discipline with fresh
+identifiers and startId maps), and node management - everything the
+examples and quickstart need to demonstrate the service end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional
+
+from repro._collections import frozendict
+from repro.checking.events import GcsTrace
+from repro.core.forwarding import ForwardingStrategy
+from repro.runtime.node import AsyncGcsNode
+from repro.runtime.transport import AsyncHub
+from repro.types import ProcessId, View, ViewId
+
+
+class AsyncCluster:
+    """An in-process group of GCS nodes with managed membership."""
+
+    def __init__(
+        self,
+        *,
+        delay: float = 0.0,
+        forwarding: Optional[ForwardingStrategy] = None,
+        record_trace: bool = False,
+    ) -> None:
+        self.hub = AsyncHub(delay=delay)
+        self.nodes: Dict[ProcessId, AsyncGcsNode] = {}
+        self.trace: Optional[GcsTrace] = GcsTrace() if record_trace else None
+        self._forwarding = forwarding
+        self._cid = itertools.count(start=1)
+        self._counter = itertools.count(start=1)
+        self.views_formed: List[View] = []
+
+    # ------------------------------------------------------------------
+    # topology management
+    # ------------------------------------------------------------------
+
+    def add_node(self, pid: ProcessId) -> AsyncGcsNode:
+        node = AsyncGcsNode(
+            pid, self.hub, forwarding=self._forwarding, trace=self.trace
+        )
+        self.nodes[pid] = node
+        return node
+
+    def add_nodes(self, pids: Iterable[ProcessId]) -> List[AsyncGcsNode]:
+        return [self.add_node(pid) for pid in pids]
+
+    async def start(self) -> View:
+        """Form the initial view containing every registered node."""
+        return await self.reconfigure(list(self.nodes))
+
+    async def reconfigure(self, members: Iterable[ProcessId]) -> View:
+        """Run a membership change for ``members`` and wait for delivery.
+
+        Issues start_changes, then the view (with the startId map read off
+        the fresh identifiers), then waits until every member's end-point
+        has installed it.
+        """
+        member_set = frozenset(members)
+        cids = {pid: next(self._cid) for pid in sorted(member_set)}
+        for pid, cid in cids.items():
+            self.nodes[pid].membership_start_change(cid, member_set)
+        await asyncio.sleep(0)
+        view = View(ViewId(next(self._counter)), member_set, frozendict(cids))
+        self.views_formed.append(view)
+        for pid in sorted(member_set):
+            self.nodes[pid].membership_view(view)
+        await self.await_view(view)
+        return view
+
+    async def await_view(self, view: View, timeout: float = 10.0) -> None:
+        """Wait until every member of ``view`` has installed it."""
+
+        async def settled() -> None:
+            while not all(
+                self.nodes[pid].current_view == view for pid in view.members
+            ):
+                await asyncio.sleep(0.002)
+
+        await asyncio.wait_for(settled(), timeout)
+
+    async def quiesce(self) -> None:
+        await self.hub.quiesce()
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    async def partition(self, groups: Iterable[Iterable[ProcessId]]) -> List[View]:
+        """Split the hub and reconfigure one view per group."""
+        groups = [list(group) for group in groups]
+        self.hub.partition(groups)
+        views = []
+        for group in groups:
+            views.append(await self.reconfigure(group))
+        return views
+
+    async def heal(self) -> View:
+        """Reconnect everyone and reconfigure the full membership."""
+        self.hub.heal()
+        return await self.reconfigure(list(self.nodes))
+
+    async def close(self) -> None:
+        await self.hub.close()
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def node(self, pid: ProcessId) -> AsyncGcsNode:
+        return self.nodes[pid]
+
+    async def __aenter__(self) -> "AsyncCluster":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()

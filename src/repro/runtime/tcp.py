@@ -1,0 +1,154 @@
+"""Length-prefixed TCP transport for cross-process deployments.
+
+``TcpTransport`` gives a GCS node a real network face: it listens on a
+local endpoint, opens connections to peers lazily, and frames pickled
+wire messages with a 4-byte big-endian length prefix.  TCP supplies the
+FIFO, gap-free delivery CO_RFIFO requires per connection; a broken
+connection corresponds to CO_RFIFO losing a suffix, after which the
+membership service is expected to reconfigure - the same assumption the
+paper makes of its datagram substrate [36].
+
+Security note: frames are deserialised with :mod:`pickle`, so this
+transport must only be used among mutually trusted processes (it is meant
+for the examples and tests of this reproduction, not a hostile WAN).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.types import ProcessId
+
+Handler = Callable[[ProcessId, Any], None]
+
+_LENGTH = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def encode_frame(pid: ProcessId, message: Any) -> bytes:
+    body = pickle.dumps((pid, message), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > _MAX_FRAME:
+        raise TransportError(f"frame of {len(body)} bytes exceeds limit")
+    return _LENGTH.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[ProcessId, Any]:
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > _MAX_FRAME:
+        raise TransportError(f"frame of {length} bytes exceeds limit")
+    body = await reader.readexactly(length)
+    return pickle.loads(body)
+
+
+class TcpTransport:
+    """One process's TCP endpoint: listener plus lazy outbound connections."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        handler: Handler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.pid = pid
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.peers: Dict[ProcessId, Tuple[str, int]] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Dict[ProcessId, asyncio.StreamWriter] = {}
+        self._reader_tasks: list = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._accept, host=self.host, port=self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    def set_peers(self, peers: Dict[ProcessId, Tuple[str, int]]) -> None:
+        """Address book: where each peer process listens."""
+        self.peers = dict(peers)
+
+    async def close(self) -> None:
+        self._closed = True
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        for task in self._reader_tasks:
+            task.cancel()
+        await asyncio.gather(*self._reader_tasks, return_exceptions=True)
+        self._reader_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    async def send(self, targets: Iterable[ProcessId], message: Any) -> None:
+        frame = None
+        for dst in targets:
+            if dst == self.pid:
+                continue
+            writer = await self._writer_to(dst)
+            if writer is None:
+                continue  # unreachable: a suffix is lost, as CO_RFIFO allows
+            if frame is None:
+                frame = encode_frame(self.pid, message)
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                self._drop_writer(dst)
+
+    async def _writer_to(self, dst: ProcessId) -> Optional[asyncio.StreamWriter]:
+        writer = self._writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            return writer
+        address = self.peers.get(dst)
+        if address is None:
+            return None
+        try:
+            reader, writer = await asyncio.open_connection(*address)
+        except (ConnectionError, OSError):
+            return None
+        self._writers[dst] = writer
+        return writer
+
+    def _drop_writer(self, dst: ProcessId) -> None:
+        writer = self._writers.pop(dst, None)
+        if writer is not None:
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.append(task)
+        try:
+            while not self._closed:
+                src, message = await read_frame(reader)
+                self.handler(src, message)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # peer went away: CO_RFIFO may lose the suffix
+        except asyncio.CancelledError:
+            pass  # shutdown cancels pending reads; nothing to report
+        finally:
+            writer.close()

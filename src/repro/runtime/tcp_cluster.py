@@ -1,0 +1,142 @@
+"""A GCS cluster over real TCP sockets.
+
+``TcpCluster`` runs each member's end-point behind a
+:class:`~repro.runtime.tcp.TcpTransport`: every wire message crosses a
+real loopback (or LAN) socket, giving the closest analogue to the
+paper's C++ deployment this repository offers.  Membership is
+coordinated in-process (the cluster object plays the Figure 2 service);
+in a multi-host deployment the same node wiring would take its notices
+from `repro.membership` servers instead.
+
+TCP supplies CO_RFIFO's per-connection gap-free FIFO; a broken
+connection is a lost suffix, after which the membership must
+reconfigure - the assumption the paper makes of its substrate [36].
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro._collections import frozendict
+from repro.checking.events import GcsTrace
+from repro.core.gcs_endpoint import GcsEndpoint
+from repro.core.runner import EndpointRunner
+from repro.runtime.node import Delivery, ViewChange
+from repro.runtime.tcp import TcpTransport
+from repro.types import ProcessId, View, ViewId
+
+
+class TcpGcsNode:
+    """One member: end-point + runner + TCP transport + outbox pump."""
+
+    def __init__(self, pid: ProcessId, cluster: "TcpCluster") -> None:
+        self.pid = pid
+        self.cluster = cluster
+        self.endpoint = GcsEndpoint(pid, gc_views=True)
+        self.events: asyncio.Queue = asyncio.Queue()
+        # wire sends are produced synchronously by the runner but must be
+        # awaited on sockets: an outbox task serialises them in order.
+        self._outbox: asyncio.Queue = asyncio.Queue()
+        self.transport = TcpTransport(pid, self._on_wire)
+        self.runner = EndpointRunner(
+            self.endpoint,
+            send_wire=lambda targets, m: self._outbox.put_nowait((targets, m)),
+            set_reliable=lambda targets: None,  # TCP reconnects on demand
+            on_deliver=lambda sender, payload: self.events.put_nowait(
+                Delivery(sender, payload)
+            ),
+            on_view=lambda view, T: self.events.put_nowait(ViewChange(view, T)),
+            auto_block_ok=True,
+            trace=cluster.trace,
+        )
+        self._pump_task: Optional[asyncio.Task] = None
+
+    async def start(self) -> Tuple[str, int]:
+        address = await self.transport.start()
+        self._pump_task = asyncio.get_event_loop().create_task(self._pump())
+        return address
+
+    async def stop(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            await asyncio.gather(self._pump_task, return_exceptions=True)
+        await self.transport.close()
+
+    async def _pump(self) -> None:
+        while True:
+            targets, message = await self._outbox.get()
+            await self.transport.send(targets, message)
+
+    def _on_wire(self, src: ProcessId, message: Any) -> None:
+        self.runner.receive(src, message)
+
+    async def send(self, payload: Any) -> None:
+        while self.runner.blocked:
+            await asyncio.sleep(0.002)
+        self.runner.app_send(payload)
+        await asyncio.sleep(0)
+
+    async def next_event(self, timeout: float = 5.0) -> Any:
+        return await asyncio.wait_for(self.events.get(), timeout)
+
+    @property
+    def current_view(self) -> View:
+        return self.endpoint.current_view
+
+
+class TcpCluster:
+    """Spin up members on loopback sockets and manage their membership."""
+
+    def __init__(self, *, record_trace: bool = False) -> None:
+        self.nodes: Dict[ProcessId, TcpGcsNode] = {}
+        self.trace: Optional[GcsTrace] = GcsTrace() if record_trace else None
+        self._cid = itertools.count(start=1)
+        self._counter = itertools.count(start=1)
+
+    async def add_nodes(self, pids: Iterable[ProcessId]) -> List[TcpGcsNode]:
+        created = []
+        for pid in pids:
+            node = TcpGcsNode(pid, self)
+            self.nodes[pid] = node
+            created.append(node)
+        addresses = {}
+        for node in created:
+            addresses[node.pid] = await node.start()
+        book = {pid: addr for pid, addr in addresses.items()}
+        for node in self.nodes.values():
+            node.transport.set_peers(book)
+        return created
+
+    async def reconfigure(self, members: Iterable[ProcessId], timeout: float = 10.0) -> View:
+        member_set = frozenset(members)
+        cids = {pid: next(self._cid) for pid in sorted(member_set)}
+        for pid, cid in cids.items():
+            self.nodes[pid].runner.membership_start_change(cid, member_set)
+        await asyncio.sleep(0)
+        view = View(ViewId(next(self._counter)), member_set, frozendict(cids))
+        for pid in sorted(member_set):
+            self.nodes[pid].runner.membership_view(view)
+
+        async def settled() -> None:
+            while not all(
+                self.nodes[pid].current_view == view for pid in member_set
+            ):
+                await asyncio.sleep(0.005)
+
+        await asyncio.wait_for(settled(), timeout)
+        return view
+
+    async def start(self) -> View:
+        return await self.reconfigure(list(self.nodes))
+
+    async def close(self) -> None:
+        for node in self.nodes.values():
+            await node.stop()
+
+    async def __aenter__(self) -> "TcpCluster":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()

@@ -1,0 +1,90 @@
+"""In-process asyncio transport hub.
+
+``AsyncHub`` is the asyncio analogue of the simulated network: a
+per-ordered-pair FIFO fabric with optional artificial delay, delivering
+to per-process inbox queues.  In-process delivery is lossless, so the
+CO_RFIFO contract (Figure 3) holds trivially; partitions can still be
+injected for tests (messages across a cut are dropped, which the
+reliable-set semantics permit only for non-reliable peers - the paper's
+algorithm re-establishes reliability through the membership service, so
+tests pair partitions with reconfigurations, as a real WAN deployment
+would).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.types import ProcessId
+
+Handler = Callable[[ProcessId, Any], None]
+
+
+class AsyncHub:
+    """Routes messages between in-process asyncio nodes."""
+
+    def __init__(self, *, delay: float = 0.0) -> None:
+        self.delay = delay
+        self._handlers: Dict[ProcessId, Handler] = {}
+        self._queues: Dict[ProcessId, asyncio.Queue] = {}
+        self._pumps: Dict[ProcessId, asyncio.Task] = {}
+        self._groups: Dict[ProcessId, int] = {}
+        self._closed = False
+
+    def register(self, pid: ProcessId, handler: Handler) -> None:
+        if pid in self._handlers:
+            raise ValueError(f"duplicate process {pid!r}")
+        self._handlers[pid] = handler
+        self._queues[pid] = asyncio.Queue()
+        self._groups[pid] = 0
+        self._pumps[pid] = asyncio.get_event_loop().create_task(self._pump(pid))
+
+    def connected(self, p: ProcessId, q: ProcessId) -> bool:
+        return self._groups.get(p, 0) == self._groups.get(q, 0)
+
+    def partition(self, groups: Iterable[Iterable[ProcessId]]) -> None:
+        assignment: Dict[ProcessId, int] = {}
+        for index, group in enumerate(groups, start=1):
+            for pid in group:
+                assignment[pid] = index
+        for pid in self._handlers:
+            self._groups[pid] = assignment.get(pid, 0)
+
+    def heal(self) -> None:
+        for pid in self._groups:
+            self._groups[pid] = 0
+
+    def send(self, src: ProcessId, targets: Iterable[ProcessId], message: Any) -> None:
+        for dst in targets:
+            if dst == src or dst not in self._queues:
+                continue
+            if not self.connected(src, dst):
+                continue
+            self._queues[dst].put_nowait((src, message))
+
+    async def _pump(self, pid: ProcessId) -> None:
+        queue = self._queues[pid]
+        handler = self._handlers[pid]
+        while not self._closed:
+            src, message = await queue.get()
+            if self.delay:
+                await asyncio.sleep(self.delay)
+            handler(src, message)
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in self._pumps.values():
+            task.cancel()
+        await asyncio.gather(*self._pumps.values(), return_exceptions=True)
+        self._pumps.clear()
+
+    async def quiesce(self, settle: float = 0.01, rounds: int = 200) -> None:
+        """Wait until all inboxes drain and stay empty briefly."""
+        for _ in range(rounds):
+            if all(queue.empty() for queue in self._queues.values()):
+                await asyncio.sleep(settle)
+                if all(queue.empty() for queue in self._queues.values()):
+                    return
+            else:
+                await asyncio.sleep(settle)

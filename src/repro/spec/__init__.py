@@ -1,0 +1,41 @@
+"""Abstract specification automata (paper Sections 3 and 4).
+
+* :mod:`repro.spec.mbrshp` - the external membership service (Figure 2).
+* :mod:`repro.spec.co_rfifo` - connection-oriented reliable FIFO
+  multicast (Figure 3).
+* :mod:`repro.spec.wv_rfifo` - within-view reliable FIFO multicast
+  (Figure 4).
+* :mod:`repro.spec.vs_rfifo` - virtual synchrony, a child of WV_RFIFO
+  (Figure 5).
+* :mod:`repro.spec.trans_set` - transitional sets (Figure 6).
+* :mod:`repro.spec.self_delivery` - self delivery, a child of WV_RFIFO
+  (Figure 7).
+* :mod:`repro.spec.client` - the blocking client assumption (Figure 12).
+
+These automata are executable: used forward they generate legal
+behaviours (environments for the algorithm under test); used as acceptors
+they check that a trace is legal (the safety checkers of
+:mod:`repro.checking` replay traces through them).
+"""
+
+from repro.spec.client import BlockStatus, ClientSpec, ScriptedClient
+from repro.spec.co_rfifo import CoRfifoSpec
+from repro.spec.mbrshp import MbrshpSpec, MembershipDriver
+from repro.spec.self_delivery import SelfDeliverySpec
+from repro.spec.trans_set import TransSetSpec
+from repro.spec.vs_rfifo import FullSafetySpec, VsRfifoSpec
+from repro.spec.wv_rfifo import WvRfifoSpec
+
+__all__ = [
+    "BlockStatus",
+    "ClientSpec",
+    "CoRfifoSpec",
+    "FullSafetySpec",
+    "MbrshpSpec",
+    "MembershipDriver",
+    "ScriptedClient",
+    "SelfDeliverySpec",
+    "TransSetSpec",
+    "VsRfifoSpec",
+    "WvRfifoSpec",
+]

@@ -1,0 +1,123 @@
+"""The blocking-client assumption, Figure 12.
+
+``ClientSpec`` is the abstract specification of an application client at
+one end-point: it eventually answers every ``block`` request with
+``block_ok`` and refrains from sending until the next view.  The safety
+proof of Self Delivery (Section 6.4) and the liveness proof (Section 7)
+are both conditional on clients behaving this way.
+
+``ScriptedClient`` is a concrete client usable in closed-system tests: it
+sends payloads from a script while unblocked and acknowledges block
+requests, which is exactly the fair behaviour the liveness property
+assumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Deque, Iterable, List, Optional, Tuple
+
+from collections import deque
+
+from repro.ioa import Action, ActionKind, Automaton
+from repro.types import ProcessId, View
+
+
+class BlockStatus(enum.Enum):
+    UNBLOCKED = "unblocked"
+    REQUESTED = "requested"
+    BLOCKED = "blocked"
+
+
+class ClientSpec(Automaton):
+    """CLIENT_p : SPEC (Figure 12)."""
+
+    SIGNATURE = {
+        "deliver": ActionKind.INPUT,  # (p, q, m)
+        "view": ActionKind.INPUT,  # (p, v, T)
+        "block": ActionKind.INPUT,  # (p,)
+        "send": ActionKind.OUTPUT,  # (p, m)
+        "block_ok": ActionKind.OUTPUT,  # (p,)
+    }
+
+    def __init__(self, pid: ProcessId, name: Optional[str] = None, **kwargs: Any) -> None:
+        self.pid = pid
+        super().__init__(name or f"client:{pid}", **kwargs)
+
+    def _state(self) -> None:
+        self.block_status = BlockStatus.UNBLOCKED
+
+    def accepts(self, action: Action) -> bool:
+        return super().accepts(action) and action.params and action.params[0] == self.pid
+
+    # -- block_p() ----------------------------------------------------------
+
+    def _eff_block(self, p: ProcessId) -> None:
+        self.block_status = BlockStatus.REQUESTED
+
+    # -- block_ok_p() --------------------------------------------------------
+
+    def _pre_block_ok(self, p: ProcessId) -> bool:
+        return self.block_status is BlockStatus.REQUESTED
+
+    def _eff_block_ok(self, p: ProcessId) -> None:
+        self.block_status = BlockStatus.BLOCKED
+
+    def _candidates_block_ok(self) -> Iterable[Tuple[ProcessId]]:
+        if self.block_status is BlockStatus.REQUESTED:
+            yield (self.pid,)
+
+    # -- send_p(m) -------------------------------------------------------------
+
+    def _pre_send(self, p: ProcessId, m: Any) -> bool:
+        return self.block_status is not BlockStatus.BLOCKED
+
+    def _eff_send(self, p: ProcessId, m: Any) -> None:
+        pass
+
+    # -- deliver_p(q, m) / view_p(v, T) -------------------------------------------
+
+    def _eff_deliver(self, p: ProcessId, q: ProcessId, m: Any) -> None:
+        pass
+
+    def _eff_view(self, p: ProcessId, v: View, T: Any = None) -> None:
+        self.block_status = BlockStatus.UNBLOCKED
+
+
+class ScriptedClient(ClientSpec):
+    """A client that sends a scripted sequence of payloads when allowed.
+
+    The script is consumed in order; one payload is offered per scheduler
+    visit, so an adversarial scheduler may interleave sends with the view
+    change arbitrarily - but never while blocked, per the parent's
+    precondition.
+    """
+
+    def __init__(self, pid: ProcessId, script: Iterable[Any] = (), **kwargs: Any) -> None:
+        self._initial_script = list(script)
+        super().__init__(pid, **kwargs)
+
+    def _state(self) -> None:
+        self.script: Deque[Any] = deque(self._initial_script)
+        self.sent: List[Any] = []
+        self.delivered: List[Tuple[ProcessId, Any]] = []
+        self.views: List[Tuple[View, Any]] = []
+
+    def queue(self, *payloads: Any) -> None:
+        """Append payloads for future sending."""
+        self.script.extend(payloads)
+
+    def _candidates_send(self) -> Iterable[Tuple[ProcessId, Any]]:
+        if self.script and self.block_status is not BlockStatus.BLOCKED:
+            yield (self.pid, self.script[0])
+
+    def _eff_send(self, p: ProcessId, m: Any) -> None:
+        if self.script and self.script[0] == m:
+            self.script.popleft()
+        self.sent.append(m)
+
+    def _eff_deliver(self, p: ProcessId, q: ProcessId, m: Any) -> None:
+        self.delivered.append((q, m))
+
+    def _eff_view(self, p: ProcessId, v: View, T: Any = None) -> None:
+        self.views.append((v, T))

@@ -1,0 +1,28 @@
+"""Self Delivery specification, Figure 7.
+
+SELF : SPEC is a child of WV_RFIFO : SPEC adding one precondition to
+``view``: an end-point may not deliver a new view before it has delivered
+to its own application every message that application sent in the current
+view.  Stated as a *safety* property; combined with liveness Property 4.2
+it implies the usual "processes eventually deliver their own messages".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ioa import ActionKind
+from repro.spec.wv_rfifo import WvRfifoSpec
+from repro.types import ProcessId, View
+
+
+class SelfDeliverySpec(WvRfifoSpec):
+    """SELF : SPEC MODIFIES WV_RFIFO : SPEC (Figure 7)."""
+
+    SIGNATURE = {
+        "view": ActionKind.OUTPUT,  # modifies wv_rfifo.view (same params)
+    }
+
+    def _pre_view(self, p: ProcessId, v: View, T: Any = None) -> bool:
+        sent = self.msgs[p].get(self.current_view[p], [])
+        return self.last_dlvrd[(p, p)] == len(sent)

@@ -1,0 +1,60 @@
+"""Transitional set specification, Figure 6.
+
+TRANS_SET : SPEC delivers with each view ``v'`` a transitional set ``T``
+satisfying Property 4.1: a subset of ``v.set & v'.set`` containing
+exactly those processes that move to ``v'`` *directly from* ``v``.  A
+process "declares" the view it will move from via the internal action
+``set_prev_view``; a view may only be delivered to ``p`` once every
+member of the intersection has declared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.ioa import ActionKind, Automaton
+from repro.types import ProcessId, View, initial_view
+
+
+class TransSetSpec(Automaton):
+    """TRANS_SET : SPEC (Figure 6), a stand-alone automaton."""
+
+    SIGNATURE = {
+        "view": ActionKind.OUTPUT,  # (p, v, T)
+        "set_prev_view": ActionKind.INTERNAL,  # (p, v)
+    }
+
+    def __init__(self, processes: Iterable[ProcessId], name: str = "trans_set_spec", **kwargs: Any) -> None:
+        self.processes: Tuple[ProcessId, ...] = tuple(sorted(set(processes)))
+        super().__init__(name, **kwargs)
+
+    def _state(self) -> None:
+        self.current_view: Dict[ProcessId, View] = {p: initial_view(p) for p in self.processes}
+        # prev_view[(p, v)]: the view p declared it will move to v from.
+        self.prev_view: Dict[Tuple[ProcessId, View], View] = {}
+
+    # -- set_prev_view_p(v) ---------------------------------------------------
+
+    def _pre_set_prev_view(self, p: ProcessId, v: View) -> bool:
+        return p in v.members and (p, v) not in self.prev_view
+
+    def _eff_set_prev_view(self, p: ProcessId, v: View) -> None:
+        self.prev_view[(p, v)] = self.current_view[p]
+
+    # -- view_p(v, T) -------------------------------------------------------------
+
+    def expected_transitional_set(self, p: ProcessId, v: View) -> Optional[FrozenSet[ProcessId]]:
+        """The unique T enabled for ``view_p(v, T)``, or None if none is."""
+        current = self.current_view[p]
+        intersection = v.members & current.members
+        if self.prev_view.get((p, v)) != current:
+            return None
+        if any((q, v) not in self.prev_view for q in intersection):
+            return None
+        return frozenset(q for q in intersection if self.prev_view[(q, v)] == current)
+
+    def _pre_view(self, p: ProcessId, v: View, T: FrozenSet[ProcessId]) -> bool:
+        return self.expected_transitional_set(p, v) == frozenset(T)
+
+    def _eff_view(self, p: ProcessId, v: View, T: FrozenSet[ProcessId]) -> None:
+        self.current_view[p] = v

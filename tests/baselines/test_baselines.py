@@ -1,0 +1,95 @@
+"""Baseline algorithms: same safety semantics, slower reconfiguration."""
+
+import pytest
+
+from repro.baselines import SequentialVsEndpoint, TwoRoundVsEndpoint
+from repro.checking import check_all_safety, check_liveness
+from repro.checking.events import MbrshpViewEvent, ViewEvent
+from repro.core import GcsEndpoint
+from repro.net import ConstantLatency, SimWorld
+
+
+def run_world(endpoint_cls, n=4, round_duration=3.0):
+    world = SimWorld(
+        latency=ConstantLatency(1.0),
+        membership="oracle",
+        round_duration=round_duration,
+        endpoint_cls=endpoint_cls,
+        gc_views=False,
+    )
+    nodes = world.add_nodes([f"p{i}" for i in range(n)])
+    world.start()
+    world.run()
+    return world, nodes
+
+
+def reconfigure_and_measure(world, nodes):
+    for node in nodes:
+        node.send(f"pre-{node.pid}")
+    world.run()
+    t0 = world.now()
+    world.crash(nodes[-1].pid)
+    world.run()
+    view = world.oracle.views_formed[-1]
+    mb = max(e.time for e in world.trace.of_type(MbrshpViewEvent) if e.view == view)
+    gcs = max(e.time for e in world.trace.of_type(ViewEvent) if e.view == view)
+    return view, mb - t0, gcs - mb
+
+
+@pytest.mark.parametrize("endpoint_cls", [SequentialVsEndpoint, TwoRoundVsEndpoint])
+def test_baseline_safety(endpoint_cls):
+    world, nodes = run_world(endpoint_cls)
+    view, _mb, _extra = reconfigure_and_measure(world, nodes)
+    for node in nodes[:-1]:
+        node.send(f"post-{node.pid}")
+    world.run()
+    check_all_safety(world.trace, list(world.nodes))
+    check_liveness(world.trace, view)
+
+
+def test_sequential_costs_one_extra_round():
+    world, nodes = run_world(SequentialVsEndpoint)
+    _view, _mb, extra = reconfigure_and_measure(world, nodes)
+    assert extra == pytest.approx(1.0)  # one sync exchange after the view
+
+
+def test_two_round_costs_two_extra_rounds():
+    world, nodes = run_world(TwoRoundVsEndpoint)
+    _view, _mb, extra = reconfigure_and_measure(world, nodes)
+    assert extra == pytest.approx(2.0)  # propose-id + sync exchanges
+
+
+def test_paper_algorithm_costs_zero_extra_rounds():
+    world, nodes = run_world(GcsEndpoint)
+    _view, _mb, extra = reconfigure_and_measure(world, nodes)
+    assert extra == pytest.approx(0.0)
+
+
+def test_two_round_sends_propose_id_messages():
+    world, nodes = run_world(TwoRoundVsEndpoint)
+    reconfigure_and_measure(world, nodes)
+    assert world.message_counts().get("ProposeIdMsg", 0) > 0
+
+
+def test_sequential_sends_no_propose_id():
+    world, nodes = run_world(SequentialVsEndpoint)
+    reconfigure_and_measure(world, nodes)
+    assert world.message_counts().get("ProposeIdMsg", 0) == 0
+
+
+def test_first_view_transitional_set_is_self():
+    # Everyone moves into the first view from a distinct singleton view,
+    # so each transitional set is the node itself (Property 4.1).
+    world, nodes = run_world(SequentialVsEndpoint, n=3)
+    view = world.oracle.views_formed[-1]
+    for node in nodes:
+        assert dict(node.views)[view] == {node.pid}
+
+
+def test_transitional_sets_after_second_change():
+    world, nodes = run_world(SequentialVsEndpoint, n=3)
+    world.partition([["p0", "p1"], ["p2"]])
+    world.run()
+    v = world.oracle.views_formed[-2]  # the {p0, p1} view
+    t_sets = {node.pid: dict(node.views).get(v) for node in nodes[:2]}
+    assert t_sets == {"p0": {"p0", "p1"}, "p1": {"p0", "p1"}}

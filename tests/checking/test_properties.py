@@ -1,0 +1,233 @@
+"""The property checkers must accept good traces and reject bad ones.
+
+Positive cases come from real runs; negative cases are hand-crafted
+traces embodying each specific violation (a mutation-style test of the
+checkers themselves).
+"""
+
+import pytest
+
+from repro.checking.properties import (
+    check_all_safety,
+    check_liveness,
+    check_local_monotonicity,
+    check_safety_spec,
+    check_self_delivery,
+    check_self_inclusion,
+    check_transitional_sets,
+    check_virtual_synchrony,
+)
+from repro.errors import SpecificationViolation
+from repro.types import make_view
+
+from tests.conftest import trace_of
+
+V1 = make_view(1, ["a", "b"], {"a": 1, "b": 1})
+V2 = make_view(2, ["a", "b"], {"a": 2, "b": 2})
+V2_SOLO = make_view(2, ["a"], {"a": 2})
+
+
+class TestSelfInclusion:
+    def test_accepts_inclusive_views(self):
+        trace = trace_of(("view", "a", V1, {"a"}))
+        check_self_inclusion(trace)
+
+    def test_rejects_exclusive_view(self):
+        alien = make_view(1, ["b"], {"b": 1})
+        trace = trace_of(("view", "a", alien, {"a"}))
+        with pytest.raises(SpecificationViolation):
+            check_self_inclusion(trace)
+
+
+class TestLocalMonotonicity:
+    def test_accepts_increasing(self):
+        trace = trace_of(("view", "a", V1, {"a"}), ("view", "a", V2, {"a"}))
+        check_local_monotonicity(trace)
+
+    def test_rejects_decreasing(self):
+        trace = trace_of(("view", "a", V2, {"a"}), ("view", "a", V1, {"a"}))
+        with pytest.raises(SpecificationViolation):
+            check_local_monotonicity(trace)
+
+    def test_rejects_duplicate_view(self):
+        trace = trace_of(("view", "a", V1, {"a"}), ("view", "a", V1, {"a"}))
+        with pytest.raises(SpecificationViolation):
+            check_local_monotonicity(trace)
+
+
+class TestSafetySpecReplay:
+    def test_accepts_within_view_fifo(self):
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("view", "b", V1, {"b"}),
+            ("send", "a", "m1"),
+            ("send", "a", "m2"),
+            ("dlv", "b", "a", "m1"),
+            ("dlv", "b", "a", "m2"),
+            ("dlv", "a", "a", "m1"),
+            ("dlv", "a", "a", "m2"),
+        )
+        check_safety_spec(trace, ["a", "b"])
+
+    def test_rejects_out_of_order_delivery(self):
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("view", "b", V1, {"b"}),
+            ("send", "a", "m1"),
+            ("send", "a", "m2"),
+            ("dlv", "b", "a", "m2"),
+        )
+        with pytest.raises(SpecificationViolation):
+            check_safety_spec(trace, ["a", "b"])
+
+    def test_rejects_phantom_delivery(self):
+        trace = trace_of(("view", "b", V1, {"b"}), ("dlv", "b", "a", "ghost"))
+        with pytest.raises(SpecificationViolation):
+            check_safety_spec(trace, ["a", "b"])
+
+    def test_rejects_cross_view_delivery(self):
+        # a sends in V1; b delivers it while still in its initial view.
+        trace = trace_of(("view", "a", V1, {"a"}), ("send", "a", "m"), ("dlv", "b", "a", "m"))
+        with pytest.raises(SpecificationViolation):
+            check_safety_spec(trace, ["a", "b"])
+
+    def test_rejects_virtual_synchrony_violation_via_cut(self):
+        # both move V1 -> V2, but a delivered m and b did not.
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("view", "b", V1, {"b"}),
+            ("send", "a", "m"),
+            ("dlv", "a", "a", "m"),
+            ("view", "a", V2, {"a", "b"}),
+            ("view", "b", V2, {"a", "b"}),
+        )
+        with pytest.raises(SpecificationViolation):
+            check_safety_spec(trace, ["a", "b"])
+
+    def test_rejects_self_delivery_violation(self):
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("send", "a", "mine"),
+            ("view", "a", V2, {"a"}),
+        )
+        with pytest.raises(SpecificationViolation):
+            check_safety_spec(trace, ["a", "b"])
+
+
+class TestVirtualSynchronyDirect:
+    def test_accepts_matching_delivery_counts(self):
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("view", "b", V1, {"b"}),
+            ("send", "a", "m"),
+            ("dlv", "a", "a", "m"),
+            ("dlv", "b", "a", "m"),
+            ("view", "a", V2, {"a", "b"}),
+            ("view", "b", V2, {"a", "b"}),
+        )
+        check_virtual_synchrony(trace)
+
+    def test_rejects_mismatched_counts(self):
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("view", "b", V1, {"b"}),
+            ("send", "a", "m"),
+            ("dlv", "a", "a", "m"),
+            ("view", "a", V2, {"a", "b"}),
+            ("view", "b", V2, {"a", "b"}),
+        )
+        with pytest.raises(SpecificationViolation):
+            check_virtual_synchrony(trace)
+
+    def test_different_previous_views_not_compared(self):
+        # b reaches V2 from its initial view, a from V1: no constraint.
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("send", "a", "m"),
+            ("dlv", "a", "a", "m"),
+            ("view", "a", V2, {"a"}),
+            ("view", "b", V2, {"b"}),
+        )
+        check_virtual_synchrony(trace)
+
+
+class TestTransitionalSets:
+    def test_rejects_self_missing_from_t(self):
+        trace = trace_of(("view", "a", V1, set()))
+        with pytest.raises(SpecificationViolation):
+            check_transitional_sets(trace)
+
+    def test_rejects_t_outside_intersection(self):
+        trace = trace_of(("view", "a", V1, {"a", "b"}))  # b not in a's old view
+        with pytest.raises(SpecificationViolation):
+            check_transitional_sets(trace)
+
+    def test_rejects_wrong_co_mover_classification(self):
+        # both reach V2 from V1... but a's T omits b.
+        shared = make_view(1, ["a", "b"], {"a": 1, "b": 1})
+        trace = trace_of(
+            ("view", "a", shared, {"a"}),
+            ("view", "b", shared, {"b"}),
+            ("view", "a", V2, {"a"}),
+            ("view", "b", V2, {"a", "b"}),
+        )
+        with pytest.raises(SpecificationViolation):
+            check_transitional_sets(trace)
+
+    def test_accepts_correct_sets(self):
+        shared = make_view(1, ["a", "b"], {"a": 1, "b": 1})
+        trace = trace_of(
+            ("view", "a", shared, {"a"}),
+            ("view", "b", shared, {"b"}),
+            ("view", "a", V2, {"a", "b"}),
+            ("view", "b", V2, {"a", "b"}),
+        )
+        check_transitional_sets(trace)
+
+
+class TestSelfDeliveryDirect:
+    def test_rejects_undelivered_own_message(self):
+        trace = trace_of(("send", "a", "m"), ("view", "a", V1, {"a"}))
+        with pytest.raises(SpecificationViolation):
+            check_self_delivery(trace)
+
+    def test_accepts_delivered_own_messages(self):
+        trace = trace_of(
+            ("send", "a", "m"),
+            ("dlv", "a", "a", "m"),
+            ("view", "a", V1, {"a"}),
+        )
+        check_self_delivery(trace)
+
+
+class TestLiveness:
+    def test_rejects_member_missing_final_view(self):
+        trace = trace_of(("view", "a", V1, {"a"}))
+        with pytest.raises(SpecificationViolation):
+            check_liveness(trace, V1)
+
+    def test_rejects_undelivered_message(self):
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("view", "b", V1, {"b"}),
+            ("send", "a", "m"),
+            ("dlv", "a", "a", "m"),
+        )
+        with pytest.raises(SpecificationViolation):
+            check_liveness(trace, V1)
+
+    def test_accepts_complete_stable_run(self):
+        trace = trace_of(
+            ("view", "a", V1, {"a"}),
+            ("view", "b", V1, {"b"}),
+            ("send", "a", "m"),
+            ("dlv", "a", "a", "m"),
+            ("dlv", "b", "a", "m"),
+        )
+        check_liveness(trace, V1)
+
+
+def test_check_all_safety_bundles_everything():
+    bad = trace_of(("view", "a", V2, {"a"}), ("view", "a", V1, {"a"}))
+    with pytest.raises(SpecificationViolation):
+        check_all_safety(bad, ["a", "b"])

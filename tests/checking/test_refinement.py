@@ -1,0 +1,92 @@
+"""The refinement checkers (Lemmas 6.1/6.2/6.4/6.5, executable)."""
+
+import pytest
+
+from repro.checking.refinement import (
+    SafetyRefinementChecker,
+    TransSetRefinementChecker,
+    attach_refinement_checkers,
+)
+from repro.errors import RefinementViolation
+from repro.harness import ModelHarness
+from repro.ioa import Action
+from repro.spec.wv_rfifo import WvRfifoSpec
+
+
+def run_with_checkers(seed=0, steps=20_000):
+    harness = ModelHarness("abc", seed=seed, scripts={p: [f"{p}0", f"{p}1"] for p in "abc"})
+    scheduler = harness.scheduler("fair")
+    safety, ts = attach_refinement_checkers(scheduler, harness.world)
+    harness.form_view("abc")
+    scheduler.run(max_steps=steps)
+    return harness, safety, ts
+
+
+def test_refinements_hold_on_clean_run():
+    harness, safety, ts = run_with_checkers()
+    assert harness.system.quiescent()
+    # spec state evolved alongside: every process reached the same view
+    for p in "abc":
+        assert safety.spec.current_view[p] == harness.endpoints[p].current_view
+        assert ts.spec.current_view[p] == harness.endpoints[p].current_view
+
+
+def test_refinements_hold_under_partition():
+    harness = ModelHarness("abc", seed=3, scripts={p: [f"{p}0"] for p in "abc"})
+    scheduler = harness.scheduler("fair")
+    safety, ts = attach_refinement_checkers(scheduler, harness.world)
+    harness.form_view("abc")
+    scheduler.run(max_steps=20_000)
+    for p in "abc":
+        harness.clients[p].queue(f"{p}-late")
+    _views, actions = harness.driver.partitioned_views([["a"], ["b", "c"]])
+    harness.inject_membership(actions)
+    scheduler.run(max_steps=20_000)
+    assert harness.system.quiescent()
+    for p in "abc":
+        assert safety.spec.current_view[p] == harness.endpoints[p].current_view
+        assert ts.spec.current_view[p] == harness.endpoints[p].current_view
+
+
+def test_wv_only_refinement():
+    harness = ModelHarness("ab", seed=1, scripts={"a": ["x"], "b": ["y"]})
+    scheduler = harness.scheduler("fair")
+    checker = SafetyRefinementChecker(harness.world, WvRfifoSpec)
+    scheduler.add_hook(checker.hook)
+    harness.form_view("ab")
+    scheduler.run(max_steps=20_000)
+    assert checker.spec.current_view["a"] == harness.endpoints["a"].current_view
+
+
+def test_safety_checker_flags_illegal_view_step():
+    harness = ModelHarness("ab", seed=1)
+    checker = SafetyRefinementChecker(harness.world)
+    from repro.types import make_view
+
+    bogus = make_view(3, ["a", "b"], {"a": 3, "b": 3})
+    with pytest.raises(RefinementViolation):
+        checker.hook(harness.system, None, Action("deliver", ("a", "b", "ghost")))
+
+
+def test_ts_checker_flags_undeclared_view():
+    harness = ModelHarness("ab", seed=1)
+    checker = TransSetRefinementChecker(harness.world)
+    from repro.types import make_view
+
+    bogus = make_view(3, ["a", "b"], {"a": 3, "b": 3})
+    with pytest.raises(RefinementViolation):
+        checker.hook(harness.system, None, Action("view", ("a", bogus, frozenset({"a"}))))
+
+
+def test_mapping_equation_violation_detected():
+    harness = ModelHarness("ab", seed=1)
+    scheduler = harness.scheduler("fair")
+    checker = SafetyRefinementChecker(harness.world)
+    scheduler.add_hook(checker.hook)
+    harness.form_view("ab")
+    scheduler.run(max_steps=20_000)
+    # corrupt the algorithm state so R no longer holds, then take a step
+    harness.endpoints["a"].last_dlvrd["b"] = 99
+    harness.clients["a"].queue("late")
+    with pytest.raises(RefinementViolation):
+        scheduler.run(max_steps=10)

@@ -1,0 +1,153 @@
+"""Unit tests for the forwarding strategies (Section 5.2.2)."""
+
+import pytest
+
+from repro._collections import frozendict
+from repro.core.forwarding import (
+    MinCopiesStrategy,
+    NoForwarding,
+    SimpleStrategy,
+    strategy_by_name,
+)
+from repro.core.messages import AppMsg, SyncMsg, ViewMsg
+from repro.core.vs_endpoint import VsRfifoTsEndpoint
+from repro.ioa import Action
+from repro.types import initial_view, make_view
+
+V1 = make_view(1, ["a", "b", "c"], {"a": 1, "b": 1, "c": 1})
+V2 = make_view(2, ["a", "b"], {"a": 2, "b": 2})
+
+
+def wire(q, p, m):
+    return Action("co_rfifo.deliver", (q, p, m))
+
+
+def drain(ep, names=None):
+    while True:
+        batch = [a for a in ep.enabled_actions() if names is None or a.name in names]
+        if not batch:
+            return
+        for action in batch:
+            if ep.is_enabled(action):
+                ep.apply(action)
+
+
+def make_endpoint(strategy):
+    """An endpoint in view V1 that received two messages from c, holding a
+    start_change towards V2 where b misses them."""
+    ep = VsRfifoTsEndpoint("a", forwarding=strategy, strict=True)
+    ep.apply(Action("mbrshp.start_change", ("a", 1, frozenset(V1.members))))
+    drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+    for q in "bc":
+        ep.apply(wire(q, "a", SyncMsg(1, initial_view(q), frozendict({q: 0}))))
+    ep.apply(Action("mbrshp.view", ("a", V1)))
+    drain(ep)
+    assert ep.current_view == V1
+    # receive two messages from c
+    ep.apply(wire("c", "a", ViewMsg(V1)))
+    ep.apply(wire("c", "a", AppMsg("mc1")))
+    ep.apply(wire("c", "a", AppMsg("mc2")))
+    # view change towards V2 = {a, b}; c is gone
+    ep.apply(Action("mbrshp.start_change", ("a", 2, frozenset(V2.members))))
+    drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+    assert ep.own_sync_msg().cut["c"] == 2
+    return ep
+
+
+class TestSimpleStrategy:
+    def test_forwards_messages_missing_at_peer(self):
+        ep = make_endpoint(SimpleStrategy())
+        # b's sync (sent in V1) shows it has nothing from c
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 0}))))
+        candidates = list(ep.forwarding.candidates(ep))
+        assert (frozenset({"b"}), "c", V1, 1) in candidates
+        assert (frozenset({"b"}), "c", V1, 2) in candidates
+
+    def test_no_forwarding_without_peer_sync(self):
+        ep = make_endpoint(SimpleStrategy())
+        assert list(ep.forwarding.candidates(ep)) == []
+
+    def test_only_missing_suffix_is_forwarded(self):
+        ep = make_endpoint(SimpleStrategy())
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 1}))))
+        candidates = list(ep.forwarding.candidates(ep))
+        assert (frozenset({"b"}), "c", V1, 1) not in candidates
+        assert (frozenset({"b"}), "c", V1, 2) in candidates
+
+    def test_forwarded_set_suppresses_duplicates(self):
+        ep = make_endpoint(SimpleStrategy())
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 0}))))
+        sends = [
+            a for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and a.params[2].__class__.__name__ == "FwdMsg"
+        ]
+        assert sends
+        for action in sends:
+            ep.apply(action)
+        again = [
+            a for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and a.params[2].__class__.__name__ == "FwdMsg"
+        ]
+        assert again == []
+
+    def test_skips_peers_known_to_have_moved_on(self):
+        ep = make_endpoint(SimpleStrategy())
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 0}))))
+        ep.apply(wire("b", "a", ViewMsg(V2)))  # b already reached V2
+        assert list(ep.forwarding.candidates(ep)) == []
+
+
+class TestMinCopiesStrategy:
+    def prepared(self):
+        ep = make_endpoint(MinCopiesStrategy())
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 0}))))
+        ep.apply(Action("mbrshp.view", ("a", V2)))
+        return ep
+
+    def test_waits_for_membership_view(self):
+        ep = make_endpoint(MinCopiesStrategy())
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 0}))))
+        assert list(ep.forwarding.candidates(ep)) == []
+
+    def test_single_committed_holder_forwards(self):
+        ep = self.prepared()
+        candidates = list(ep.forwarding.candidates(ep))
+        assert (frozenset({"b"}), "c", V1, 1) in candidates
+        assert (frozenset({"b"}), "c", V1, 2) in candidates
+
+    def test_only_min_holder_forwards(self):
+        # make b also committed to c's messages: then min(T-holders) is a,
+        # and a still forwards; but if a were not committed, it would not.
+        ep = self.prepared()
+        # replace b's sync with one committing to both messages
+        ep.sync_msg["b"][2] = SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 2}))
+        assert list(ep.forwarding.candidates(ep)) == []  # b misses nothing
+
+    def test_messages_from_transitional_members_not_forwarded(self):
+        # c is outside T here; messages from a or b are never forwarded.
+        ep = self.prepared()
+        for _targets, origin, _view, _index in ep.forwarding.candidates(ep):
+            assert origin == "c"
+
+
+class TestRegistry:
+    def test_strategy_by_name(self):
+        assert isinstance(strategy_by_name("simple"), SimpleStrategy)
+        assert isinstance(strategy_by_name("min_copies"), MinCopiesStrategy)
+        assert isinstance(strategy_by_name("none"), NoForwarding)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            strategy_by_name("bogus")
+
+    def test_no_forwarding_never_proposes(self):
+        ep = make_endpoint(NoForwarding())
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 0}))))
+        assert list(ep.forwarding.candidates(ep)) == []
+
+    def test_allows_agrees_with_candidates(self):
+        ep = make_endpoint(SimpleStrategy())
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 0}))))
+        for targets, origin, view, index in ep.forwarding.candidates(ep):
+            assert ep.forwarding.allows(ep, targets, origin, view, index)
+        assert not ep.forwarding.allows(ep, frozenset({"b"}), "c", V1, 99)

@@ -1,0 +1,139 @@
+"""Unit tests for the full GCS end-point with Self Delivery (Figure 11)."""
+
+import pytest
+
+from repro._collections import frozendict
+from repro.core.gcs_endpoint import GcsEndpoint
+from repro.core.messages import SyncMsg
+from repro.ioa import Action
+from repro.spec.client import BlockStatus
+from repro.types import initial_view, make_view
+
+V1 = make_view(1, ["a", "b"], {"a": 1, "b": 1})
+
+
+@pytest.fixture
+def ep():
+    return GcsEndpoint("a", strict=True)
+
+
+def drain(ep, names=None):
+    executed = []
+    while True:
+        batch = [a for a in ep.enabled_actions() if names is None or a.name in names]
+        if not batch:
+            return executed
+        for action in batch:
+            if ep.is_enabled(action):
+                ep.apply(action)
+                executed.append(action)
+
+
+def start_change(p, cid, members):
+    return Action("mbrshp.start_change", (p, cid, frozenset(members)))
+
+
+class TestBlocking:
+    def test_block_offered_after_start_change(self, ep):
+        assert not any(a.name == "block" for a in ep.enabled_actions())
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        assert any(a.name == "block" for a in ep.enabled_actions())
+
+    def test_block_transitions(self, ep):
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        ep.apply(Action("block", ("a",)))
+        assert ep.block_status is BlockStatus.REQUESTED
+        assert not any(a.name == "block" for a in ep.enabled_actions())
+        ep.apply(Action("block_ok", ("a",)))
+        assert ep.block_status is BlockStatus.BLOCKED
+
+    def test_sync_gated_on_block_ok(self, ep):
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        drain(ep, {"co_rfifo.reliable"})
+        syncs = [
+            a for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and isinstance(a.params[2], SyncMsg)
+        ]
+        assert syncs == []  # not blocked yet
+        ep.apply(Action("block", ("a",)))
+        ep.apply(Action("block_ok", ("a",)))
+        syncs = [
+            a for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and isinstance(a.params[2], SyncMsg)
+        ]
+        assert len(syncs) == 1
+
+    def test_view_unblocks(self, ep):
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        drain(ep, {"co_rfifo.reliable", "block"})
+        ep.apply(Action("block_ok", ("a",)))
+        drain(ep, {"co_rfifo.send"})
+        ep.apply(Action("co_rfifo.deliver", ("b", "a",
+                        SyncMsg(1, initial_view("b"), frozendict({"b": 0})))))
+        ep.apply(Action("mbrshp.view", ("a", V1)))
+        drain(ep)
+        assert ep.current_view == V1
+        assert ep.block_status is BlockStatus.UNBLOCKED
+
+
+class TestSelfDelivery:
+    def test_cut_commits_to_all_sent_messages(self, ep):
+        ep.apply(Action("send", ("a", "m1")))
+        ep.apply(Action("send", ("a", "m2")))
+        drain(ep, {"co_rfifo.send"})  # wire-send (empty target set)
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        drain(ep, {"co_rfifo.reliable", "block"})
+        ep.apply(Action("block_ok", ("a",)))
+        drain(ep, {"co_rfifo.send"})
+        assert ep.own_sync_msg().cut["a"] == 2
+
+    def test_view_waits_for_self_deliveries(self, ep):
+        ep.apply(Action("send", ("a", "m1")))
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        drain(ep, {"co_rfifo.reliable", "block"})
+        ep.apply(Action("block_ok", ("a",)))
+        drain(ep, {"co_rfifo.send"})
+        ep.apply(Action("co_rfifo.deliver", ("b", "a",
+                        SyncMsg(1, initial_view("b"), frozendict({"b": 0})))))
+        ep.apply(Action("mbrshp.view", ("a", V1)))
+        # m1 not yet self-delivered: no view
+        assert drain(ep, {"view"}) == []
+        drain(ep, {"deliver"})
+        assert drain(ep, {"view"})
+        assert ep.current_view == V1
+
+    def test_full_change_delivers_everything_sent(self, ep):
+        for i in range(3):
+            ep.apply(Action("send", ("a", f"m{i}")))
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        executed = drain(ep)  # wire-sends + self-deliveries + block request
+        ep.apply(Action("block_ok", ("a",)))
+        executed += drain(ep)
+        ep.apply(Action("co_rfifo.deliver", ("b", "a",
+                        SyncMsg(1, initial_view("b"), frozendict({"b": 0})))))
+        ep.apply(Action("mbrshp.view", ("a", V1)))
+        executed += drain(ep)
+        delivered = [a for a in executed if a.name == "deliver"]
+        views = [a for a in executed if a.name == "view"]
+        assert len(delivered) == 3  # every sent message self-delivered
+        view_index = executed.index(views[0])
+        assert all(executed.index(d) < view_index for d in delivered)
+        assert ep.current_view == V1
+
+
+class TestInheritanceChain:
+    def test_gcs_is_a_vs_and_wv_endpoint(self, ep):
+        from repro.core.vs_endpoint import VsRfifoTsEndpoint
+        from repro.core.wv_endpoint import WvRfifoEndpoint
+
+        assert isinstance(ep, VsRfifoTsEndpoint)
+        assert isinstance(ep, WvRfifoEndpoint)
+
+    def test_state_ownership_follows_figures(self, ep):
+        from repro.core.gcs_endpoint import GcsEndpoint as G
+        from repro.core.vs_endpoint import VsRfifoTsEndpoint as V
+        from repro.core.wv_endpoint import WvRfifoEndpoint as W
+
+        assert ep._owners["msgs"] is W
+        assert ep._owners["sync_msg"] is V
+        assert ep._owners["block_status"] is G

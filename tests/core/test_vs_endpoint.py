@@ -1,0 +1,236 @@
+"""Unit tests for the virtual synchrony + transitional sets end-point
+(Figure 10)."""
+
+import pytest
+
+from repro._collections import frozendict
+from repro.core.messages import AppMsg, SyncMsg, ViewMsg
+from repro.core.vs_endpoint import VsRfifoTsEndpoint
+from repro.ioa import Action
+from repro.types import initial_view, make_view
+
+V1 = make_view(1, ["a", "b", "c"], {"a": 1, "b": 1, "c": 1})
+V2 = make_view(2, ["a", "b", "c"], {"a": 2, "b": 2, "c": 2})
+
+
+@pytest.fixture
+def ep():
+    return VsRfifoTsEndpoint("a", strict=True)
+
+
+def start_change(p, cid, members):
+    return Action("mbrshp.start_change", (p, cid, frozenset(members)))
+
+
+def wire(q, p, m):
+    return Action("co_rfifo.deliver", (q, p, m))
+
+
+def drain(ep, names=None):
+    """Greedily execute enabled actions (optionally only given names)."""
+    executed = []
+    while True:
+        batch = [
+            a for a in ep.enabled_actions() if names is None or a.name in names
+        ]
+        if not batch:
+            return executed
+        for action in batch:
+            if ep.is_enabled(action):
+                ep.apply(action)
+                executed.append(action)
+
+
+def bring_to_view(ep, view=V1, peers_sync=True):
+    """Walk the endpoint through a full change into ``view``."""
+    ep.apply(start_change(ep.pid, view.start_id(ep.pid), view.members))
+    drain(ep, {"co_rfifo.reliable"})
+    drain(ep, {"co_rfifo.send"})
+    if peers_sync:
+        for q in sorted(view.members - {ep.pid}):
+            sync = SyncMsg(view.start_id(q), initial_view(q), frozendict({q: 0}))
+            ep.apply(wire(q, ep.pid, sync))
+    ep.apply(Action("mbrshp.view", (ep.pid, view)))
+    drain(ep)
+    return ep
+
+
+class TestStartChange:
+    def test_widens_reliable_set(self, ep):
+        ep.apply(start_change("a", 1, {"a", "b", "c"}))
+        desired = ep._desired_reliable_set()
+        assert desired == {"a", "b", "c"}
+        reliables = [a for a in ep.enabled_actions() if a.name == "co_rfifo.reliable"]
+        assert reliables and reliables[0].params[1] == desired
+
+    def test_sync_waits_for_reliable_set(self, ep):
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        syncs = [
+            a for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and isinstance(a.params[2], SyncMsg)
+        ]
+        assert syncs == []
+        drain(ep, {"co_rfifo.reliable"})
+        syncs = [
+            a for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and isinstance(a.params[2], SyncMsg)
+        ]
+        assert len(syncs) == 1
+
+    def test_sync_carries_view_cid_and_cut(self, ep):
+        ep.apply(Action("send", ("a", "m1")))
+        drain(ep, {"co_rfifo.send"})
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        drain(ep, {"co_rfifo.reliable"})
+        sync = next(
+            a.params[2] for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and isinstance(a.params[2], SyncMsg)
+        )
+        assert sync.cid == 1
+        assert sync.view == initial_view("a")
+        assert sync.cut["a"] == 1  # commits to its own sent message
+
+    def test_sync_sent_once_per_change(self, ep):
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        assert ep.own_sync_msg() is not None
+        syncs = [
+            a for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and isinstance(a.params[2], SyncMsg)
+        ]
+        assert syncs == []
+
+    def test_new_start_change_triggers_new_sync(self, ep):
+        ep.apply(start_change("a", 1, {"a", "b"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        ep.apply(start_change("a", 2, {"a", "b", "c"}))
+        drain(ep, {"co_rfifo.reliable"})
+        syncs = [
+            a.params[2] for a in ep.enabled_actions()
+            if a.name == "co_rfifo.send" and isinstance(a.params[2], SyncMsg)
+        ]
+        assert [s.cid for s in syncs] == [2]
+
+
+class TestViewDelivery:
+    def test_requires_matching_start_change_id(self, ep):
+        # view for cid 1 arrives after the end-point saw start_change 2:
+        # it must be suppressed as obsolete.
+        ep.apply(start_change("a", 1, {"a", "b", "c"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        ep.apply(start_change("a", 2, {"a", "b", "c"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        ep.apply(Action("mbrshp.view", ("a", V1)))  # startId(a)=1, stale
+        assert drain(ep, {"view"}) == []
+        assert ep.current_view == initial_view("a")
+
+    def test_waits_for_all_intersection_syncs(self, ep):
+        ep.apply(start_change("a", 1, {"a", "b", "c"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        ep.apply(Action("mbrshp.view", ("a", V1)))
+        # a comes from its initial singleton view: intersection is {a},
+        # own sync suffices.
+        assert drain(ep, {"view"})
+        assert ep.current_view == V1
+
+    def test_transitional_set_from_sync_views(self, ep):
+        bring_to_view(ep, V1)
+        assert ep.current_view == V1
+        # now move V1 -> V2 with b moving along, c from elsewhere
+        ep.apply(start_change("a", 2, {"a", "b", "c"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 0}))))
+        other = make_view(1, ["b", "c"], {"b": 9, "c": 9})
+        ep.apply(wire("c", "a", SyncMsg(2, other, frozendict({"c": 0}))))
+        ep.apply(Action("mbrshp.view", ("a", V2)))
+        views = drain(ep, {"view"})
+        assert views, "view should deliver"
+        T = views[0].params[2]
+        assert T == {"a", "b"}
+
+    def test_view_effect_clears_start_change(self, ep):
+        bring_to_view(ep, V1)
+        assert ep.start_change is None
+
+    def test_view_waits_for_cut_agreement(self, ep):
+        bring_to_view(ep, V1)
+        ep.apply(start_change("a", 2, {"a", "b", "c"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        # b's cut commits to one message from c that a has not received
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 1}))))
+        ep.apply(wire("c", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 0, "c": 1}))))
+        ep.apply(Action("mbrshp.view", ("a", V2)))
+        assert drain(ep, {"view"}) == []  # missing c's message
+        # the message arrives (c had sent it in V1)
+        ep.apply(wire("c", "a", ViewMsg(V1)))
+        ep.apply(wire("c", "a", AppMsg("mc1")))
+        drain(ep, {"deliver"})
+        assert drain(ep, {"view"})
+        assert ep.current_view == V2
+
+
+class TestDeliveryRestriction:
+    def test_delivery_capped_by_own_cut_before_view(self, ep):
+        bring_to_view(ep, V1)
+        ep.apply(wire("b", "a", ViewMsg(V1)))
+        ep.apply(wire("b", "a", AppMsg("m1")))
+        ep.apply(start_change("a", 2, {"a", "b", "c"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        own = ep.own_sync_msg()
+        assert own.cut["b"] == 1
+        ep.apply(wire("b", "a", AppMsg("m2")))  # arrives after the cut
+        assert ep.is_enabled(Action("deliver", ("a", "b", "m1")))
+        ep.apply(Action("deliver", ("a", "b", "m1")))
+        assert not ep.is_enabled(Action("deliver", ("a", "b", "m2")))
+
+    def test_delivery_extends_to_transitional_cuts_after_view(self, ep):
+        bring_to_view(ep, V1)
+        ep.apply(wire("b", "a", ViewMsg(V1)))
+        ep.apply(wire("b", "a", AppMsg("m1")))
+        ep.apply(start_change("a", 2, {"a", "b", "c"}))
+        drain(ep, {"co_rfifo.reliable", "co_rfifo.send"})
+        ep.apply(wire("b", "a", AppMsg("m2")))
+        # b's sync commits to 2 of its own messages
+        ep.apply(wire("b", "a", SyncMsg(2, V1, frozendict({"a": 0, "b": 2, "c": 0}))))
+        ep.apply(Action("mbrshp.view", ("a", V2)))
+        ep.apply(Action("deliver", ("a", "b", "m1")))
+        assert ep.is_enabled(Action("deliver", ("a", "b", "m2")))
+
+    def test_no_restriction_without_change(self, ep):
+        bring_to_view(ep, V1)
+        ep.apply(wire("b", "a", ViewMsg(V1)))
+        ep.apply(wire("b", "a", AppMsg("m1")))
+        assert ep._delivery_limit("b") is None
+        assert ep.is_enabled(Action("deliver", ("a", "b", "m1")))
+
+
+class TestGarbageCollection:
+    def test_gc_prunes_old_buffers_and_syncs(self):
+        ep = VsRfifoTsEndpoint("a", gc_views=True)
+        bring_to_view(ep, V1)
+        assert all(view == V1 for buffers in ep.msgs.values() for view in buffers)
+        for q, by_cid in ep.sync_msg.items():
+            for cid in by_cid:
+                assert cid > V1.start_id(q)
+
+    def test_no_gc_by_default(self, ep):
+        ep.apply(Action("send", ("a", "m")))
+        drain(ep, {"co_rfifo.send"})
+        bring_to_view(ep, V1)
+        assert ep.peek_buffer("a", initial_view("a")) is not None
+
+
+class TestHelpers:
+    def test_local_cut_counts_longest_prefixes(self, ep):
+        bring_to_view(ep, V1)
+        ep.apply(wire("c", "a", ViewMsg(V1)))
+        ep.apply(wire("c", "a", AppMsg("x")))
+        cut = ep.local_cut()
+        assert cut["c"] == 1
+        assert cut["a"] == 0
+
+    def test_latest_sync_msgs_in_view_picks_highest_cid(self, ep):
+        ep.apply(wire("b", "a", SyncMsg(1, initial_view("a"), frozendict())))
+        ep.apply(wire("b", "a", SyncMsg(3, initial_view("a"), frozendict())))
+        latest = dict(ep.latest_sync_msgs_in_view(initial_view("a")))
+        assert latest["b"].cid == 3

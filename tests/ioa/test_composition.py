@@ -1,0 +1,138 @@
+"""Unit tests for composition and hiding (paper Section 2)."""
+
+import pytest
+
+from repro.errors import ActionNotEnabled, CompositionError
+from repro.ioa import Action, ActionKind, Automaton, Composition
+
+
+class Producer(Automaton):
+    SIGNATURE = {"emit": ActionKind.OUTPUT}
+
+    def _state(self):
+        self.remaining = 2
+
+    def _pre_emit(self, value):
+        return self.remaining > 0
+
+    def _eff_emit(self, value):
+        self.remaining -= 1
+
+    def _candidates_emit(self):
+        if self.remaining > 0:
+            yield (self.remaining,)
+
+
+class Consumer(Automaton):
+    SIGNATURE = {"emit": ActionKind.INPUT}
+
+    def _state(self):
+        self.seen = []
+
+    def _eff_emit(self, value):
+        self.seen.append(value)
+
+
+class PickyConsumer(Consumer):
+    """Only accepts even values (models per-process subscripting)."""
+
+    def accepts(self, action):
+        return super().accepts(action) and action.params[0] % 2 == 0
+
+
+class InternalHolder(Automaton):
+    SIGNATURE = {"tick": ActionKind.INTERNAL}
+
+    def _pre_tick(self):
+        return True
+
+
+class TickObserver(Automaton):
+    SIGNATURE = {"tick": ActionKind.INPUT}
+
+
+def test_execute_matches_output_with_inputs():
+    producer, consumer = Producer("p"), Consumer("c")
+    system = Composition([producer, consumer])
+    system.execute(producer, Action("emit", (2,)))
+    assert consumer.seen == [2]
+    assert producer.remaining == 1
+
+
+def test_accepts_filter_excludes_component():
+    producer, picky = Producer("p"), PickyConsumer("c")
+    system = Composition([producer, picky])
+    system.execute(producer, Action("emit", (2,)))
+    producer.remaining = 1
+    system.execute(producer, Action("emit", (1,)))
+    assert picky.seen == [2]
+
+
+def test_execute_requires_enabled_owner():
+    producer, consumer = Producer("p"), Consumer("c")
+    producer.remaining = 0
+    system = Composition([producer, consumer])
+    with pytest.raises(ActionNotEnabled):
+        system.execute(producer, Action("emit", (1,)))
+
+
+def test_inject_feeds_inputs_from_environment():
+    consumer = Consumer("c")
+    system = Composition([consumer])
+    system.inject(Action("emit", (9,)))
+    assert consumer.seen == [9]
+
+
+def test_inject_without_acceptor_raises():
+    system = Composition([Producer("p")])
+    with pytest.raises(ActionNotEnabled):
+        system.inject(Action("emit", (1,)))
+
+
+def test_duplicate_component_names_rejected():
+    with pytest.raises(CompositionError):
+        Composition([Producer("x"), Consumer("x")])
+
+
+def test_internal_action_name_clash_rejected():
+    with pytest.raises(CompositionError):
+        Composition([InternalHolder("i"), TickObserver("o")])
+
+
+def test_enabled_actions_across_components():
+    producer = Producer("p")
+    system = Composition([producer, Consumer("c")])
+    enabled = system.enabled_actions()
+    assert (producer, Action("emit", (2,))) in enabled
+
+
+def test_quiescence():
+    producer, consumer = Producer("p"), Consumer("c")
+    system = Composition([producer, consumer])
+    assert not system.quiescent()
+    system.execute(producer, Action("emit", (2,)))
+    system.execute(producer, Action("emit", (1,)))
+    assert system.quiescent()
+
+
+def test_trace_records_steps_with_owner_and_kind():
+    producer, consumer = Producer("p"), Consumer("c")
+    system = Composition([producer, consumer])
+    system.execute(producer, Action("emit", (2,)))
+    event = system.trace[0]
+    assert event.owner == "p"
+    assert event.kind is ActionKind.OUTPUT
+
+
+def test_hide_reclassifies_output_as_internal():
+    producer, consumer = Producer("p"), Consumer("c")
+    system = Composition([producer, consumer]).hide(["emit"])
+    system.execute(producer, Action("emit", (2,)))
+    assert system.trace[0].kind is ActionKind.INTERNAL
+    assert system.trace.external() == []
+
+
+def test_component_lookup():
+    producer = Producer("p")
+    system = Composition([producer, Consumer("c")])
+    assert system.component("p") is producer

@@ -1,0 +1,44 @@
+"""Unit tests for trace recording and projection."""
+
+from repro.ioa import Action, ActionKind, Trace
+
+
+def build_trace():
+    trace = Trace()
+    trace.record(Action("a", (1,)), "p", ActionKind.OUTPUT)
+    trace.record(Action("b", ()), "q", ActionKind.INTERNAL)
+    trace.record(Action("a", (2,)), "p", ActionKind.OUTPUT)
+    trace.record(Action("c", ()), "env", ActionKind.INPUT)
+    return trace
+
+
+def test_len_and_indexing():
+    trace = build_trace()
+    assert len(trace) == 4
+    assert trace[0].action == Action("a", (1,))
+    assert trace[0].index == 0
+
+
+def test_events_filter_by_name():
+    trace = build_trace()
+    assert [e.action.params for e in trace.events("a")] == [(1,), (2,)]
+
+
+def test_events_filter_by_predicate():
+    trace = build_trace()
+    only_q = trace.events(where=lambda e: e.owner == "q")
+    assert len(only_q) == 1
+
+
+def test_external_excludes_internal():
+    trace = build_trace()
+    assert [e.action.name for e in trace.external()] == ["a", "a", "c"]
+
+
+def test_project_onto_signature():
+    trace = build_trace()
+    assert [e.action.name for e in trace.project({"b", "c"})] == ["b", "c"]
+
+
+def test_actions_listing():
+    assert [a.name for a in build_trace().actions()] == ["a", "b", "a", "c"]

@@ -1,0 +1,103 @@
+"""Unit tests for the centralized membership oracle."""
+
+import pytest
+
+from repro.membership.oracle import OracleMembership
+from repro.net.simclock import EventScheduler
+
+
+class Sink:
+    def __init__(self):
+        self.start_changes = []
+        self.views = []
+
+
+def attach(oracle, pids):
+    sinks = {}
+    for pid in pids:
+        sink = Sink()
+        oracle.attach_client(
+            pid,
+            on_start_change=lambda cid, members, s=sink: s.start_changes.append((cid, members)),
+            on_view=lambda view, s=sink: s.views.append(view),
+        )
+        sinks[pid] = sink
+    return sinks
+
+
+@pytest.fixture
+def world():
+    clock = EventScheduler()
+    oracle = OracleMembership(clock, detection_delay=1.0, round_duration=3.0)
+    return clock, oracle
+
+
+def test_timing_of_start_change_and_view(world):
+    clock, oracle = world
+    sinks = attach(oracle, ["a", "b"])
+    oracle.reconfigure([["a", "b"]])
+    clock.run_until(0.5)
+    assert sinks["a"].start_changes == []
+    clock.run_until(1.0)
+    assert len(sinks["a"].start_changes) == 1
+    clock.run_until(3.9)
+    assert sinks["a"].views == []
+    clock.run_until(4.0)
+    assert len(sinks["a"].views) == 1
+
+
+def test_view_start_ids_match_latest_start_changes(world):
+    clock, oracle = world
+    sinks = attach(oracle, ["a", "b"])
+    oracle.reconfigure([["a", "b"]])
+    clock.run()
+    view = sinks["a"].views[0]
+    assert view.start_id("a") == sinks["a"].start_changes[-1][0]
+    assert view.start_id("b") == sinks["b"].start_changes[-1][0]
+
+
+def test_extra_changes_emit_multiple_start_changes(world):
+    clock, oracle = world
+    sinks = attach(oracle, ["a"])
+    oracle.reconfigure([["a"]], extra_changes=2)
+    clock.run()
+    assert len(sinks["a"].start_changes) == 3
+    assert sinks["a"].views[0].start_id("a") == sinks["a"].start_changes[-1][0]
+
+
+def test_new_reconfigure_cancels_pending_view(world):
+    clock, oracle = world
+    sinks = attach(oracle, ["a", "b"])
+    oracle.reconfigure([["a", "b"]])
+    clock.run_until(2.0)  # mid-round
+    oracle.reconfigure([["a"]])
+    clock.run()
+    # the first (superseded) view never reaches a
+    assert len(sinks["a"].views) == 1
+    assert sinks["a"].views[0].members == {"a"}
+
+
+def test_crashed_clients_excluded(world):
+    clock, oracle = world
+    sinks = attach(oracle, ["a", "b"])
+    oracle.client_crashed("b")
+    oracle.reconfigure([["a", "b"]])
+    clock.run()
+    assert sinks["b"].views == []
+    assert sinks["a"].views[0].members == {"a"}
+
+
+def test_view_counters_increase_across_groups(world):
+    clock, oracle = world
+    attach(oracle, ["a", "b"])
+    views = oracle.reconfigure([["a"], ["b"]])
+    assert views[0].vid != views[1].vid
+    more = oracle.reconfigure([["a", "b"]])
+    assert more[0].vid > max(views[0].vid, views[1].vid)
+
+
+def test_empty_group_skipped(world):
+    _clock, oracle = world
+    attach(oracle, ["a"])
+    oracle.client_crashed("a")
+    assert oracle.reconfigure([["a"]]) == []

@@ -1,0 +1,48 @@
+"""Unit tests for the latency models."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency, LognormalLatency, UniformLatency
+
+
+def test_constant_latency():
+    model = ConstantLatency(2.0)
+    assert model.sample("a", "b") == 2.0
+    assert model.mean() == 2.0
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1.0)
+
+
+def test_uniform_range_and_mean():
+    model = UniformLatency(1.0, 3.0, seed=0)
+    samples = [model.sample("a", "b") for _ in range(200)]
+    assert all(1.0 <= s <= 3.0 for s in samples)
+    assert model.mean() == 2.0
+
+
+def test_uniform_validates_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(3.0, 1.0)
+
+
+def test_uniform_seed_reproducible():
+    a = [UniformLatency(0, 1, seed=5).sample("x", "y") for _ in range(3)]
+    b = [UniformLatency(0, 1, seed=5).sample("x", "y") for _ in range(3)]
+    # fresh models with the same seed produce the same stream
+    assert a == b
+
+
+def test_lognormal_positive_and_heavy_tailed():
+    model = LognormalLatency(median=1.0, sigma=0.8, seed=1)
+    samples = [model.sample("a", "b") for _ in range(500)]
+    assert all(s > 0 for s in samples)
+    assert max(samples) > 3.0  # tail exists
+    assert model.mean() > 1.0  # mean above the median for lognormal
+
+
+def test_lognormal_validates_median():
+    with pytest.raises(ValueError):
+        LognormalLatency(median=0.0)

@@ -1,0 +1,117 @@
+"""Unit tests for the simulated network fabric."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.network import SimNetwork
+from repro.net.simclock import EventScheduler
+
+
+class Box:
+    def __init__(self):
+        self.received = []
+        self.bounced = []
+
+    def handler(self, src, message):
+        self.received.append((src, message))
+
+    def bounce(self, dst, message):
+        self.bounced.append((dst, message))
+
+
+def make_net(latency=None):
+    clock = EventScheduler()
+    net = SimNetwork(clock, latency or ConstantLatency(1.0))
+    boxes = {}
+    for pid in ("a", "b", "c"):
+        box = Box()
+        net.register(pid, box.handler, box.bounce)
+        boxes[pid] = box
+    return clock, net, boxes
+
+
+def test_delivery_after_latency():
+    clock, net, boxes = make_net(ConstantLatency(2.5))
+    net.send("a", "b", "m")
+    clock.run_until(2.0)
+    assert boxes["b"].received == []
+    clock.run()
+    assert boxes["b"].received == [("a", "m")]
+    assert clock.now == 2.5
+
+
+def test_per_link_fifo_with_jitter():
+    clock, net, boxes = make_net(UniformLatency(0.1, 5.0, seed=3))
+    for i in range(20):
+        net.send("a", "b", i)
+    clock.run()
+    assert [m for _s, m in boxes["b"].received] == list(range(20))
+
+
+def test_partition_blocks_new_sends():
+    clock, net, boxes = make_net()
+    net.partition([["a"], ["b", "c"]])
+    assert not net.send("a", "b", "m")
+    clock.run()
+    assert boxes["b"].received == []
+
+
+def test_partition_bounces_in_flight_messages():
+    clock, net, boxes = make_net()
+    net.send("a", "b", "m1")
+    net.send("a", "b", "m2")
+    net.partition([["a"], ["b"]])
+    assert boxes["a"].bounced == [("b", "m1"), ("b", "m2")]
+    clock.run()
+    assert boxes["b"].received == []
+
+
+def test_heal_restores_connectivity():
+    clock, net, boxes = make_net()
+    net.partition([["a"], ["b"]])
+    net.heal()
+    assert net.send("a", "b", "m")
+    clock.run()
+    assert boxes["b"].received == [("a", "m")]
+
+
+def test_connectivity_queries():
+    _clock, net, _boxes = make_net()
+    net.partition([["a", "b"], ["c"]])
+    assert net.connected("a", "b")
+    assert not net.connected("a", "c")
+    assert net.reachable_from("a") == {"a", "b"}
+
+
+def test_topology_listeners_notified():
+    _clock, net, _boxes = make_net()
+    calls = []
+    net.on_topology_change(lambda: calls.append(1))
+    net.partition([["a"], ["b", "c"]])
+    net.heal()
+    assert len(calls) == 2
+
+
+def test_message_kind_counters():
+    clock, net, _boxes = make_net()
+    net.send("a", "b", "text")
+    net.send("a", "c", 42)
+    clock.run()
+    assert net.sent == {"str": 1, "int": 1}
+    assert net.delivered == {"str": 1, "int": 1}
+    net.reset_counters()
+    assert net.totals() == {}
+
+
+def test_bounce_counter():
+    _clock, net, _boxes = make_net()
+    net.send("a", "b", "m")
+    net.partition([["a"], ["b"]])
+    assert net.bounced == {"str": 1}
+
+
+def test_unmentioned_processes_join_group_zero():
+    _clock, net, _boxes = make_net()
+    net.partition([["a"]])
+    assert net.connected("b", "c")
+    assert not net.connected("a", "b")

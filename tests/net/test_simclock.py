@@ -1,0 +1,93 @@
+"""Unit tests for the discrete-event clock."""
+
+import pytest
+
+from repro.net.simclock import EventScheduler
+
+
+def test_events_run_in_time_order():
+    clock = EventScheduler()
+    order = []
+    clock.schedule(3.0, lambda: order.append("c"))
+    clock.schedule(1.0, lambda: order.append("a"))
+    clock.schedule(2.0, lambda: order.append("b"))
+    clock.run()
+    assert order == ["a", "b", "c"]
+    assert clock.now == 3.0
+
+
+def test_fifo_among_equal_timestamps():
+    clock = EventScheduler()
+    order = []
+    for name in "abc":
+        clock.schedule(1.0, lambda n=name: order.append(n))
+    clock.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        EventScheduler().schedule(-1.0, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    clock = EventScheduler()
+    fired = []
+    event = clock.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    clock.run()
+    assert fired == []
+    assert event.cancelled
+
+
+def test_nested_scheduling_during_run():
+    clock = EventScheduler()
+    order = []
+
+    def outer():
+        order.append("outer")
+        clock.schedule(1.0, lambda: order.append("inner"))
+
+    clock.schedule(1.0, outer)
+    clock.run()
+    assert order == ["outer", "inner"]
+    assert clock.now == 2.0
+
+
+def test_run_until_stops_at_boundary():
+    clock = EventScheduler()
+    fired = []
+    clock.schedule(1.0, lambda: fired.append(1))
+    clock.schedule(5.0, lambda: fired.append(5))
+    clock.run_until(2.0)
+    assert fired == [1]
+    assert clock.now == 2.0
+    clock.run()
+    assert fired == [1, 5]
+
+
+def test_run_max_events():
+    clock = EventScheduler()
+    for _ in range(10):
+        clock.schedule(1.0, lambda: None)
+    assert clock.run(max_events=4) == 4
+    assert clock.pending() == 6
+
+
+def test_schedule_at_absolute_time():
+    clock = EventScheduler()
+    clock.schedule(2.0, lambda: None)
+    clock.run()
+    fired = []
+    clock.schedule_at(1.0, lambda: fired.append("past"))  # clamped to now
+    clock.run()
+    assert fired == ["past"]
+    assert clock.now == 2.0
+
+
+def test_executed_counter():
+    clock = EventScheduler()
+    clock.schedule(1.0, lambda: None)
+    clock.schedule(2.0, lambda: None)
+    clock.run()
+    assert clock.executed == 2

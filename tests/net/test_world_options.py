@@ -1,0 +1,87 @@
+"""Configuration wiring of the SimWorld assembly."""
+
+import pytest
+
+from repro.baselines import SequentialVsEndpoint
+from repro.core import MinCopiesStrategy
+from repro.net import ConstantLatency, SimWorld
+
+
+def test_unknown_membership_mode_rejected():
+    with pytest.raises(ValueError):
+        SimWorld(membership="telepathy")
+
+
+def test_endpoint_options_forwarded():
+    world = SimWorld(
+        latency=ConstantLatency(1.0),
+        forwarding=MinCopiesStrategy(),
+        compact_syncs=True,
+        ack_gc_interval=7,
+        gc_views=False,
+    )
+    node = world.add_node("a")
+    assert isinstance(node.endpoint.forwarding, MinCopiesStrategy)
+    assert node.endpoint.compact_syncs
+    assert node.endpoint.ack_gc_interval == 7
+    assert not node.endpoint.gc_views
+
+
+def test_endpoint_cls_override():
+    world = SimWorld(latency=ConstantLatency(1.0), endpoint_cls=SequentialVsEndpoint)
+    node = world.add_node("a")
+    assert isinstance(node.endpoint, SequentialVsEndpoint)
+
+
+def test_oracle_crash_without_reconfigure():
+    world = SimWorld(latency=ConstantLatency(1.0), membership="oracle", round_duration=1.0)
+    nodes = world.add_nodes(["a", "b", "c"])
+    world.start()
+    world.run()
+    views_before = len(world.oracle.views_formed)
+    world.crash("c", reconfigure=False)
+    world.run()
+    assert len(world.oracle.views_formed) == views_before  # nothing formed
+    assert nodes[0].current_view.members == {"a", "b", "c"}  # stale but legal
+
+
+def test_partition_without_reconfigure_just_cuts_links():
+    world = SimWorld(latency=ConstantLatency(1.0), membership="oracle", round_duration=1.0)
+    nodes = world.add_nodes(["a", "b"])
+    world.start()
+    world.run()
+    world.partition([["a"], ["b"]], reconfigure=False)
+    nodes[0].send("into the void")
+    world.run()
+    assert nodes[1].delivered == []  # cut, and no new view was formed
+
+
+def test_set_app_hooks_fire_after_bookkeeping():
+    world = SimWorld(latency=ConstantLatency(1.0), membership="oracle", round_duration=1.0)
+    node = world.add_node("a")
+    world.add_node("b")
+    seen = []
+    node.set_app(
+        on_deliver=lambda sender, payload: seen.append(("dlv", sender, payload)),
+        on_view=lambda view, T: seen.append(("view", view.vid.counter)),
+    )
+    world.start()
+    world.run()
+    world.nodes["b"].send("ping")
+    world.run()
+    assert ("view", 1) in seen
+    assert ("dlv", "b", "ping") in seen
+    assert node.delivered == [("b", "ping")]  # bookkeeping still happened
+
+
+def test_server_mode_requires_servers():
+    world = SimWorld(latency=ConstantLatency(1.0), membership="servers", servers=0)
+    with pytest.raises(Exception):
+        world.add_node("a")
+
+
+def test_explicit_home_server_assignment():
+    world = SimWorld(latency=ConstantLatency(1.0), membership="servers", servers=2)
+    node = world.add_node("a", server="srv:1")
+    assert node.home_server == "srv:1"
+    assert "a" in world.servers["srv:1"].local_clients

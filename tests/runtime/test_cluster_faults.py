@@ -1,0 +1,98 @@
+"""Partition and heal on the asyncio cluster."""
+
+import asyncio
+
+import pytest
+
+from repro.checking import check_all_safety
+from repro.runtime import AsyncCluster, Delivery
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def drain(node):
+    events = []
+    while not node.events_queue.empty():
+        events.append(node.events_queue.get_nowait())
+    return events
+
+
+def test_partition_isolates_islands():
+    async def scenario():
+        async with AsyncCluster(record_trace=True) as cluster:
+            a, b, c, d = cluster.add_nodes(["a", "b", "c", "d"])
+            await cluster.start()
+            views = await cluster.partition([["a", "b"], ["c", "d"]])
+            assert views[0].members == {"a", "b"}
+            assert views[1].members == {"c", "d"}
+            await a.send("left only")
+            await c.send("right only")
+            await cluster.quiesce()
+            left = [e.payload for e in drain(b) if isinstance(e, Delivery)]
+            right = [e.payload for e in drain(d) if isinstance(e, Delivery)]
+            assert "left only" in left and "right only" not in left
+            assert "right only" in right and "left only" not in right
+            check_all_safety(cluster.trace, list(cluster.nodes))
+
+    run(scenario())
+
+
+def test_heal_restores_full_group():
+    async def scenario():
+        async with AsyncCluster(record_trace=True) as cluster:
+            nodes = cluster.add_nodes(["a", "b", "c", "d"])
+            await cluster.start()
+            await cluster.partition([["a", "b"], ["c", "d"]])
+            merged = await cluster.heal()
+            assert merged.members == {"a", "b", "c", "d"}
+            await nodes[0].send("back together")
+            await cluster.quiesce()
+            for node in nodes[1:]:
+                payloads = [e.payload for e in drain(node) if isinstance(e, Delivery)]
+                assert "back together" in payloads
+            check_all_safety(cluster.trace, list(cluster.nodes))
+
+    run(scenario())
+
+
+def test_transitional_sets_reflect_partition_history():
+    async def scenario():
+        async with AsyncCluster() as cluster:
+            a, b, c, d = cluster.add_nodes(["a", "b", "c", "d"])
+            await cluster.start()
+            await cluster.partition([["a", "b"], ["c", "d"]])
+            merged = await cluster.heal()
+            change = await a.wait_for_view(lambda v: v == merged, timeout=5.0)
+            assert change.transitional == {"a", "b"}
+
+    run(scenario())
+
+
+def test_send_waits_while_blocked():
+    async def scenario():
+        async with AsyncCluster() as cluster:
+            a, b = cluster.add_nodes(["a", "b"])
+            await cluster.start()
+            # begin a change but withhold the view, so a is blocked
+            cids = {"a": 901, "b": 902}
+            for pid, cid in cids.items():
+                cluster.nodes[pid].membership_start_change(cid, {"a", "b"})
+            await asyncio.sleep(0.02)
+            assert a.runner.blocked
+            send_task = asyncio.create_task(a.send("queued until view"))
+            await asyncio.sleep(0.02)
+            assert not send_task.done()  # waiting, per the Figure 12 contract
+            from repro._collections import frozendict
+            from repro.types import View, ViewId
+
+            view = View(ViewId(50), frozenset({"a", "b"}), frozendict(cids))
+            for pid in ("a", "b"):
+                cluster.nodes[pid].membership_view(view)
+            await asyncio.wait_for(send_task, 2.0)
+            await cluster.quiesce()
+            payloads = [e.payload for e in drain(b) if isinstance(e, Delivery)]
+            assert "queued until view" in payloads
+
+    run(scenario())

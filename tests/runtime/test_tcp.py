@@ -1,0 +1,83 @@
+"""Tests for the TCP transport (loopback only)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import AppMsg, ViewMsg
+from repro.errors import TransportError
+from repro.runtime.tcp import TcpTransport, encode_frame
+from repro.types import make_view
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_frame_roundtrip_via_sockets():
+    async def scenario():
+        received = asyncio.Queue()
+        server = TcpTransport("b", lambda src, m: received.put_nowait((src, m)))
+        await server.start()
+        client = TcpTransport("a", lambda src, m: None)
+        client.set_peers({"b": (server.host, server.port)})
+        view = make_view(1, ["a", "b"])
+        await client.send(["b"], ViewMsg(view))
+        await client.send(["b"], AppMsg("payload", view, 1))
+        first = await asyncio.wait_for(received.get(), 2)
+        second = await asyncio.wait_for(received.get(), 2)
+        assert first == ("a", ViewMsg(view))
+        assert second[1].payload == "payload"
+        await client.close()
+        await server.close()
+
+    run(scenario())
+
+
+def test_send_to_unknown_peer_is_dropped():
+    async def scenario():
+        client = TcpTransport("a", lambda src, m: None)
+        await client.start()
+        await client.send(["ghost"], "m")  # no address: suffix lost, no error
+        await client.close()
+
+    run(scenario())
+
+
+def test_send_to_self_skipped():
+    async def scenario():
+        inbox = []
+        node = TcpTransport("a", lambda src, m: inbox.append(m))
+        await node.start()
+        node.set_peers({"a": (node.host, node.port)})
+        await node.send(["a"], "loop")
+        await asyncio.sleep(0.05)
+        assert inbox == []
+        await node.close()
+
+    run(scenario())
+
+
+def test_oversized_frame_rejected():
+    big = "x" * (70 * 1024 * 1024)
+    with pytest.raises(TransportError):
+        encode_frame("a", big)
+
+
+def test_multiple_receivers():
+    async def scenario():
+        boxes = {"b": asyncio.Queue(), "c": asyncio.Queue()}
+        servers = {}
+        for pid, box in boxes.items():
+            servers[pid] = TcpTransport(pid, lambda src, m, q=box: q.put_nowait(m))
+            await servers[pid].start()
+        client = TcpTransport("a", lambda src, m: None)
+        client.set_peers({pid: (t.host, t.port) for pid, t in servers.items()})
+        await client.send(["b", "c"], "fanout")
+        for box in boxes.values():
+            assert await asyncio.wait_for(box.get(), 2) == "fanout"
+        await client.close()
+        for server in servers.values():
+            await server.close()
+
+    run(scenario())

@@ -1,0 +1,78 @@
+"""End-to-end GCS over real loopback TCP sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.checking import check_all_safety
+from repro.runtime.node import Delivery, ViewChange
+from repro.runtime.tcp_cluster import TcpCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def collect_deliveries(node, count, timeout=5.0):
+    got = []
+    while len(got) < count:
+        event = await node.next_event(timeout)
+        if isinstance(event, Delivery):
+            got.append(event)
+    return got
+
+
+def test_view_and_multicast_over_sockets():
+    async def scenario():
+        async with TcpCluster(record_trace=True) as cluster:
+            a, b, c = await cluster.add_nodes(["a", "b", "c"])
+            view = await cluster.start()
+            assert view.members == {"a", "b", "c"}
+            await a.send("over real sockets")
+            deliveries = await collect_deliveries(b, 1)
+            assert deliveries[0] == Delivery("a", "over real sockets")
+            check_all_safety(cluster.trace, list(cluster.nodes))
+
+    run(scenario())
+
+
+def test_fifo_order_over_sockets():
+    async def scenario():
+        async with TcpCluster() as cluster:
+            a, b = await cluster.add_nodes(["a", "b"])
+            await cluster.start()
+            for i in range(10):
+                await a.send(i)
+            deliveries = await collect_deliveries(b, 10)
+            assert [d.payload for d in deliveries] == list(range(10))
+
+    run(scenario())
+
+
+def test_reconfiguration_over_sockets():
+    async def scenario():
+        async with TcpCluster(record_trace=True) as cluster:
+            a, b, c = await cluster.add_nodes(["a", "b", "c"])
+            await cluster.start()
+            await a.send("before")
+            v2 = await cluster.reconfigure(["a", "b"])
+            assert v2.members == {"a", "b"}
+            await a.send("after")
+            deliveries = await collect_deliveries(b, 2)
+            assert [d.payload for d in deliveries] == ["before", "after"]
+            check_all_safety(cluster.trace, list(cluster.nodes))
+
+    run(scenario())
+
+
+def test_view_change_event_over_sockets():
+    async def scenario():
+        async with TcpCluster() as cluster:
+            (a,) = await cluster.add_nodes(["a"])
+            view = await cluster.start()
+            event = await a.next_event()
+            assert isinstance(event, ViewChange)
+            assert event.view == view
+            assert event.transitional == {"a"}
+
+    run(scenario())

@@ -1,0 +1,88 @@
+"""Unit tests for the blocking-client specification (Figure 12)."""
+
+import pytest
+
+from repro.ioa import Action
+from repro.spec.client import BlockStatus, ClientSpec, ScriptedClient
+from repro.types import make_view
+
+
+@pytest.fixture
+def client():
+    return ClientSpec("a")
+
+
+def test_initially_unblocked(client):
+    assert client.block_status is BlockStatus.UNBLOCKED
+    assert client.is_enabled(Action("send", ("a", "m")))
+
+
+def test_block_requests_then_acknowledge(client):
+    client.apply(Action("block", ("a",)))
+    assert client.block_status is BlockStatus.REQUESTED
+    client.apply(Action("block_ok", ("a",)))
+    assert client.block_status is BlockStatus.BLOCKED
+
+
+def test_block_ok_only_when_requested(client):
+    assert not client.is_enabled(Action("block_ok", ("a",)))
+
+
+def test_send_allowed_while_requested_but_not_blocked(client):
+    client.apply(Action("block", ("a",)))
+    assert client.is_enabled(Action("send", ("a", "m")))
+    client.apply(Action("block_ok", ("a",)))
+    assert not client.is_enabled(Action("send", ("a", "m")))
+
+
+def test_view_unblocks(client):
+    client.apply(Action("block", ("a",)))
+    client.apply(Action("block_ok", ("a",)))
+    client.apply(Action("view", ("a", make_view(1, ["a"]), frozenset())))
+    assert client.block_status is BlockStatus.UNBLOCKED
+
+
+def test_accepts_only_own_subscript(client):
+    assert client.accepts(Action("block", ("a",)))
+    assert not client.accepts(Action("block", ("b",)))
+
+
+class TestScriptedClient:
+    def test_sends_script_in_order(self):
+        client = ScriptedClient("a", script=["m1", "m2"])
+        first = list(client.candidates("send"))
+        assert first == [("a", "m1")]
+        client.apply(Action("send", ("a", "m1")))
+        assert list(client.candidates("send")) == [("a", "m2")]
+
+    def test_no_candidates_while_blocked(self):
+        client = ScriptedClient("a", script=["m1"])
+        client.apply(Action("block", ("a",)))
+        client.apply(Action("block_ok", ("a",)))
+        assert list(client.candidates("send")) == []
+
+    def test_block_ok_candidate_appears_when_requested(self):
+        client = ScriptedClient("a")
+        assert list(client.candidates("block_ok")) == []
+        client.apply(Action("block", ("a",)))
+        assert list(client.candidates("block_ok")) == [("a",)]
+
+    def test_records_deliveries_and_views(self):
+        client = ScriptedClient("a")
+        client.apply(Action("deliver", ("a", "b", "payload")))
+        view = make_view(1, ["a", "b"])
+        client.apply(Action("view", ("a", view, frozenset({"a"}))))
+        assert client.delivered == [("b", "payload")]
+        assert client.views == [(view, frozenset({"a"}))]
+
+    def test_queue_appends_payloads(self):
+        client = ScriptedClient("a")
+        client.queue("x", "y")
+        assert list(client.script) == ["x", "y"]
+
+    def test_parent_unblock_effect_runs_via_mro(self):
+        client = ScriptedClient("a")
+        client.apply(Action("block", ("a",)))
+        client.apply(Action("block_ok", ("a",)))
+        client.apply(Action("view", ("a", make_view(1, ["a"]), frozenset())))
+        assert client.block_status is BlockStatus.UNBLOCKED

@@ -1,0 +1,125 @@
+"""Unit tests for the CO_RFIFO specification automaton (Figure 3)."""
+
+import pytest
+
+from repro.ioa import Action
+from repro.spec.co_rfifo import CoRfifoSpec
+from repro.types import make_view
+
+
+@pytest.fixture
+def net():
+    return CoRfifoSpec(["a", "b", "c"])
+
+
+def send(p, targets, m):
+    return Action("co_rfifo.send", (p, frozenset(targets), m))
+
+
+def deliver(p, q, m):
+    return Action("co_rfifo.deliver", (p, q, m))
+
+
+def lose(p, q):
+    return Action("co_rfifo.lose", (p, q))
+
+
+class TestSendDeliver:
+    def test_send_appends_to_each_target_channel(self, net):
+        net.apply(send("a", {"b", "c"}, "m1"))
+        assert list(net.channel[("a", "b")]) == ["m1"]
+        assert list(net.channel[("a", "c")]) == ["m1"]
+        assert list(net.channel[("a", "a")]) == []
+
+    def test_deliver_requires_head_of_channel(self, net):
+        net.apply(send("a", {"b"}, "m1"))
+        net.apply(send("a", {"b"}, "m2"))
+        assert not net.is_enabled(deliver("a", "b", "m2"))
+        net.apply(deliver("a", "b", "m1"))
+        assert net.is_enabled(deliver("a", "b", "m2"))
+
+    def test_deliver_dequeues(self, net):
+        net.apply(send("a", {"b"}, "m1"))
+        net.apply(deliver("a", "b", "m1"))
+        assert not net.channel[("a", "b")]
+
+    def test_fifo_order_preserved(self, net):
+        for i in range(5):
+            net.apply(send("a", {"b"}, f"m{i}"))
+        for i in range(5):
+            head = net.channel[("a", "b")][0]
+            assert head == f"m{i}"
+            net.apply(deliver("a", "b", head))
+
+    def test_deliver_candidates_enumerate_heads(self, net):
+        net.apply(send("a", {"b", "c"}, "m1"))
+        candidates = set(net.candidates("co_rfifo.deliver"))
+        assert candidates == {("a", "b", "m1"), ("a", "c", "m1")}
+
+
+class TestReliabilityAndLoss:
+    def test_lose_disabled_for_reliable_destination(self, net):
+        net.apply(Action("co_rfifo.reliable", ("a", frozenset({"a", "b"}))))
+        net.apply(send("a", {"b"}, "m1"))
+        assert not net.is_enabled(lose("a", "b"))
+
+    def test_lose_enabled_for_unreliable_destination(self, net):
+        net.apply(send("a", {"b"}, "m1"))  # default reliable set is {a}
+        assert net.is_enabled(lose("a", "b"))
+
+    def test_lose_drops_the_last_message(self, net):
+        net.apply(send("a", {"b"}, "m1"))
+        net.apply(send("a", {"b"}, "m2"))
+        net.apply(lose("a", "b"))
+        assert list(net.channel[("a", "b")]) == ["m1"]
+
+    def test_reliable_replaces_set(self, net):
+        net.apply(Action("co_rfifo.reliable", ("a", frozenset({"a", "b"}))))
+        net.apply(Action("co_rfifo.reliable", ("a", frozenset({"a"}))))
+        assert net.reliable_set["a"] == {"a"}
+
+    def test_live_set_updated(self, net):
+        net.apply(Action("co_rfifo.live", ("a", frozenset({"a", "c"}))))
+        assert net.live_set["a"] == {"a", "c"}
+
+
+class TestMembershipLinkage:
+    def test_linked_start_change_updates_live_set(self):
+        net = CoRfifoSpec(["a", "b"], link_membership=True)
+        net.apply(Action("mbrshp.start_change", ("a", 1, frozenset({"a", "b"}))))
+        assert net.live_set["a"] == {"a", "b"}
+
+    def test_linked_view_updates_live_set(self):
+        net = CoRfifoSpec(["a", "b"], link_membership=True)
+        v = make_view(1, ["a"], {"a": 1})
+        net.apply(Action("mbrshp.view", ("a", v)))
+        assert net.live_set["a"] == {"a"}
+
+    def test_unlinked_spec_rejects_membership_inputs(self, net):
+        assert "mbrshp.view" not in net.signature
+
+
+class TestCrash:
+    def test_crash_clears_reliable_and_live(self, net):
+        net.apply(Action("co_rfifo.reliable", ("a", frozenset({"a", "b"}))))
+        net.apply(Action("crash", ("a",)))
+        assert net.reliable_set["a"] == frozenset()
+        assert net.live_set["a"] == frozenset()
+        # all in-transit suffixes from a become losable
+        net.apply(send("a", {"b"}, "m"))
+        assert net.is_enabled(lose("a", "b"))
+
+
+class TestTasks:
+    def test_live_deliveries_form_individual_tasks(self, net):
+        net.apply(Action("co_rfifo.live", ("a", frozenset({"a", "b"}))))
+        net.apply(send("a", {"b"}, "m1"))
+        tasks = net.tasks()
+        assert tasks["deliver[a][b]"](Action("co_rfifo.deliver", ("a", "b", "m1")))
+        assert not tasks["deliver[a][c]"](Action("co_rfifo.deliver", ("a", "b", "m1")))
+
+    def test_dummy_task_covers_losses_and_dead_deliveries(self, net):
+        tasks = net.tasks()
+        assert tasks["dummy"](Action("co_rfifo.lose", ("a", "b")))
+        # b is not in a's live set by default
+        assert tasks["dummy"](Action("co_rfifo.deliver", ("a", "b", "m")))

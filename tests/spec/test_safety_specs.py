@@ -1,0 +1,174 @@
+"""Unit tests for WV_RFIFO / VS_RFIFO / SELF / FullSafety specs
+(Figures 4, 5, 7) and their inheritance relationships."""
+
+import pytest
+
+from repro._collections import frozendict
+from repro.ioa import Action
+from repro.spec.self_delivery import SelfDeliverySpec
+from repro.spec.vs_rfifo import FullSafetySpec, VsRfifoSpec
+from repro.spec.wv_rfifo import WvRfifoSpec
+from repro.types import initial_view, make_view
+
+
+def send(p, m):
+    return Action("send", (p, m))
+
+
+def deliver(p, q, m):
+    return Action("deliver", (p, q, m))
+
+
+def view(p, v):
+    return Action("view", (p, v, None))
+
+
+def set_cut(v, v2, c):
+    return Action("set_cut", (v, v2, frozendict(c)))
+
+
+@pytest.fixture
+def wv():
+    return WvRfifoSpec(["a", "b"])
+
+
+class TestWvRfifoSpec:
+    def test_send_appends_to_current_view_queue(self, wv):
+        wv.apply(send("a", "m1"))
+        assert wv.msgs["a"][initial_view("a")] == ["m1"]
+
+    def test_deliver_in_fifo_order(self, wv):
+        v = make_view(1, ["a", "b"])
+        wv.apply(view("a", v))
+        wv.apply(view("b", v))
+        wv.apply(send("a", "m1"))
+        wv.apply(send("a", "m2"))
+        assert not wv.is_enabled(deliver("b", "a", "m2"))
+        wv.apply(deliver("b", "a", "m1"))
+        wv.apply(deliver("b", "a", "m2"))
+        assert wv.last_dlvrd[("a", "b")] == 2
+
+    def test_delivery_only_from_current_view_queue(self, wv):
+        wv.apply(send("a", "old"))  # sent in a's initial view
+        v = make_view(1, ["a", "b"])
+        wv.apply(view("b", v))
+        # b's current view is v; a's message lives in a's initial view
+        assert not wv.is_enabled(deliver("b", "a", "old"))
+
+    def test_view_requires_self_inclusion(self, wv):
+        v = make_view(1, ["b"], {"b": 1})
+        assert not wv.is_enabled(view("a", v))
+
+    def test_view_requires_monotonic_id(self, wv):
+        v1 = make_view(2, ["a", "b"])
+        wv.apply(view("a", v1))
+        assert not wv.is_enabled(view("a", make_view(1, ["a", "b"])))
+        assert not wv.is_enabled(view("a", v1))
+
+    def test_view_resets_delivery_indices(self, wv):
+        v1, v2 = make_view(1, ["a", "b"]), make_view(2, ["a", "b"])
+        wv.apply(view("a", v1))
+        wv.apply(view("b", v1))
+        wv.apply(send("a", "m"))
+        wv.apply(deliver("b", "a", "m"))
+        wv.apply(view("b", v2))
+        assert wv.last_dlvrd[("a", "b")] == 0
+
+    def test_same_payload_twice_is_fine(self, wv):
+        v = make_view(1, ["a", "b"])
+        wv.apply(view("a", v)); wv.apply(view("b", v))
+        wv.apply(send("a", "dup")); wv.apply(send("a", "dup"))
+        wv.apply(deliver("b", "a", "dup"))
+        wv.apply(deliver("b", "a", "dup"))
+        assert wv.last_dlvrd[("a", "b")] == 2
+
+    def test_deliver_candidates(self, wv):
+        wv.apply(send("a", "m"))
+        assert ("a", "a", "m") in set(wv.candidates("deliver"))
+
+
+class TestVsRfifoSpec:
+    def test_view_requires_a_cut(self):
+        spec = VsRfifoSpec(["a", "b"])
+        v = make_view(1, ["a", "b"])
+        assert not spec.is_enabled(view("a", v))
+        spec.apply(set_cut(initial_view("a"), v, {"a": 0, "b": 0}))
+        assert spec.is_enabled(view("a", v))
+
+    def test_set_cut_is_write_once(self):
+        spec = VsRfifoSpec(["a", "b"])
+        v = make_view(1, ["a", "b"])
+        spec.apply(set_cut(initial_view("a"), v, {"a": 0, "b": 0}))
+        assert not spec.is_enabled(set_cut(initial_view("a"), v, {"a": 1, "b": 0}))
+
+    def test_view_requires_exact_cut_match(self):
+        spec = VsRfifoSpec(["a", "b"])
+        v = make_view(1, ["a", "b"])
+        spec.apply(send("a", "m1"))
+        spec.apply(deliver("a", "a", "m1"))
+        spec.apply(set_cut(initial_view("a"), v, {"a": 0, "b": 0}))
+        # a delivered 1 from itself but the cut says 0
+        assert not spec.is_enabled(view("a", v))
+
+    def test_movers_from_same_view_share_the_cut(self):
+        spec = VsRfifoSpec(["a", "b"])
+        va = initial_view("a")
+        v1 = make_view(1, ["a", "b"])
+        v2 = make_view(2, ["a", "b"])
+        spec.apply(set_cut(va, v1, {"a": 0, "b": 0}))
+        spec.apply(view("a", v1))
+        spec.apply(set_cut(initial_view("b"), v1, {"a": 0, "b": 0}))
+        spec.apply(view("b", v1))
+        spec.apply(send("a", "m"))
+        spec.apply(deliver("a", "a", "m"))
+        spec.apply(deliver("b", "a", "m"))
+        spec.apply(set_cut(v1, v2, {"a": 1, "b": 0}))
+        spec.apply(view("a", v2))
+        spec.apply(view("b", v2))  # b matches the same cut
+        assert spec.current_view["b"] == v2
+
+    def test_delivering_beyond_cut_blocks_view(self):
+        spec = VsRfifoSpec(["a", "b"])
+        v1 = make_view(1, ["a", "b"])
+        spec.apply(set_cut(initial_view("a"), v1, {"a": 1, "b": 0}))
+        spec.apply(send("a", "m1"))
+        spec.apply(send("a", "m2"))
+        spec.apply(deliver("a", "a", "m1"))
+        spec.apply(deliver("a", "a", "m2"))  # beyond the cut - allowed...
+        assert not spec.is_enabled(view("a", v1))  # ...but then no view
+
+
+class TestSelfDeliverySpec:
+    def test_view_blocked_until_own_messages_delivered(self):
+        spec = SelfDeliverySpec(["a", "b"])
+        spec.apply(send("a", "mine"))
+        v = make_view(1, ["a", "b"])
+        assert not spec.is_enabled(view("a", v))
+        spec.apply(deliver("a", "a", "mine"))
+        assert spec.is_enabled(view("a", v))
+
+    def test_other_processes_unaffected(self):
+        spec = SelfDeliverySpec(["a", "b"])
+        spec.apply(send("a", "mine"))
+        v = make_view(1, ["a", "b"])
+        assert spec.is_enabled(view("b", v))
+
+
+class TestFullSafetySpec:
+    def test_conjoins_vs_and_self_restrictions(self):
+        spec = FullSafetySpec(["a", "b"])
+        v = make_view(1, ["a", "b"])
+        spec.apply(send("a", "mine"))
+        spec.apply(set_cut(initial_view("a"), v, {"a": 1, "b": 0}))
+        # VS cut demands 1 delivered; Self Delivery demands own delivery too
+        assert not spec.is_enabled(view("a", v))
+        spec.apply(deliver("a", "a", "mine"))
+        assert spec.is_enabled(view("a", v))
+
+    def test_mro_runs_every_layer(self):
+        # FullSafetySpec is VS + SELF over WV; all three view restrictions
+        # must appear in the merged behaviour.
+        spec = FullSafetySpec(["a"])
+        v = make_view(1, ["a"])
+        # no cut yet -> VS restriction blocks even though SELF is fine
+        assert not spec.is_enabled(view("a", v))

@@ -1,0 +1,85 @@
+"""Unit tests for the TRANS_SET specification automaton (Figure 6)."""
+
+import pytest
+
+from repro.ioa import Action
+from repro.spec.trans_set import TransSetSpec
+from repro.types import initial_view, make_view
+
+
+def declare(p, v):
+    return Action("set_prev_view", (p, v))
+
+
+def view(p, v, T):
+    return Action("view", (p, v, frozenset(T)))
+
+
+@pytest.fixture
+def spec():
+    return TransSetSpec(["a", "b", "c"])
+
+
+def test_declare_requires_membership(spec):
+    v = make_view(1, ["a", "b"])
+    assert not spec.is_enabled(declare("c", v))
+    assert spec.is_enabled(declare("a", v))
+
+
+def test_declare_is_write_once(spec):
+    v = make_view(1, ["a", "b"])
+    spec.apply(declare("a", v))
+    assert not spec.is_enabled(declare("a", v))
+
+
+def test_view_waits_for_all_intersection_declarations(spec):
+    v1 = make_view(1, ["a", "b", "c"])
+    for p in "abc":
+        spec.apply(declare(p, v1))
+        spec.apply(view(p, v1, {p}))  # from disjoint singleton views: T={p}
+    v2 = make_view(2, ["a", "b"])
+    spec.apply(declare("a", v2))
+    assert spec.expected_transitional_set("a", v2) is None  # b undeclared
+    spec.apply(declare("b", v2))
+    assert spec.expected_transitional_set("a", v2) == {"a", "b"}
+
+
+def test_transitional_set_from_singletons_is_self(spec):
+    v = make_view(1, ["a", "b"])
+    spec.apply(declare("a", v))
+    spec.apply(declare("b", v))
+    # a and b come from different (singleton) views: each sees only itself
+    assert spec.expected_transitional_set("a", v) == {"a"}
+    spec.apply(view("a", v, {"a"}))
+    assert spec.current_view["a"] == v
+
+
+def test_view_rejects_wrong_transitional_set(spec):
+    v = make_view(1, ["a", "b"])
+    spec.apply(declare("a", v))
+    spec.apply(declare("b", v))
+    assert not spec.is_enabled(view("a", v, {"a", "b"}))  # b came from elsewhere
+
+
+def test_movers_together_appear_in_each_others_sets(spec):
+    v1 = make_view(1, ["a", "b"])
+    spec.apply(declare("a", v1)); spec.apply(declare("b", v1))
+    spec.apply(view("a", v1, {"a"})); spec.apply(view("b", v1, {"b"}))
+    v2 = make_view(2, ["a", "b"])
+    spec.apply(declare("a", v2)); spec.apply(declare("b", v2))
+    # both declared from v1: T = {a, b} for both
+    assert spec.expected_transitional_set("a", v2) == {"a", "b"}
+    spec.apply(view("a", v2, {"a", "b"}))
+    assert spec.expected_transitional_set("b", v2) == {"a", "b"}
+
+
+def test_declaration_pins_previous_view(spec):
+    v1 = make_view(1, ["a", "b"])
+    v2 = make_view(2, ["a", "b"])
+    spec.apply(declare("a", v2))  # a declares for v2 while still initial
+    spec.apply(declare("a", v1)); spec.apply(declare("b", v1))
+    spec.apply(view("a", v1, {"a"}))  # a moves to v1 first
+    spec.apply(declare("b", v2))
+    # a's declaration for v2 was made from its initial view, not v1:
+    assert spec.prev_view[("a", v2)] == initial_view("a")
+    assert spec.expected_transitional_set("a", v2) is None  # prev != current

@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_demo_runs_and_verifies():
+    completed = run_cli("demo")
+    assert completed.returncode == 0
+    assert "all safety properties verified" in completed.stdout
+    assert "transitional set" in completed.stdout
+
+
+def test_simulate_defaults():
+    assert main(["simulate", "--nodes", "4"]) == 0
+
+
+def test_simulate_unknown_algorithm():
+    assert main(["simulate", "--algorithm", "quantum"]) == 2
+
+
+def test_simulate_wan_flag():
+    assert main(["simulate", "--nodes", "4", "--wan", "--seed", "3"]) == 0
+
+
+def test_version_flag():
+    completed = run_cli("--version")
+    assert completed.returncode == 0
+    assert "repro" in completed.stdout
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_experiments_command(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for marker in ("E1/E2", "E4", "E5", "E10", "E11"):
+        assert marker in out

@@ -1,0 +1,33 @@
+"""Guard the examples against rot: each must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples should narrate what they do"
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "replicated_counter.py",
+        "partition_healing.py",
+        "wan_reconfiguration.py",
+    } <= names

@@ -1,0 +1,128 @@
+"""Smoke tests for the experiments harness (small, fast configurations).
+
+The benchmarks assert the paper-claim shapes at full size; these tests
+pin the harness API and the shapes at miniature scale so refactors are
+caught in the regular suite.
+"""
+
+import pytest
+
+from repro.baselines import SequentialVsEndpoint, TwoRoundVsEndpoint
+from repro.core import GcsEndpoint, MinCopiesStrategy, SimpleStrategy
+from repro.experiments import (
+    ALGORITHMS,
+    format_table,
+    measure_blocking_window,
+    measure_compact_syncs,
+    measure_crash_recovery,
+    measure_forwarding,
+    measure_obsolete_views,
+    measure_ordering_overhead,
+    measure_reconfiguration,
+    measure_throughput,
+    measure_two_tier,
+    reconfiguration_sweep,
+)
+
+
+class TestReconfig:
+    def test_registry_covers_all_three_algorithms(self):
+        assert set(ALGORITHMS.values()) == {
+            GcsEndpoint, SequentialVsEndpoint, TwoRoundVsEndpoint,
+        }
+
+    def test_extra_rounds_shape(self):
+        extras = {
+            name: measure_reconfiguration(cls, group_size=4, algorithm_name=name).extra_rounds
+            for name, cls in ALGORITHMS.items()
+        }
+        assert extras["gcs-1round (paper)"] == pytest.approx(0.0)
+        assert extras["sequential-vs"] == pytest.approx(1.0)
+        assert extras["two-round-vs"] == pytest.approx(2.0)
+
+    def test_sweep_produces_one_row_per_algorithm_and_size(self):
+        rows = reconfiguration_sweep([3, 4])
+        assert len(rows) == 2 * len(ALGORITHMS)
+
+    def test_safety_check_option(self):
+        result = measure_reconfiguration(GcsEndpoint, group_size=3, check=True)
+        assert result.membership_latency > 0
+
+
+class TestForwarding:
+    def test_copies_scale_with_holders_for_simple(self):
+        result = measure_forwarding(SimpleStrategy(), group_size=5, backlog=2, holders=2)
+        assert result.copies_per_missing == pytest.approx(2.0)
+
+    def test_min_copies_always_one(self):
+        result = measure_forwarding(MinCopiesStrategy(), group_size=5, backlog=2, holders=2)
+        assert result.copies_per_missing == pytest.approx(1.0)
+
+    def test_holders_bound_validated(self):
+        with pytest.raises(ValueError):
+            measure_forwarding(SimpleStrategy(), group_size=3, holders=2)
+
+
+class TestObsolete:
+    def test_modes(self):
+        revise = measure_obsolete_views("revise", group_size=3, churn=2)
+        serialize = measure_obsolete_views("serialize", group_size=3, churn=2)
+        assert revise.app_views_per_process == pytest.approx(1.0)
+        assert serialize.app_views_per_process == pytest.approx(2.0)
+        assert revise.total_time < serialize.total_time
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            measure_obsolete_views("yolo")
+
+
+class TestOthers:
+    def test_throughput_accounting(self):
+        result = measure_throughput(group_size=3, messages_per_sender=2)
+        assert result.total_deliveries == 3 * 3 * 2
+        assert result.wire_messages == 3 * 2 * 2
+
+    def test_blocking_window_ordering(self):
+        ours = measure_blocking_window(GcsEndpoint, group_size=3).mean_blocking_window
+        seq = measure_blocking_window(SequentialVsEndpoint, group_size=3).mean_blocking_window
+        assert ours > seq  # the trade-off E7 documents
+
+    def test_crash_recovery_flags(self):
+        result = measure_crash_recovery(group_size=3)
+        assert result.recovered_in_final_view
+        assert result.post_recovery_delivery_ok
+        assert result.monotone_view_ids
+
+    def test_two_tier_saves_messages(self):
+        flat = measure_two_tier(group_size=8, leaders=0)
+        tiered = measure_two_tier(group_size=8, leaders=2)
+        assert tiered.sync_messages < flat.sync_messages
+
+    def test_compact_syncs_save_volume(self):
+        plain = measure_compact_syncs(group_size=6, compact=False)
+        compact = measure_compact_syncs(group_size=6, compact=True)
+        assert compact.sync_volume < plain.sync_volume
+        assert compact.sync_messages == plain.sync_messages
+
+    def test_ordering_layers(self):
+        fifo = measure_ordering_overhead("fifo", group_size=3, messages_per_sender=2)
+        total = measure_ordering_overhead("total", group_size=3, messages_per_sender=2)
+        assert total.mean_delivery_latency > fifo.mean_delivery_latency
+        assert total.agreed_order
+
+    def test_ordering_layer_validated(self):
+        with pytest.raises(ValueError):
+            measure_ordering_overhead("alphabetical")
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = format_table(["a", "bb"], [(1, 2.5), ("xx", 3)], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert "2.50" in table
+
+    def test_empty_rows(self):
+        table = format_table(["h"], [])
+        assert "h" in table

@@ -1,0 +1,88 @@
+"""Unit tests for the model harness and its trace conversion."""
+
+import pytest
+
+from repro.checking.events import (
+    BlockEvent,
+    BlockOkEvent,
+    DeliverEvent,
+    MbrshpStartChangeEvent,
+    MbrshpViewEvent,
+    SendEvent,
+    ViewEvent,
+)
+from repro.harness import ModelHarness, ioa_trace_to_gcs_trace
+from repro.ioa import Action, ActionKind, Trace
+
+
+class TestTraceConversion:
+    def test_all_event_kinds_converted(self):
+        from repro.types import make_view
+
+        v = make_view(1, ["a", "b"], {"a": 1, "b": 1})
+        trace = Trace()
+        trace.record(Action("mbrshp.start_change", ("a", 1, frozenset({"a"}))), "m", ActionKind.OUTPUT)
+        trace.record(Action("mbrshp.view", ("a", v)), "m", ActionKind.OUTPUT)
+        trace.record(Action("block", ("a",)), "ep", ActionKind.OUTPUT)
+        trace.record(Action("block_ok", ("a",)), "cl", ActionKind.OUTPUT)
+        trace.record(Action("send", ("a", "p")), "cl", ActionKind.OUTPUT)
+        trace.record(Action("view", ("a", v, frozenset({"a"}))), "ep", ActionKind.OUTPUT)
+        trace.record(Action("deliver", ("a", "a", "p")), "ep", ActionKind.OUTPUT)
+        trace.record(Action("crash", ("a",)), "env", ActionKind.INPUT)
+        trace.record(Action("recover", ("a",)), "env", ActionKind.INPUT)
+        converted = ioa_trace_to_gcs_trace(trace)
+        kinds = [type(e).__name__ for e in converted]
+        assert kinds == [
+            "MbrshpStartChangeEvent", "MbrshpViewEvent", "BlockEvent",
+            "BlockOkEvent", "SendEvent", "ViewEvent", "DeliverEvent",
+            "CrashEvent", "RecoverEvent",
+        ]
+
+    def test_internal_bookkeeping_actions_skipped(self):
+        trace = Trace()
+        trace.record(Action("co_rfifo.send", ("a", frozenset(), "m")), "ep", ActionKind.OUTPUT)
+        trace.record(Action("co_rfifo.reliable", ("a", frozenset())), "ep", ActionKind.OUTPUT)
+        assert len(ioa_trace_to_gcs_trace(trace)) == 0
+
+    def test_event_times_are_step_indices(self):
+        trace = Trace()
+        trace.record(Action("send", ("a", "x")), "cl", ActionKind.OUTPUT)
+        trace.record(Action("send", ("a", "y")), "cl", ActionKind.OUTPUT)
+        converted = ioa_trace_to_gcs_trace(trace)
+        assert [e.time for e in converted] == [0.0, 1.0]
+
+
+class TestHarness:
+    def test_components_assembled(self):
+        harness = ModelHarness("ab", seed=0)
+        names = {component.name for component in harness.system.components}
+        assert "mbrshp" in names and "co_rfifo" in names
+        assert {"GcsEndpoint:a", "GcsEndpoint:b"} <= names
+        assert {"client:a", "client:b"} <= names
+
+    def test_scheduler_kinds(self):
+        harness = ModelHarness("ab", seed=0)
+        from repro.ioa import FairScheduler, RandomScheduler
+
+        assert isinstance(harness.scheduler("random"), RandomScheduler)
+        assert isinstance(harness.scheduler("fair"), FairScheduler)
+        with pytest.raises(ValueError):
+            harness.scheduler("chaotic")
+
+    def test_form_view_returns_applied_view(self):
+        harness = ModelHarness("ab", seed=0)
+        view = harness.form_view("ab")
+        assert harness.mbrshp.mbrshp_view["a"] == view
+
+    def test_views_delivered_helper(self):
+        harness = ModelHarness("ab", seed=0)
+        view = harness.form_view("ab")
+        harness.run_to_quiescence()
+        assert harness.views_delivered("a") == [view]
+
+    def test_run_to_quiescence_with_hooks(self):
+        harness = ModelHarness("ab", seed=0)
+        harness.form_view("ab")
+        calls = []
+        harness.run_to_quiescence(hooks=[lambda *a: calls.append(1)])
+        assert calls
