@@ -24,6 +24,18 @@ def test_micro_model_scheduler(benchmark):
     assert steps > 50
 
 
+def test_micro_random_scheduler(benchmark):
+    """Adversarial-scheduler steps/second on the same 3-process model."""
+
+    def run():
+        harness = ModelHarness("abc", seed=1, scripts={p: ["m"] * 3 for p in "abc"})
+        harness.form_view("abc")
+        return harness.scheduler("random").run(max_steps=200)
+
+    steps = benchmark(run)
+    assert steps > 50
+
+
 def test_micro_sim_multicast(benchmark):
     """Simulated deliveries/second: 8 nodes, 10 messages each."""
 

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Standalone E9 micro-benchmark runner -> BENCH_E9.json.
+
+Measures the framework substrate on three fixed workloads (the same ones
+``bench_e9_micro.py`` wraps for pytest-benchmark):
+
+* ``fair_steps_per_s``   - fair-scheduler steps/s on the 3-process model
+  harness (strict end-points), the acceptance metric for engine PRs;
+* ``random_steps_per_s`` - adversarial-scheduler steps/s on the same model;
+* ``sim_deliveries_per_s`` - deliveries/s of an 8-node simulated run.
+
+Results are merged into ``BENCH_E9.json`` at the repository root under a
+named entry (default ``current``), preserving entries written by earlier
+PRs - most importantly ``pre_pr_baseline`` - so the performance
+trajectory stays reviewable across the PR stack:
+
+    PYTHONPATH=src python benchmarks/run_micro.py
+    python benchmarks/run_micro.py --entry current --reps 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness import ModelHarness  # noqa: E402
+from repro.net import ConstantLatency, SimWorld  # noqa: E402
+
+
+def fair_steps() -> int:
+    harness = ModelHarness("abc", seed=1, scripts={p: ["m"] * 3 for p in "abc"})
+    harness.form_view("abc")
+    return harness.scheduler("fair").run(max_steps=50_000)
+
+
+def random_steps() -> int:
+    harness = ModelHarness("abc", seed=1, scripts={p: ["m"] * 3 for p in "abc"})
+    harness.form_view("abc")
+    return harness.scheduler("random").run(max_steps=200)
+
+
+def sim_deliveries() -> int:
+    world = SimWorld(latency=ConstantLatency(1.0), membership="oracle")
+    nodes = world.add_nodes([f"p{i}" for i in range(8)])
+    world.start()
+    world.run()
+    for node in nodes:
+        for i in range(10):
+            node.send(i)
+    world.run()
+    return sum(len(n.delivered) for n in nodes)
+
+
+WORKLOADS = [
+    ("fair_steps_per_s", fair_steps),
+    ("random_steps_per_s", random_steps),
+    ("sim_deliveries_per_s", sim_deliveries),
+]
+
+
+def measure(fn, reps: int) -> tuple[float, int]:
+    fn()  # warm-up: compile chains, prime caches
+    rates = []
+    count = 0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        count = fn()
+        elapsed = time.perf_counter() - t0
+        rates.append(count / elapsed)
+    return statistics.median(rates), count
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_E9.json",
+        help="JSON file to merge results into (default: repo-root BENCH_E9.json)",
+    )
+    parser.add_argument(
+        "--entry",
+        default="current",
+        help="name of the entry to write, e.g. current or pre_pr_baseline",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5, help="repetitions per workload (median is kept)"
+    )
+    args = parser.parse_args(argv)
+
+    entry = {}
+    for name, fn in WORKLOADS:
+        rate, count = measure(fn, args.reps)
+        entry[name] = round(rate, 1)
+        entry[name.replace("_per_s", "_count")] = count
+        print(f"{name:24s} {rate:10.1f}  (work units: {count})")
+
+    doc = {}
+    if args.output.exists():
+        doc = json.loads(args.output.read_text())
+    doc.setdefault("benchmark", "E9 framework micro-benchmarks")
+    doc.setdefault("workloads", {
+        "fair_steps_per_s": "fair-scheduler steps/s, 3-process model harness",
+        "random_steps_per_s": "random-scheduler steps/s, 3-process model harness",
+        "sim_deliveries_per_s": "deliveries/s, 8-node simulated multicast",
+    })
+    doc.setdefault("entries", {})
+    doc["entries"][args.entry] = entry
+
+    baseline = doc["entries"].get("pre_pr_baseline")
+    current = doc["entries"].get("current")
+    if baseline and current:
+        doc["speedup_vs_baseline"] = {
+            name: round(current[name] / baseline[name], 2)
+            for name, _fn in WORKLOADS
+            if baseline.get(name)
+        }
+
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,12 @@ class frozendict(Mapping[K, V]):
             self._hash = hash(frozenset(self._data.items()))
         return self._hash
 
+    def __reduce__(self):
+        # Tuple-based pickling: much cheaper than the generic slotted-class
+        # protocol, and views (which embed frozendicts) are pickled on the
+        # strict-mode hot path.  The cached hash is recomputed on demand.
+        return (frozendict, (self._data,))
+
     def __repr__(self) -> str:
         items = ", ".join(f"{k!r}: {v!r}" for k, v in sorted(self._data.items(), key=repr))
         return f"frozendict({{{items}}})"
@@ -174,6 +180,12 @@ class MessageLog:
         while i < len(items) and items[i] is not None:
             i += 1
         self._prefix = self._base + i
+
+    def __getstate__(self):
+        return (self._items, self._base, self._prefix)
+
+    def __setstate__(self, state) -> None:
+        self._items, self._base, self._prefix = state
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MessageLog):

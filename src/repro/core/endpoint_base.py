@@ -54,11 +54,13 @@ class ProcessAutomaton(Automaton):
     def apply(self, action: Action) -> None:
         if action.name == "crash":
             self.crashed = True
+            self.touch()  # crashing disables the enabled set
             return
         if action.name == "recover":
             if self.crashed:
                 self.reset_state()
                 self.crashed = False
+                self.touch()
             return
         if self.crashed:
             # Effects of inputs are disabled while crashed; locally
@@ -78,3 +80,8 @@ class ProcessAutomaton(Automaton):
         if self.crashed:
             return []
         return super().enabled_actions()
+
+    def naive_enabled_actions(self) -> List[Action]:
+        if self.crashed:
+            return []
+        return super().naive_enabled_actions()

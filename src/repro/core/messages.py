@@ -33,6 +33,13 @@ class ViewMsg(WireMessage):
 
     view: View
 
+    def __reduce__(self):
+        # Constructor-based pickling for all wire messages: they fill the
+        # end-point buffers that strict mode fingerprints on every effect,
+        # and the generic frozen-dataclass protocol is several times
+        # slower.
+        return (ViewMsg, (self.view,))
+
 
 @dataclass(frozen=True)
 class AppMsg(WireMessage):
@@ -48,6 +55,9 @@ class AppMsg(WireMessage):
     history_view: Optional[View] = field(default=None, compare=False)
     history_index: Optional[int] = field(default=None, compare=False)
 
+    def __reduce__(self):
+        return (AppMsg, (self.payload, self.history_view, self.history_index))
+
 
 @dataclass(frozen=True)
 class FwdMsg(WireMessage):
@@ -57,6 +67,9 @@ class FwdMsg(WireMessage):
     view: View
     index: int
     payload: Any
+
+    def __reduce__(self):
+        return (FwdMsg, (self.origin, self.view, self.index, self.payload))
 
 
 @dataclass(frozen=True)
@@ -74,6 +87,9 @@ class AckMsg(WireMessage):
     view_id: ViewId
     delivered: Cut
 
+    def __reduce__(self):
+        return (AckMsg, (self.view_id, self.delivered))
+
 
 @dataclass(frozen=True)
 class SyncMsg(WireMessage):
@@ -88,6 +104,9 @@ class SyncMsg(WireMessage):
     cid: StartChangeId
     view: Optional[View]
     cut: Optional[Cut]
+
+    def __reduce__(self):
+        return (SyncMsg, (self.cid, self.view, self.cut))
 
     @property
     def compact(self) -> bool:

@@ -47,6 +47,10 @@ _PRIORITY = {
 }
 
 
+def _priority_key(action: Action) -> int:
+    return _PRIORITY.get(action.name, 9)
+
+
 class EndpointRunner:
     """Drives one :class:`~repro.core.gcs_endpoint.GcsEndpoint` reactively."""
 
@@ -143,7 +147,8 @@ class EndpointRunner:
                 batch = self.endpoint.enabled_actions()
                 if not batch:
                     break
-                batch.sort(key=lambda action: _PRIORITY.get(action.name, 9))
+                if len(batch) > 1:
+                    batch.sort(key=_priority_key)
                 progressed = False
                 for action in batch:
                     if not self.endpoint.is_enabled(action):

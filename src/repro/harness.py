@@ -74,6 +74,22 @@ def ioa_trace_to_gcs_trace(trace: Trace) -> GcsTrace:
     return out
 
 
+def enabled_cache_validation_hook(system: Composition, owner, action: Action) -> None:
+    """Step hook asserting the incremental enabled-set cache is exact.
+
+    After every executed step, the cached enabled set must equal the
+    reflective no-cache oracle - same (owner, action) pairs, same order.
+    Wire it into a scheduler (``scheduler(..., validate_cache=True)``)
+    for differential testing; it is far too slow for production runs.
+    """
+    cached = [(c.name, a) for c, a in system.enabled_actions()]
+    naive = [(c.name, a) for c, a in system.naive_enabled_actions()]
+    assert cached == naive, (
+        f"enabled-set cache diverged after {action!r}:\n"
+        f"  cached: {cached}\n  oracle: {naive}"
+    )
+
+
 class ModelHarness:
     """A closed model of the whole service for one set of processes."""
 
@@ -113,13 +129,23 @@ class ModelHarness:
     # driving
     # ------------------------------------------------------------------
 
-    def scheduler(self, kind: str = "random", seed: Optional[int] = None):
+    def scheduler(
+        self,
+        kind: str = "random",
+        seed: Optional[int] = None,
+        *,
+        validate_cache: bool = False,
+    ):
         seed = self.seed if seed is None else seed
         if kind == "random":
-            return RandomScheduler(self.system, seed=seed)
-        if kind == "fair":
-            return FairScheduler(self.system, seed=seed)
-        raise ValueError(f"unknown scheduler kind {kind!r}")
+            scheduler = RandomScheduler(self.system, seed=seed)
+        elif kind == "fair":
+            scheduler = FairScheduler(self.system, seed=seed)
+        else:
+            raise ValueError(f"unknown scheduler kind {kind!r}")
+        if validate_cache:
+            scheduler.add_hook(enabled_cache_validation_hook)
+        return scheduler
 
     def inject_membership(self, actions: Iterable[Action]) -> None:
         """Execute membership output actions through the composition."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Tuple
 
 
@@ -35,10 +36,15 @@ class Action:
         return f"{self.name}({inner})"
 
 
+@lru_cache(maxsize=None)
 def method_suffix(action_name: str) -> str:
     """Translate an action name to a Python method-name suffix.
 
     Dotted names such as ``co_rfifo.send`` map to ``co_rfifo_send`` so
     that automata can declare ``_pre_co_rfifo_send`` and friends.
+
+    Memoized: action vocabularies are tiny and fixed, and the compiled
+    transition chains aside, the reflective oracle paths still build
+    method names per call.
     """
     return action_name.replace(".", "_")

@@ -11,7 +11,8 @@ eventually given a turn.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.ioa.action import Action
 from repro.ioa.automaton import Automaton
@@ -94,7 +95,7 @@ class FairScheduler(SchedulerBase):
     ) -> None:
         super().__init__(system, hooks)
         self.rng = random.Random(seed)
-        self._queue: List[Tuple[Automaton, str, object]] = []
+        self._queue: Deque[Tuple[Automaton, str, object]] = deque()
         for component in system.components:
             for task_name, selector in component.tasks().items():
                 self._queue.append((component, task_name, selector))
@@ -108,13 +109,17 @@ class FairScheduler(SchedulerBase):
 
     def step(self) -> bool:
         # One full cycle over the task queue looking for an enabled task;
-        # rotate so progress is spread across tasks.
-        for _ in range(len(self._queue)):
-            component, _task_name, selector = self._queue[0]
-            self._queue.append(self._queue.pop(0))
+        # rotate so progress is spread across tasks.  Each visit reads the
+        # composition's per-component cache, so a cycle over n tasks
+        # re-enumerates candidates only for components whose state
+        # actually changed since their last visit.
+        queue = self._queue
+        for _ in range(len(queue)):
+            component, _task_name, selector = queue[0]
+            queue.rotate(-1)
             actions = [
                 action
-                for action in component.enabled_actions()
+                for action in self.system.enabled_for(component)
                 if self._in_task(action, selector)
             ]
             if actions:

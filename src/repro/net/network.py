@@ -143,15 +143,26 @@ class SimNetwork:
         flight = self._in_flight.setdefault(link, deque())
 
         def deliver() -> None:
-            if flight and flight[0][1] is message:
+            # Retire exactly this transmission's entry, keyed by the
+            # scheduled event: matching by message identity pops a
+            # different transmission's entry when the same message object
+            # is on the link twice, leaving a live event that a later
+            # partition flush cannot cancel.
+            if flight and flight[0] is entry:
                 flight.popleft()
+            else:
+                try:
+                    flight.remove(entry)
+                except ValueError:
+                    pass
             self.delivered[kind] += 1
             handler = self._handlers.get(dst)
             if handler is not None:
                 handler(src, message)
 
         event = self.clock.schedule_at(arrival, deliver)
-        flight.append((event, message))
+        entry = (event, message)
+        flight.append(entry)
         return True
 
     # ------------------------------------------------------------------

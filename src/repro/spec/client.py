@@ -106,6 +106,9 @@ class ScriptedClient(ClientSpec):
     def queue(self, *payloads: Any) -> None:
         """Append payloads for future sending."""
         self.script.extend(payloads)
+        # Out-of-band state change: a composition caching this client's
+        # (possibly empty) enabled set must re-enumerate the candidates.
+        self.touch()
 
     def _candidates_send(self) -> Iterable[Tuple[ProcessId, Any]]:
         if self.script and self.block_status is not BlockStatus.BLOCKED:

@@ -51,6 +51,12 @@ class ViewId:
         """A fresh identifier strictly greater than this one."""
         return ViewId(self.counter + 1, origin)
 
+    def __reduce__(self):
+        # Constructor-based pickling: view identifiers are embedded in
+        # every view and wire message, so the strict-mode fingerprint
+        # path pickles them constantly.
+        return (ViewId, (self.counter, self.origin))
+
     def __repr__(self) -> str:
         if self.origin:
             return f"ViewId({self.counter}, {self.origin!r})"
@@ -86,6 +92,9 @@ class View:
 
     def __contains__(self, process: ProcessId) -> bool:
         return process in self.members
+
+    def __reduce__(self):
+        return (View, (self.vid, self.members, self.start_ids))
 
     def __repr__(self) -> str:
         members = ",".join(sorted(self.members))

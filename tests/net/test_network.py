@@ -115,3 +115,52 @@ def test_unmentioned_processes_join_group_zero():
     net.partition([["a"]])
     assert net.connected("b", "c")
     assert not net.connected("a", "b")
+
+
+class _ScriptedLatency:
+    """Returns a scripted sequence of latency samples."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def sample(self, src, dst):
+        return self._values.pop(0)
+
+
+def test_inflight_entry_keyed_by_event_not_message_identity():
+    """Regression: the same message object sent twice on one link.
+
+    ``schedule_at`` converts an absolute arrival back to a delay, and the
+    float round-trip ``now + (arrival - now)`` can land strictly below
+    ``arrival`` - so the second copy's delivery event fires just before
+    the first copy's.  When in-flight bookkeeping matched entries by
+    message identity, that early delivery popped the *first* copy's
+    entry; a partition struck next could then neither find nor cancel the
+    first delivery event, letting the message cross the cut (and double
+    count: one bounce plus two deliveries from two sends).
+    """
+    clock = EventScheduler()
+    # Chosen so that 16.83604827991613 + (57.98945040232396 - 16.83604827991613)
+    # == 57.98945040232395 < 57.98945040232396: the second send's event
+    # fires before the first's despite the per-link FIFO arrival clamp.
+    t_second = 16.83604827991613
+    latency_first = 57.98945040232396
+    net = SimNetwork(clock, _ScriptedLatency([latency_first, 1.0]))
+    received, bounced = [], []
+    net.register("a", lambda src, m: None, lambda dst, m: bounced.append(m))
+
+    def on_b(src, m):
+        received.append(m)
+        if len(received) == 1:  # partition the instant the first copy lands
+            net.partition([["a"], ["b"]])
+
+    net.register("b", on_b)
+    message = ("payload",)
+    net.send("a", "b", message)
+    clock.schedule(t_second, lambda: net.send("a", "b", message))
+    clock.run()
+    # Exactly one copy is delivered (before the cut) and exactly one is
+    # bounced back by the partition; nothing crosses the cut afterwards.
+    assert received == [message]
+    assert bounced == [message]
+    assert not any(net._in_flight.values())

@@ -1,0 +1,115 @@
+"""Differential property: the incremental enabled-set cache is exact.
+
+Hypothesis drives the full Figure 8 model (strict-mode end-points)
+through arbitrary interleavings of scheduler steps, membership behaviour,
+crashes/recoveries, partitions, out-of-band client queueing and direct
+``reset_state`` calls.  After every executed step (via the validation
+hook) and after every environment disturbance (explicitly), the cached
+enabled set must equal the reflective no-cache oracle - same
+(component, action) pairs, same order.  This is what keeps seeded
+schedules replayable: ``rng.choice`` sees the identical list either way.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness import ModelHarness
+from repro.ioa import Action
+
+PROCS = "abc"
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("steps"), st.integers(min_value=1, max_value=12)),
+        st.tuples(st.just("form_view"), st.sets(st.sampled_from(list(PROCS)), min_size=1)),
+        st.tuples(st.just("start_change"), st.sets(st.sampled_from(list(PROCS)), min_size=1)),
+        st.tuples(st.just("partition"), st.sets(st.sampled_from(list(PROCS)), min_size=1)),
+        st.tuples(st.just("crash"), st.sampled_from(list(PROCS))),
+        st.tuples(st.just("recover"), st.sampled_from(list(PROCS))),
+        st.tuples(st.just("queue"), st.sampled_from(list(PROCS))),
+        st.tuples(st.just("reset"), st.sampled_from(list(PROCS))),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+CACHE_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def assert_cache_exact(harness):
+    cached = [(c.name, a) for c, a in harness.system.enabled_actions()]
+    naive = [(c.name, a) for c, a in harness.system.naive_enabled_actions()]
+    assert cached == naive
+
+
+def apply_op(harness, op):
+    kind, arg = op
+    if kind == "form_view":
+        harness.form_view(arg)
+    elif kind == "start_change":
+        harness.inject_membership(
+            a
+            for a in harness.driver.start_change_actions(arg)
+            if harness.mbrshp.is_enabled(a)
+        )
+    elif kind == "partition":
+        rest = set(PROCS) - arg
+        groups = [arg] + ([rest] if rest else [])
+        _views, actions = harness.driver.partitioned_views(groups)
+        harness.inject_membership(
+            a for a in actions if harness.mbrshp.is_enabled(a)
+        )
+    elif kind == "crash":
+        harness.system.inject(Action("crash", (arg,)))
+    elif kind == "recover":
+        harness.system.inject(Action("recover", (arg,)))
+    elif kind == "queue":
+        harness.clients[arg].queue(f"extra-{arg}")
+    elif kind == "reset":
+        harness.endpoints[arg].reset_state()
+
+
+class TestEnabledCacheDifferential:
+    @CACHE_SETTINGS
+    @given(
+        ops=ops,
+        seed=st.integers(min_value=0, max_value=2**16),
+        kind=st.sampled_from(["random", "fair"]),
+    )
+    def test_cached_enabled_sets_match_oracle(self, ops, seed, kind):
+        harness = ModelHarness(
+            PROCS, seed=seed, scripts={p: [f"{p}0"] for p in PROCS}
+        )
+        # The hook re-checks cache == oracle after *every* executed step.
+        scheduler = harness.scheduler(kind, validate_cache=True)
+        for op in ops:
+            if op[0] == "steps":
+                for _ in range(op[1]):
+                    if not scheduler.step():
+                        break
+            else:
+                apply_op(harness, op)
+                assert_cache_exact(harness)
+        assert_cache_exact(harness)
+
+    @CACHE_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_seed_stable_across_cached_and_fresh_runs(self, seed):
+        """Two identically-seeded harnesses take identical steps: the
+        cache cannot perturb scheduling decisions."""
+        traces = []
+        for _ in range(2):
+            harness = ModelHarness(
+                PROCS, seed=seed, scripts={p: [f"{p}0", f"{p}1"] for p in PROCS}
+            )
+            harness.form_view(PROCS)
+            recorded = []
+            scheduler = harness.scheduler("random")
+            scheduler.add_hook(lambda _s, o, a, rec=recorded: rec.append((o.name, a)))
+            scheduler.run(max_steps=200)
+            traces.append(recorded)
+        assert traces[0] == traces[1]
