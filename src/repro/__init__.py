@@ -14,6 +14,8 @@ Algorithms, and Proofs"* (ICDCS 2000):
 * :mod:`repro.net` - a deterministic discrete-event simulation of the
   whole deployment;
 * :mod:`repro.runtime` - the asyncio runtime for real deployments;
+* :mod:`repro.deploy` - one deployment contract over three substrates
+  (simulator, asyncio, TCP), so scenarios are written once;
 * :mod:`repro.checking` - every specified property, invariant and
   refinement mapping as an executable check;
 * :mod:`repro.baselines` - sequential and two-round virtual synchrony
@@ -45,6 +47,12 @@ from repro.core import (
     VsRfifoTsEndpoint,
     WvRfifoEndpoint,
     strategy_by_name,
+)
+from repro.deploy import (
+    SUBSTRATES,
+    Deployment,
+    make_deployment,
+    run_scenario,
 )
 from repro.errors import (
     InvariantViolation,
@@ -84,6 +92,7 @@ __all__ = [
     "ConstantLatency",
     "Cut",
     "Delivery",
+    "Deployment",
     "GcsEndpoint",
     "GcsTrace",
     "InvariantViolation",
@@ -96,6 +105,7 @@ __all__ = [
     "RefinementViolation",
     "ReplicatedStateMachine",
     "ReproError",
+    "SUBSTRATES",
     "SequentialVsEndpoint",
     "SimWorld",
     "SimpleStrategy",
@@ -114,6 +124,8 @@ __all__ = [
     "check_all_safety",
     "check_liveness",
     "initial_view",
+    "make_deployment",
     "make_view",
+    "run_scenario",
     "strategy_by_name",
 ]

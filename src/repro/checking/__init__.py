@@ -30,8 +30,10 @@ from repro.checking.invariants import (
 )
 from repro.checking.properties import (
     check_all_safety,
+    check_deployment_trace,
     check_liveness,
     check_local_monotonicity,
+    check_mbrshp_conformance,
     check_safety_spec,
     check_self_delivery,
     check_self_inclusion,
@@ -63,9 +65,11 @@ __all__ = [
     "WorldView",
     "attach_refinement_checkers",
     "check_all_safety",
+    "check_deployment_trace",
     "check_invariants",
     "check_liveness",
     "check_local_monotonicity",
+    "check_mbrshp_conformance",
     "check_safety_spec",
     "check_self_delivery",
     "check_self_inclusion",

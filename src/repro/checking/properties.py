@@ -23,6 +23,7 @@ from repro.checking.events import (
     CrashEvent,
     DeliverEvent,
     GcsTrace,
+    MbrshpStartChangeEvent,
     MbrshpViewEvent,
     RecoverEvent,
     SendEvent,
@@ -30,6 +31,7 @@ from repro.checking.events import (
 )
 from repro.errors import ActionNotEnabled, SpecificationViolation
 from repro.ioa import Action
+from repro.spec.mbrshp import MbrshpSpec
 from repro.spec.vs_rfifo import FullSafetySpec
 from repro.spec.wv_rfifo import WvRfifoSpec
 from repro.types import ProcessId, View, initial_view
@@ -63,6 +65,47 @@ def check_local_monotonicity(trace: GcsTrace) -> None:
                 f"after {previous.vid!r}"
             )
         last[key] = event.view
+
+
+def check_mbrshp_conformance(
+    trace: GcsTrace, processes: Optional[Iterable[ProcessId]] = None
+) -> None:
+    """The membership notices in the trace are a behaviour of Figure 2.
+
+    Replays every ``start_change`` / ``view`` notice (plus crashes and
+    recoveries) through a fresh :class:`~repro.spec.mbrshp.MbrshpSpec`:
+    any notice whose precondition is false - a non-increasing cid, a view
+    without a preceding start_change, a stale startId binding, members
+    outside the suggested set - fails the check.  This is how deployments
+    whose views come from real membership servers (asyncio, TCP) are held
+    to the same standard as the simulator's.
+    """
+    if processes is None:
+        procs = set(trace.processes())
+        for event in trace.of_type(ViewEvent, MbrshpViewEvent):
+            procs |= set(event.view.members)
+    else:
+        procs = set(processes)
+    if not procs:
+        return
+    spec = MbrshpSpec(sorted(procs))
+    for event in trace:
+        try:
+            if isinstance(event, MbrshpStartChangeEvent):
+                spec.apply(
+                    Action(
+                        "mbrshp.start_change",
+                        (event.proc, event.cid, frozenset(event.members)),
+                    )
+                )
+            elif isinstance(event, MbrshpViewEvent):
+                spec.apply(Action("mbrshp.view", (event.proc, event.view)))
+            elif isinstance(event, CrashEvent):
+                spec.apply(Action("crash", (event.proc,)))
+            elif isinstance(event, RecoverEvent):
+                spec.apply(Action("recover", (event.proc,)))
+        except ActionNotEnabled as exc:
+            _fail(f"MBRSHP conformance (Figure 2): {exc}")
 
 
 # ----------------------------------------------------------------------
@@ -302,3 +345,21 @@ def check_all_safety(trace: GcsTrace, processes: Optional[Iterable[ProcessId]] =
     check_virtual_synchrony(trace)
     check_transitional_sets(trace)
     check_self_delivery(trace)
+
+
+def check_deployment_trace(
+    trace: GcsTrace,
+    processes: Optional[Iterable[ProcessId]] = None,
+    *,
+    final_view: Optional[View] = None,
+) -> None:
+    """The post-hoc audit for any deployment's trace, on any substrate.
+
+    Runs the full safety battery plus MBRSHP conformance of the
+    membership notices; when the caller knows the run stabilised in
+    ``final_view``, also checks liveness (Property 4.2) against it.
+    """
+    check_all_safety(trace, processes)
+    check_mbrshp_conformance(trace, processes)
+    if final_view is not None:
+        check_liveness(trace, final_view)

@@ -1,0 +1,65 @@
+"""Deployment backend over the in-process asyncio runtime."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Tuple
+
+from repro.checking.events import GcsTrace
+from repro.deploy.base import Deployment
+from repro.runtime.cluster import AsyncCluster
+from repro.types import ProcessId, View
+
+
+class AsyncDeployment(Deployment):
+    """Runs the group on :class:`AsyncCluster`: asyncio queues as the
+    transport, a :class:`~repro.membership.tier.MembershipTier` of real
+    membership servers on the same hub."""
+
+    name = "async"
+
+    def __init__(self, **cluster_kwargs: Any) -> None:
+        self.cluster = AsyncCluster(**cluster_kwargs)
+
+    async def setup(self, pids: Iterable[ProcessId]) -> View:
+        self.cluster.add_nodes(list(pids))
+        return await self.cluster.start()
+
+    async def close(self) -> None:
+        await self.cluster.close()
+
+    async def send(self, pid: ProcessId, payload: Any) -> None:
+        await self.cluster.node(pid).send(payload)
+
+    async def settle(self) -> None:
+        await self.cluster.quiesce()
+
+    async def reconfigure(self, members: Iterable[ProcessId]) -> View:
+        return await self.cluster.reconfigure(members)
+
+    async def partition(self, groups: Iterable[Iterable[ProcessId]]) -> List[View]:
+        return await self.cluster.partition(groups)
+
+    async def heal(self) -> View:
+        return await self.cluster.heal()
+
+    async def crash(self, pid: ProcessId) -> None:
+        await self.cluster.crash(pid)
+
+    async def recover(self, pid: ProcessId) -> None:
+        await self.cluster.recover(pid)
+
+    @property
+    def trace(self) -> GcsTrace:
+        return self.cluster.trace
+
+    def processes(self) -> List[ProcessId]:
+        return sorted(self.cluster.nodes)
+
+    def current_view(self, pid: ProcessId) -> View:
+        return self.cluster.node(pid).current_view
+
+    def delivered(self, pid: ProcessId) -> List[Tuple[ProcessId, Any]]:
+        return list(self.cluster.node(pid).delivered)
+
+    def views(self, pid: ProcessId) -> List[View]:
+        return list(self.cluster.node(pid).views)

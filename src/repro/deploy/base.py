@@ -1,0 +1,127 @@
+"""The substrate-agnostic deployment contract.
+
+A :class:`Deployment` is the paper's Figure 1 seen from the outside: a
+set of GCS end-points over *some* substrate, with membership changes and
+fault injection as environment inputs and one :class:`GcsTrace` of
+everything observable.  Scenario scripts, experiments and integration
+tests are written against this class only - the same coroutine runs over
+the discrete-event simulator, in-process asyncio queues, or real TCP
+sockets, and :meth:`check` audits any of them with the same property
+checkers.
+
+A new backend is one adapter: subclass, implement the abstract
+methods over your transport, and every scenario in
+:mod:`repro.deploy.scenarios` (and every parametrized integration test)
+runs on it unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.checking.events import GcsTrace
+from repro.checking.properties import check_deployment_trace
+from repro.types import ProcessId, View
+
+
+class Deployment(ABC):
+    """One deployed group of GCS end-points over some substrate."""
+
+    #: Short substrate name ("sim", "async", "tcp"), for display and
+    #: parametrized test ids.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    async def setup(self, pids: Iterable[ProcessId]) -> View:
+        """Create the end-points and form the initial view of all of them."""
+
+    @abstractmethod
+    async def close(self) -> None:
+        """Tear the substrate down (tasks, sockets, ...)."""
+
+    async def __aenter__(self) -> "Deployment":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    async def send(self, pid: ProcessId, payload: Any) -> None:
+        """Multicast ``payload`` from ``pid`` to its current view."""
+
+    @abstractmethod
+    async def settle(self) -> None:
+        """Run until quiescent; raises SettleTimeoutError if it cannot."""
+
+    @abstractmethod
+    async def reconfigure(self, members: Iterable[ProcessId]) -> View:
+        """Change the membership to ``members``; return the installed view."""
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    async def partition(self, groups: Iterable[Iterable[ProcessId]]) -> List[View]:
+        """Split the network; return the per-group views, in group order."""
+
+    @abstractmethod
+    async def heal(self) -> View:
+        """Reunite the network; return the merged view."""
+
+    @abstractmethod
+    async def crash(self, pid: ProcessId) -> None:
+        """Crash the end-point ``pid`` (Section 8)."""
+
+    @abstractmethod
+    async def recover(self, pid: ProcessId) -> None:
+        """Recover ``pid``; the membership re-admits it."""
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def trace(self) -> GcsTrace:
+        """The unconditional trace of every observable event so far."""
+
+    @abstractmethod
+    def processes(self) -> List[ProcessId]:
+        """All end-point ids, sorted."""
+
+    @abstractmethod
+    def current_view(self, pid: ProcessId) -> View:
+        """The view currently installed at ``pid``."""
+
+    @abstractmethod
+    def delivered(self, pid: ProcessId) -> List[Tuple[ProcessId, Any]]:
+        """Everything delivered to ``pid``'s application, in order."""
+
+    @abstractmethod
+    def views(self, pid: ProcessId) -> List[View]:
+        """Every view installed at ``pid``, in order."""
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def check(self, *, final_view: Optional[View] = None) -> None:
+        """Audit the trace: full safety battery + MBRSHP conformance.
+
+        With ``final_view`` given (a stabilised run), liveness
+        (Property 4.2) is checked against it too.
+        """
+        check_deployment_trace(self.trace, self.processes(), final_view=final_view)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} nodes={self.processes()}>"

@@ -1,0 +1,118 @@
+"""Deployment backend over the discrete-event simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Tuple
+
+from repro.checking.events import GcsTrace
+from repro.deploy.base import Deployment
+from repro.errors import SettleTimeoutError
+from repro.net.world import SimWorld
+from repro.types import ProcessId, View
+
+
+class SimDeployment(Deployment):
+    """Runs the group on :class:`SimWorld` (oracle membership, zero or
+    scripted latency).  The async methods complete synchronously - the
+    simulated clock runs to quiescence inside each call."""
+
+    name = "sim"
+
+    def __init__(self, **world_kwargs: Any) -> None:
+        world_kwargs.setdefault("membership", "oracle")
+        self.world = SimWorld(**world_kwargs)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def setup(self, pids: Iterable[ProcessId]) -> View:
+        self.world.add_nodes(list(pids))
+        self.world.start()
+        self.world.settle()
+        view = self.world.oracle.views_formed[-1]
+        self._verify_installed(view)
+        return view
+
+    async def close(self) -> None:
+        pass  # nothing runs between calls; the world is plain objects
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    async def send(self, pid: ProcessId, payload: Any) -> None:
+        node = self.world.node(pid)
+        if node.runner.blocked:
+            # The Figure 12 contract: wait out the pending view change.
+            self.world.settle()
+        node.send(payload)
+
+    async def settle(self) -> None:
+        self.world.settle()
+
+    async def reconfigure(self, members: Iterable[ProcessId]) -> View:
+        views = self.world.oracle.reconfigure([list(members)])
+        self.world.settle()
+        self._verify_installed(views[0])
+        return views[0]
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    async def partition(self, groups: Iterable[Iterable[ProcessId]]) -> List[View]:
+        groups = [list(group) for group in groups]
+        before = len(self.world.oracle.views_formed)
+        self.world.partition(groups)
+        self.world.settle()
+        views = self.world.oracle.views_formed[before:]
+        for view in views:
+            self._verify_installed(view)
+        return views
+
+    async def heal(self) -> View:
+        self.world.heal()
+        self.world.settle()
+        view = self.world.oracle.views_formed[-1]
+        self._verify_installed(view)
+        return view
+
+    async def crash(self, pid: ProcessId) -> None:
+        self.world.crash(pid)
+        self.world.settle()
+
+    async def recover(self, pid: ProcessId) -> None:
+        self.world.recover(pid)
+        self.world.settle()
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self) -> GcsTrace:
+        return self.world.trace
+
+    def processes(self) -> List[ProcessId]:
+        return sorted(self.world.nodes)
+
+    def current_view(self, pid: ProcessId) -> View:
+        return self.world.node(pid).current_view
+
+    def delivered(self, pid: ProcessId) -> List[Tuple[ProcessId, Any]]:
+        return list(self.world.node(pid).delivered)
+
+    def views(self, pid: ProcessId) -> List[View]:
+        return [view for view, _transitional in self.world.node(pid).views]
+
+    # ------------------------------------------------------------------
+
+    def _verify_installed(self, view: View) -> None:
+        if not self.world.all_in_view(view):
+            current = {
+                pid: self.world.node(pid).current_view for pid in sorted(view.members)
+            }
+            raise SettleTimeoutError(
+                f"simulation quiescent but {view} not installed everywhere: {current}"
+            )

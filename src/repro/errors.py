@@ -53,6 +53,15 @@ class TransportError(ReproError):
     """A transport-layer failure in the runtime or simulator."""
 
 
+class SettleTimeoutError(ReproError):
+    """A deployment failed to reach the awaited state within its timeout.
+
+    Raised by the event-driven settling helpers (in place of the former
+    unbounded sleep-polling loops) with a description of which processes
+    were still unsettled and what state they were observed in.
+    """
+
+
 class ClientMisuseError(ReproError):
     """The application violated the blocking-client contract (Fig. 12).
 

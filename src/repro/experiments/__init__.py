@@ -30,6 +30,12 @@ from repro.experiments.extensions import (
     measure_two_tier,
 )
 from repro.experiments.servers import ServerTierResult, measure_server_tier
+from repro.experiments.substrates import (
+    SubstrateResult,
+    matrix_agrees,
+    measure_substrate,
+    substrate_matrix,
+)
 from repro.experiments.tables import format_table
 
 __all__ = [
@@ -42,9 +48,11 @@ __all__ = [
     "OrderingResult",
     "ReconfigResult",
     "ServerTierResult",
+    "SubstrateResult",
     "ThroughputResult",
     "TwoTierResult",
     "format_table",
+    "matrix_agrees",
     "measure_blocking_window",
     "measure_compact_syncs",
     "measure_crash_recovery",
@@ -53,7 +61,9 @@ __all__ = [
     "measure_ordering_overhead",
     "measure_reconfiguration",
     "measure_server_tier",
+    "measure_substrate",
     "measure_throughput",
     "measure_two_tier",
     "reconfiguration_sweep",
+    "substrate_matrix",
 ]

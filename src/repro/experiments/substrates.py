@@ -1,0 +1,91 @@
+"""E15: the same workload measured across execution substrates.
+
+The deployment layer's promise is that one scenario runs unchanged over
+the simulator, the asyncio runtime and real TCP sockets.  This
+experiment makes the comparison quantitative: a fixed multicast workload
+is driven through :mod:`repro.deploy` on each substrate, the trace is
+audited by the full property battery, and per-substrate event counts
+confirm the *observable behaviour* is the same even though the transports
+could hardly differ more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.checking.events import DeliverEvent, SendEvent, ViewEvent
+from repro.deploy import SUBSTRATES, Deployment, run_scenario
+
+
+@dataclass
+class SubstrateResult:
+    substrate: str
+    nodes: int
+    rounds: int
+    sends: int  # application multicasts issued
+    deliveries: int  # application deliveries (sends x group size if correct)
+    view_events: int  # views installed across all end-points
+    checked: bool  # full safety + MBRSHP battery passed
+
+
+def _workload(nodes: int, rounds: int):
+    pids = [chr(ord("a") + i) for i in range(nodes)]
+
+    async def scenario(deployment: Deployment) -> None:
+        await deployment.setup(pids)
+        for round_no in range(rounds):
+            for pid in pids:
+                await deployment.send(pid, (pid, round_no))
+            await deployment.settle()
+
+    return scenario
+
+
+def measure_substrate(
+    substrate: str, *, nodes: int = 3, rounds: int = 2, check: bool = True
+) -> SubstrateResult:
+    """Run the fixed workload on one substrate and tally its trace."""
+    deployment = run_scenario(substrate, _workload(nodes, rounds))
+    if check:
+        deployment.check()
+    trace = deployment.trace
+    return SubstrateResult(
+        substrate=substrate,
+        nodes=nodes,
+        rounds=rounds,
+        sends=len(trace.of_type(SendEvent)),
+        deliveries=len(trace.of_type(DeliverEvent)),
+        view_events=len(trace.of_type(ViewEvent)),
+        checked=check,
+    )
+
+
+def substrate_matrix(
+    *, nodes: int = 3, rounds: int = 2, check: bool = True
+) -> List[SubstrateResult]:
+    """The E15 table: one row per substrate, identical workload."""
+    return [
+        measure_substrate(substrate, nodes=nodes, rounds=rounds, check=check)
+        for substrate in SUBSTRATES
+    ]
+
+
+def behaviour_fingerprint(result: SubstrateResult) -> Tuple[int, int]:
+    """The substrate-independent part of a result: (sends, deliveries)."""
+    return (result.sends, result.deliveries)
+
+
+def matrix_agrees(results: List[SubstrateResult]) -> bool:
+    """True when all substrates produced the same observable workload."""
+    fingerprints = {behaviour_fingerprint(r) for r in results}
+    return len(fingerprints) == 1
+
+
+__all__ = [
+    "SubstrateResult",
+    "behaviour_fingerprint",
+    "matrix_agrees",
+    "measure_substrate",
+    "substrate_matrix",
+]

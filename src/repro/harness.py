@@ -29,7 +29,7 @@ from repro.checking.events import (
     ViewEvent,
 )
 from repro.checking.invariants import WorldView, check_invariants, invariant_hook
-from repro.checking.properties import check_all_safety
+from repro.checking.properties import check_all_safety, check_mbrshp_conformance
 from repro.checking.refinement import attach_refinement_checkers
 from repro.core.forwarding import ForwardingStrategy
 from repro.core.gcs_endpoint import GcsEndpoint
@@ -177,6 +177,16 @@ class ModelHarness:
 
     def check_safety(self) -> None:
         check_all_safety(self.gcs_trace(), self.processes)
+
+    def check_mbrshp(self) -> None:
+        """Replay the membership notices through a fresh Figure 2 spec.
+
+        Trivially true for behaviours generated by the in-model
+        ``MbrshpSpec`` itself, but a real check for traces imported from
+        deployments (and a guard against projection bugs in
+        :func:`ioa_trace_to_gcs_trace`).
+        """
+        check_mbrshp_conformance(self.gcs_trace(), self.processes)
 
     def check_invariants(self) -> None:
         check_invariants(self.world)

@@ -20,13 +20,17 @@ from repro.membership.protocol import (
     server_id,
 )
 from repro.membership.server import MembershipServer
+from repro.membership.tier import MembershipTier, PartitionPlan, TierLink
 
 __all__ = [
     "SERVER_PREFIX",
     "MembershipServer",
+    "MembershipTier",
     "OracleMembership",
+    "PartitionPlan",
     "ServerProposal",
     "StartChangeNotice",
+    "TierLink",
     "TopologyFailureDetector",
     "ViewNotice",
     "server_id",

@@ -58,15 +58,27 @@ class MembershipServer:
         sid: ProcessId,
         send: SendFn,
         clients: Iterable[ProcessId] = (),
+        *,
+        cid_registry: Optional[Dict[ProcessId, StartChangeId]] = None,
+        initial_counter: int = 0,
     ) -> None:
         self.sid = sid
         self._send = send
         self.local_clients: Set[ProcessId] = set(clients)
         self.reachable: FrozenSet[ProcessId] = frozenset({sid})
         self.round = 0
-        self.max_counter = 0
+        # ``initial_counter`` seeds the view-counter watermark: a server
+        # created after others have already formed views (e.g. to serve a
+        # new partition component) must never issue a counter a client
+        # could have seen before, or Local Monotonicity breaks.
+        self.max_counter = initial_counter
         # Per-client watermarks; never reset (the service keeps its state).
-        self._next_cid: Dict[ProcessId, StartChangeId] = {}
+        # A shared ``cid_registry`` lets several servers of one logical
+        # service hand out locally-unique cids even when a client is moved
+        # between servers across reconfigurations.
+        self._next_cid: Dict[ProcessId, StartChangeId] = (
+            cid_registry if cid_registry is not None else {}
+        )
         self._announced_estimate: Optional[FrozenSet[ProcessId]] = None
         self._crashed_clients: Set[ProcessId] = set()
         # Figure 2 mode discipline, per local client.
@@ -107,17 +119,37 @@ class MembershipServer:
             self.begin_round(self.round + 1)
 
     def add_client(self, client: ProcessId) -> None:
-        if client in self.local_clients:
-            return
-        self.local_clients.add(client)
-        self._trigger()
+        self.update_clients(add=(client,))
 
     def remove_client(self, client: ProcessId) -> None:
-        if client not in self.local_clients:
-            return
-        self.local_clients.discard(client)
-        self._crashed_clients.discard(client)
-        self._trigger()
+        self.update_clients(remove=(client,))
+
+    def update_clients(
+        self,
+        add: Iterable[ProcessId] = (),
+        remove: Iterable[ProcessId] = (),
+        *,
+        trigger: bool = True,
+    ) -> bool:
+        """Apply a batch of registry changes with at most one round trigger.
+
+        Returns whether the registry changed.  ``trigger=False`` defers
+        the round - used when the caller will change the topology next and
+        wants a single round covering both.
+        """
+        changed = False
+        for client in remove:
+            if client in self.local_clients:
+                self.local_clients.discard(client)
+                self._crashed_clients.discard(client)
+                changed = True
+        for client in add:
+            if client not in self.local_clients:
+                self.local_clients.add(client)
+                changed = True
+        if changed and trigger:
+            self._trigger()
+        return changed
 
     def client_crashed(self, client: ProcessId) -> None:
         if client in self.local_clients and client not in self._crashed_clients:

@@ -1,0 +1,303 @@
+"""A substrate-neutral membership-server tier.
+
+The paper's client-server architecture puts membership agreement on a
+small tier of dedicated servers; the GCS end-points only ever see the
+MBRSHP interface (``start_change`` / ``view`` notices).  ``MembershipTier``
+assembles such a tier out of :class:`~repro.membership.server.MembershipServer`
+instances over *any* transport: the substrate contributes a tiny adapter
+(the :class:`TierLink` protocol below), and the tier contributes the
+whole Figure 2 discipline - fresh locally-unique cids, monotone view
+counters, one-round (two in the cold-registry case) view agreement.
+
+This is what lets the asyncio and TCP deployments run the *same*
+membership algorithm as the simulator instead of an ad-hoc in-process
+coordinator: ``AsyncCluster`` links the tier to its ``AsyncHub``,
+``TcpCluster`` gives every server a real socket endpoint.
+
+Topology input (who can reach whom among servers) is injected by the
+deployment when it partitions or heals its transport - the tier-side
+analogue of the simulator's topology failure detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Protocol,
+    Set,
+)
+
+from repro.membership.protocol import ViewNotice, server_id
+from repro.membership.server import MembershipServer
+from repro.types import ProcessId, StartChangeId, View
+
+
+class TierLink(Protocol):
+    """What a substrate must provide to host membership servers.
+
+    ``attach`` registers a server's inbox on the substrate (async because
+    real transports may need to open sockets); ``post`` is a
+    fire-and-forget send from a server to any process - another server
+    (proposals) or a client (start_change / view notices).
+    """
+
+    async def attach(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+        ...  # pragma: no cover - protocol
+
+    def post(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class PartitionPlan:
+    """A computed partition: which server serves which group, and the
+    transport components (clients plus their server) the deployment must
+    cut before the tier announces the change."""
+
+    groups: List[FrozenSet[ProcessId]]
+    assignment: Dict[ProcessId, FrozenSet[ProcessId]]  # sid -> clients
+    components: List[List[ProcessId]]
+
+
+class MembershipTier:
+    """A tier of membership servers over a :class:`TierLink`."""
+
+    def __init__(self, link: TierLink, *, servers: int = 1) -> None:
+        if servers < 1:
+            raise ValueError("a membership tier needs at least one server")
+        self.link = link
+        self.servers: Dict[ProcessId, MembershipServer] = {}
+        self._initial_servers = servers
+        # Shared per-client cid watermarks: cids stay locally unique and
+        # increasing even when clients move between servers.
+        self._cid_registry: Dict[ProcessId, StartChangeId] = {}
+        self._home: Dict[ProcessId, ProcessId] = {}
+        self._known: Set[ProcessId] = set()
+        self._registered: Set[ProcessId] = set()
+        # Clients cut off by a partition (as opposed to explicitly removed):
+        # a heal brings exactly these back.
+        self._detached: Set[ProcessId] = set()
+        self._crashed: Set[ProcessId] = set()
+        self.views_formed: List[View] = []
+        self._seen_views: Set[View] = set()
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    async def _add_server(self) -> MembershipServer:
+        sid = server_id(str(len(self.servers)))
+        server = MembershipServer(
+            sid,
+            send=self._sender(sid),
+            cid_registry=self._cid_registry,
+            initial_counter=self.watermark(),
+        )
+        self.servers[sid] = server
+        await self.link.attach(sid, server.on_message)
+        return server
+
+    async def ensure_capacity(self, count: int) -> None:
+        """Create servers (with transport endpoints) up to ``count``."""
+        while len(self.servers) < count:
+            await self._add_server()
+
+    def watermark(self) -> int:
+        """The highest view counter any server of the tier has issued."""
+        return max((s.max_counter for s in self.servers.values()), default=0)
+
+    def _sender(self, sid: ProcessId) -> Callable[[ProcessId, Any], None]:
+        def send(dst: ProcessId, message: Any) -> None:
+            if isinstance(message, ViewNotice) and message.view not in self._seen_views:
+                self._seen_views.add(message.view)
+                self.views_formed.append(message.view)
+            self.link.post(sid, dst, message)
+
+        return send
+
+    def _default_home(self, pid: ProcessId) -> ProcessId:
+        del pid  # assignment is load-based, not identity-based
+        return min(
+            sorted(self.servers),
+            key=lambda sid: (len(self.servers[sid].local_clients), sid),
+        )
+
+    # ------------------------------------------------------------------
+    # client registry
+    # ------------------------------------------------------------------
+
+    def add_client(self, pid: ProcessId) -> None:
+        """Introduce a client.  It joins views only once ``start`` or
+        :meth:`set_members` actually registers it."""
+        self._known.add(pid)
+
+    def _register(self, pid: ProcessId, *, trigger: bool = True) -> None:
+        home = self._home.get(pid) or self._default_home(pid)
+        self._home[pid] = home
+        self._registered.add(pid)
+        self._detached.discard(pid)
+        self.servers[home].update_clients(add=(pid,), trigger=trigger)
+
+    def active_members(self) -> FrozenSet[ProcessId]:
+        return frozenset(self._registered - self._crashed)
+
+    async def start(self) -> None:
+        """Create the initial servers, spread clients, run the first round."""
+        await self.ensure_capacity(self._initial_servers)
+        sids = sorted(self.servers)
+        for index, pid in enumerate(sorted(self._known)):
+            home = sids[index % len(sids)]
+            self._home[pid] = home
+            self._registered.add(pid)
+            self.servers[home].update_clients(add=(pid,), trigger=False)
+        self.started = True
+        everyone = frozenset(self.servers)
+        for sid in sids:
+            self.servers[sid].activate(everyone)
+
+    def set_members(self, members: Iterable[ProcessId]) -> bool:
+        """Drive the registered client set to ``members`` (join + leave).
+
+        Batched per server, so each affected server starts a single round.
+        Returns whether anything changed (if not, no new view will form).
+        """
+        target = frozenset(members)
+        unknown = target - self._known
+        if unknown:
+            raise ValueError(f"unknown clients {sorted(unknown)}; add_client them first")
+        adds: Dict[ProcessId, List[ProcessId]] = {}
+        removes: Dict[ProcessId, List[ProcessId]] = {}
+        for pid in sorted(target - self._registered):
+            home = self._home.get(pid) or self._default_home(pid)
+            self._home[pid] = home
+            self._registered.add(pid)
+            self._detached.discard(pid)
+            adds.setdefault(home, []).append(pid)
+        for pid in sorted(self._registered - target):
+            self._registered.discard(pid)
+            self._detached.discard(pid)  # explicit leave, not a partition cut
+            removes.setdefault(self._home[pid], []).append(pid)
+        changed = False
+        for sid in sorted(set(adds) | set(removes)):
+            changed |= self.servers[sid].update_clients(
+                add=adds.get(sid, ()), remove=removes.get(sid, ())
+            )
+        return changed
+
+    def client_crashed(self, pid: ProcessId) -> None:
+        self._crashed.add(pid)
+        if pid in self._registered:
+            self.servers[self._home[pid]].client_crashed(pid)
+
+    def client_recovered(self, pid: ProcessId) -> None:
+        self._crashed.discard(pid)
+        if pid in self._registered:
+            self.servers[self._home[pid]].client_recovered(pid)
+        else:
+            self._register(pid)
+
+    # ------------------------------------------------------------------
+    # topology (the deployment's failure-detector input)
+    # ------------------------------------------------------------------
+
+    def plan_partition(self, groups: Iterable[Iterable[ProcessId]]) -> PartitionPlan:
+        """Assign one server per group; compute the transport components.
+
+        Call :meth:`ensure_capacity` for ``len(groups)`` first.  Clients
+        in no group are cut off entirely (singleton components).
+        """
+        group_sets = [frozenset(g) for g in groups]
+        sids = sorted(self.servers)
+        if len(sids) < len(group_sets):
+            raise ValueError("not enough servers; call ensure_capacity first")
+        assignment = {sids[i]: group_sets[i] for i in range(len(group_sets))}
+        components: List[List[ProcessId]] = [
+            sorted(group) + [sids[i]] for i, group in enumerate(group_sets)
+        ]
+        components.extend([sid] for sid in sids[len(group_sets):])
+        listed: Set[ProcessId] = set().union(*group_sets) if group_sets else set()
+        components.extend([pid] for pid in sorted(self._registered - listed))
+        return PartitionPlan(group_sets, assignment, components)
+
+    def apply_partition(self, plan: PartitionPlan) -> None:
+        """Announce a planned partition: move clients, isolate servers.
+
+        The deployment must have cut its transport along
+        ``plan.components`` already; every notice a server sends from here
+        on stays within its own component.
+        """
+        snapshot = self.watermark()
+        listed: Set[ProcessId] = set().union(*plan.groups) if plan.groups else set()
+        adds: Dict[ProcessId, List[ProcessId]] = {}
+        removes: Dict[ProcessId, List[ProcessId]] = {}
+        for sid, group in plan.assignment.items():
+            for pid in sorted(group):
+                old = self._home.get(pid)
+                if old == sid and pid in self._registered:
+                    continue
+                if pid in self._registered and old is not None and old != sid:
+                    removes.setdefault(old, []).append(pid)
+                self._home[pid] = sid
+                self._registered.add(pid)
+                adds.setdefault(sid, []).append(pid)
+        for pid in sorted(self._registered - listed):
+            # Cut off from every server: it keeps its current view and
+            # hears nothing until the next heal or reconfiguration.
+            self._registered.discard(pid)
+            self._detached.add(pid)
+            removes.setdefault(self._home[pid], []).append(pid)
+        for sid in sorted(self.servers):
+            server = self.servers[sid]
+            if adds.get(sid):
+                # A server inheriting clients from elsewhere must issue
+                # counters above anything those clients may have seen.
+                server.max_counter = max(server.max_counter, snapshot)
+            changed = server.update_clients(
+                add=adds.get(sid, ()), remove=removes.get(sid, ()), trigger=False
+            )
+            for pid in adds.get(sid, ()):
+                if pid in self._crashed:
+                    # Moving a crashed client must not resurrect it.
+                    server._crashed_clients.add(pid)
+            component = frozenset({sid})
+            if not server.active:
+                server.activate(component)
+            else:
+                before = server.reachable
+                server.set_reachable(component)
+                if before == component and changed:
+                    server.begin_round(server.round + 1)
+
+    def heal(self) -> None:
+        """Reunite the tier: all servers reachable, cut-off clients back."""
+        everyone = frozenset(self.servers)
+        adds: Dict[ProcessId, List[ProcessId]] = {}
+        for pid in sorted(self._detached - self._crashed):
+            home = self._home.get(pid) or self._default_home(pid)
+            self._home[pid] = home
+            self._registered.add(pid)
+            adds.setdefault(home, []).append(pid)
+        self._detached -= self._registered
+        for sid in sorted(self.servers):
+            server = self.servers[sid]
+            changed = server.update_clients(add=adds.get(sid, ()), trigger=False)
+            if not server.active:
+                server.activate(everyone)
+            else:
+                before = server.reachable
+                server.set_reachable(everyone)
+                if before == everyone and changed:
+                    server.begin_round(server.round + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MembershipTier servers={sorted(self.servers)} "
+            f"clients={sorted(self._registered)} views={len(self.views_formed)}>"
+        )

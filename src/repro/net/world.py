@@ -27,7 +27,7 @@ from repro.core.forwarding import ForwardingStrategy
 from repro.core.gcs_endpoint import GcsEndpoint
 from repro.core.messages import WireMessage
 from repro.core.runner import EndpointRunner
-from repro.errors import TransportError
+from repro.errors import SettleTimeoutError, TransportError
 from repro.membership.failure_detector import TopologyFailureDetector
 from repro.membership.oracle import OracleMembership
 from repro.membership.protocol import StartChangeNotice, ViewNotice, server_id
@@ -241,6 +241,23 @@ class SimWorld:
 
     def run(self, max_events: Optional[int] = None) -> int:
         return self.clock.run(max_events)
+
+    def settle(self, max_events: int = 2_000_000) -> int:
+        """Run the clock until no events remain; bounded, never hangs.
+
+        The discrete-event analogue of the runtime clusters' quiescence
+        waits: raises :class:`SettleTimeoutError` if the event queue is
+        still non-empty after ``max_events`` steps (a livelocked
+        protocol), instead of spinning forever.
+        """
+        executed = self.clock.run(max_events)
+        remaining = self.clock.pending()
+        if remaining:
+            raise SettleTimeoutError(
+                f"simulation still has {remaining} pending event(s) "
+                f"after {executed} steps at t={self.clock.now:.3f}"
+            )
+        return executed
 
     def run_until(self, time: float) -> int:
         return self.clock.run_until(time)

@@ -2,16 +2,20 @@
 C++ implementation).
 
 * :class:`AsyncGcsNode` - one group member with an async send/receive API;
-* :class:`AsyncCluster` - in-process cluster with managed membership;
+* :class:`AsyncCluster` - in-process cluster whose membership tier runs
+  the real one-round MBRSHP protocol over :class:`HubTierLink`;
 * :class:`AsyncHub` - lossless in-process transport;
 * :class:`TcpTransport` - a length-prefixed TCP transport for
-  cross-process deployments among trusted peers.
+  cross-process deployments among trusted peers, with
+  :class:`TcpCluster` driving the same membership tier over sockets;
+* :func:`await_settled` - event-driven settling shared by both clusters.
 """
 
-from repro.runtime.cluster import AsyncCluster
+from repro.runtime.cluster import AsyncCluster, HubTierLink
 from repro.runtime.node import AsyncGcsNode, Delivery, ViewChange
+from repro.runtime.settle import await_settled, describe_views, uniform_view
 from repro.runtime.tcp import TcpTransport, encode_frame, read_frame
-from repro.runtime.tcp_cluster import TcpCluster, TcpGcsNode
+from repro.runtime.tcp_cluster import TcpCluster, TcpGcsNode, TcpTierLink
 from repro.runtime.transport import AsyncHub
 
 __all__ = [
@@ -19,10 +23,15 @@ __all__ = [
     "AsyncGcsNode",
     "AsyncHub",
     "Delivery",
+    "HubTierLink",
     "TcpCluster",
     "TcpGcsNode",
+    "TcpTierLink",
     "TcpTransport",
     "ViewChange",
+    "await_settled",
+    "describe_views",
     "encode_frame",
     "read_frame",
+    "uniform_view",
 ]

@@ -1,42 +1,74 @@
 """Convenience cluster for asyncio deployments.
 
 ``AsyncCluster`` bundles an :class:`~repro.runtime.transport.AsyncHub`,
-an in-process membership coordinator (the Figure 2 discipline with fresh
-identifiers and startId maps), and node management - everything the
-examples and quickstart need to demonstrate the service end to end.
+a :class:`~repro.membership.tier.MembershipTier` of real membership
+servers (the same one-round client-server protocol the simulator runs -
+see :mod:`repro.membership.server`), and node management.  Membership
+notices travel over the hub like any other traffic, so partitions cut
+clients off from their servers exactly as a WAN partition would.
+
+All settling is event-driven: view installations wake the waiters, and a
+stuck protocol raises :class:`~repro.errors.SettleTimeoutError` instead
+of hanging.  Every node records into one shared :class:`GcsTrace`, so
+``repro.checking`` can audit any run post-hoc.
 """
 
 from __future__ import annotations
 
 import asyncio
-import itertools
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional
 
-from repro._collections import frozendict
 from repro.checking.events import GcsTrace
 from repro.core.forwarding import ForwardingStrategy
+from repro.membership.tier import MembershipTier
 from repro.runtime.node import AsyncGcsNode
+from repro.runtime.settle import await_settled, describe_views
 from repro.runtime.transport import AsyncHub
-from repro.types import ProcessId, View, ViewId
+from repro.types import VID_ZERO, ProcessId, View
+
+
+class HubTierLink:
+    """Hosts membership servers on an :class:`AsyncHub`.
+
+    Servers are hub processes like any client: proposals and notices go
+    through the same queues (and are subject to the same partitions).
+    """
+
+    def __init__(self, hub: AsyncHub) -> None:
+        self.hub = hub
+
+    async def attach(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+        self.hub.register(sid, handler)
+
+    def post(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+        self.hub.send(src, [dst], message)
 
 
 class AsyncCluster:
-    """An in-process group of GCS nodes with managed membership."""
+    """An in-process group of GCS nodes with server-based membership."""
 
     def __init__(
         self,
         *,
         delay: float = 0.0,
         forwarding: Optional[ForwardingStrategy] = None,
-        record_trace: bool = False,
+        record_trace: bool = True,
+        servers: int = 1,
+        settle_timeout: float = 10.0,
     ) -> None:
+        del record_trace  # accepted for compatibility; tracing is unconditional
         self.hub = AsyncHub(delay=delay)
         self.nodes: Dict[ProcessId, AsyncGcsNode] = {}
-        self.trace: Optional[GcsTrace] = GcsTrace() if record_trace else None
+        self.trace: GcsTrace = GcsTrace()
         self._forwarding = forwarding
-        self._cid = itertools.count(start=1)
-        self._counter = itertools.count(start=1)
-        self.views_formed: List[View] = []
+        self._settle_timeout = settle_timeout
+        self.tier = MembershipTier(HubTierLink(self.hub), servers=servers)
+        # Set whenever any node installs a view; wakes settling waiters.
+        self._progress = asyncio.Event()
+
+    @property
+    def views_formed(self) -> List[View]:
+        return self.tier.views_formed
 
     # ------------------------------------------------------------------
     # topology management
@@ -44,47 +76,78 @@ class AsyncCluster:
 
     def add_node(self, pid: ProcessId) -> AsyncGcsNode:
         node = AsyncGcsNode(
-            pid, self.hub, forwarding=self._forwarding, trace=self.trace
+            pid,
+            self.hub,
+            forwarding=self._forwarding,
+            trace=self.trace,
+            on_view_installed=self._view_installed,
         )
         self.nodes[pid] = node
+        self.tier.add_client(pid)
         return node
 
     def add_nodes(self, pids: Iterable[ProcessId]) -> List[AsyncGcsNode]:
         return [self.add_node(pid) for pid in pids]
 
+    def _view_installed(self, node: AsyncGcsNode, view: View) -> None:
+        del node, view
+        self._progress.set()
+
     async def start(self) -> View:
-        """Form the initial view containing every registered node."""
-        return await self.reconfigure(list(self.nodes))
+        """Activate the membership tier; wait for the all-nodes view."""
+        await self.tier.start()
+        return await self.await_members(frozenset(self.nodes))
 
     async def reconfigure(self, members: Iterable[ProcessId]) -> View:
-        """Run a membership change for ``members`` and wait for delivery.
+        """Drive the membership to ``members`` and wait for the view.
 
-        Issues start_changes, then the view (with the startId map read off
-        the fresh identifiers), then waits until every member's end-point
-        has installed it.
+        The tier's servers run their agreement round(s) over the hub;
+        this returns once every member's end-point has installed one
+        common view with exactly ``members``.
         """
         member_set = frozenset(members)
-        cids = {pid: next(self._cid) for pid in sorted(member_set)}
-        for pid, cid in cids.items():
-            self.nodes[pid].membership_start_change(cid, member_set)
-        await asyncio.sleep(0)
-        view = View(ViewId(next(self._counter)), member_set, frozendict(cids))
-        self.views_formed.append(view)
-        for pid in sorted(member_set):
-            self.nodes[pid].membership_view(view)
-        await self.await_view(view)
-        return view
+        unknown = member_set - set(self.nodes)
+        if unknown:
+            raise ValueError(f"unknown nodes {sorted(unknown)}")
+        if not self.tier.started:
+            await self.tier.start()
+        self.tier.set_members(member_set)
+        return await self.await_members(member_set)
+
+    async def await_members(
+        self, member_set: FrozenSet[ProcessId], timeout: Optional[float] = None
+    ) -> View:
+        """Wait until ``member_set`` share one installed view of themselves."""
+        if not member_set:
+            raise ValueError("empty member set")
+        members = sorted(member_set)
+
+        def predicate() -> bool:
+            views = [self.nodes[pid].current_view for pid in members]
+            first = views[0]
+            return (
+                first.vid != VID_ZERO
+                and first.members == member_set
+                and all(v == first for v in views[1:])
+            )
+
+        await await_settled(
+            predicate,
+            self._progress,
+            timeout=self._settle_timeout if timeout is None else timeout,
+            describe=lambda: "awaiting view %s; %s"
+            % (members, describe_views({p: self.nodes[p] for p in members})),
+        )
+        return self.nodes[members[0]].current_view
 
     async def await_view(self, view: View, timeout: float = 10.0) -> None:
         """Wait until every member of ``view`` has installed it."""
-
-        async def settled() -> None:
-            while not all(
-                self.nodes[pid].current_view == view for pid in view.members
-            ):
-                await asyncio.sleep(0.002)
-
-        await asyncio.wait_for(settled(), timeout)
+        await await_settled(
+            lambda: all(self.nodes[pid].current_view == view for pid in view.members),
+            self._progress,
+            timeout=timeout,
+            describe=lambda: describe_views({p: self.nodes[p] for p in view.members}),
+        )
 
     async def quiesce(self) -> None:
         await self.hub.quiesce()
@@ -94,18 +157,42 @@ class AsyncCluster:
     # ------------------------------------------------------------------
 
     async def partition(self, groups: Iterable[Iterable[ProcessId]]) -> List[View]:
-        """Split the hub and reconfigure one view per group."""
+        """Split the hub into components; one view forms per group.
+
+        Each group gets its own membership server (grown on demand), cut
+        off - together with its clients - from the rest of the world,
+        mirroring the simulator's drop-across-the-cut semantics.
+        """
         groups = [list(group) for group in groups]
-        self.hub.partition(groups)
+        await self.tier.ensure_capacity(max(len(groups), len(self.tier.servers)))
+        plan = self.tier.plan_partition(groups)
+        self.hub.partition(plan.components)
+        self.tier.apply_partition(plan)
         views = []
         for group in groups:
-            views.append(await self.reconfigure(group))
+            views.append(await self.await_members(frozenset(group)))
         return views
 
     async def heal(self) -> View:
-        """Reconnect everyone and reconfigure the full membership."""
+        """Reconnect everyone; wait for the merged view."""
         self.hub.heal()
-        return await self.reconfigure(list(self.nodes))
+        self.tier.heal()
+        return await self.await_members(self.tier.active_members())
+
+    async def crash(self, pid: ProcessId) -> Optional[View]:
+        """Crash ``pid``; wait for the survivors' view (if any survive)."""
+        self.nodes[pid].crash()
+        self.tier.client_crashed(pid)
+        survivors = self.tier.active_members()
+        if not survivors:
+            return None
+        return await self.await_members(survivors)
+
+    async def recover(self, pid: ProcessId) -> View:
+        """Recover ``pid``; wait for the view re-admitting it."""
+        self.nodes[pid].recover()
+        self.tier.client_recovered(pid)
+        return await self.await_members(self.tier.active_members())
 
     async def close(self) -> None:
         await self.hub.close()

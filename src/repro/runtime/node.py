@@ -51,6 +51,7 @@ class AsyncGcsNode:
         forwarding: Optional[ForwardingStrategy] = None,
         trace: Optional[GcsTrace] = None,
         queue_views: bool = True,
+        on_view_installed: Optional[Callable[["AsyncGcsNode", View], None]] = None,
     ) -> None:
         self.pid = pid
         self.hub = hub
@@ -60,6 +61,9 @@ class AsyncGcsNode:
         self.endpoint = GcsEndpoint(pid, **kwargs)
         self.events_queue: asyncio.Queue = asyncio.Queue()
         self.queue_views = queue_views
+        self.delivered: List[Tuple[ProcessId, Any]] = []
+        self.views: List[View] = []
+        self._on_view_installed = on_view_installed
         self._unblocked = asyncio.Event()
         self._unblocked.set()
         self.runner = EndpointRunner(
@@ -112,7 +116,23 @@ class AsyncGcsNode:
     # wiring
     # ------------------------------------------------------------------
 
+    def crash(self) -> None:
+        """Crash the end-point: it ignores traffic until :meth:`recover`."""
+        self.runner.crash()
+        self._unblocked.set()  # do not leave senders waiting on a corpse
+
+    def recover(self) -> None:
+        self.runner.recover()
+        if not self.runner.blocked:
+            self._unblocked.set()
+
+    @property
+    def crashed(self) -> bool:
+        return self.endpoint.crashed
+
     def _on_wire(self, src: ProcessId, message: Any) -> None:
+        if self.endpoint.crashed:
+            return  # a crashed end-point hears nothing (Section 8)
         if isinstance(message, StartChangeNotice):
             self.runner.membership_start_change(message.cid, message.members)
         elif isinstance(message, ViewNotice):
@@ -133,12 +153,16 @@ class AsyncGcsNode:
             self._unblocked.set()
 
     def _on_deliver(self, sender: ProcessId, payload: Any) -> None:
+        self.delivered.append((sender, payload))
         self.events_queue.put_nowait(Delivery(sender, payload))
 
     def _on_view(self, view: View, transitional: FrozenSet[ProcessId]) -> None:
+        self.views.append(view)
         if self.queue_views:
             self.events_queue.put_nowait(ViewChange(view, transitional))
         self._unblocked.set()
+        if self._on_view_installed is not None:
+            self._on_view_installed(self, view)
 
     def _on_block(self) -> None:
         self._unblocked.clear()

@@ -1,0 +1,85 @@
+"""Event-driven settling for the asyncio and TCP deployments.
+
+The runtime formerly waited for convergence by sleep-polling
+(``await asyncio.sleep(0.002)`` in a loop), which is slow when the
+condition is already true, wasteful when it is not, and hangs CI forever
+when a protocol bug keeps it false.  :func:`await_settled` replaces all
+of those loops: callers hand in a *predicate* and an :class:`asyncio.Event`
+that progress-making code sets, and get either a prompt return or a
+:class:`~repro.errors.SettleTimeoutError` carrying a description of the
+stuck state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Iterable, Optional
+
+from repro.errors import SettleTimeoutError
+from repro.types import View
+
+DEFAULT_TIMEOUT = 5.0
+
+
+async def await_settled(
+    predicate: Callable[[], bool],
+    event: asyncio.Event,
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+    describe: Optional[Callable[[], str]] = None,
+) -> None:
+    """Wait until ``predicate()`` holds, woken by ``event``.
+
+    The event must be set by whatever code can make the predicate become
+    true (message handlers, view installation, ...).  To avoid the classic
+    lost-wakeup race the event is cleared *before* each predicate check:
+    a wake-up arriving between check and wait is then never dropped.
+
+    Raises :class:`SettleTimeoutError` after ``timeout`` seconds, with
+    ``describe()`` (if given) appended to the error message.
+    """
+    loop = asyncio.get_event_loop()
+    deadline = loop.time() + timeout
+    while True:
+        event.clear()
+        if predicate():
+            return
+        remaining = deadline - loop.time()
+        if remaining <= 0:
+            detail = f": {describe()}" if describe is not None else ""
+            raise SettleTimeoutError(
+                f"condition not reached within {timeout:.1f}s{detail}"
+            )
+        try:
+            await asyncio.wait_for(event.wait(), remaining)
+        except asyncio.TimeoutError:
+            pass  # fall through to the deadline check / final predicate try
+
+
+def uniform_view(views: Iterable[Optional[View]], members: frozenset) -> bool:
+    """True when every given view exists, is shared, and has ``members``."""
+    views = list(views)
+    if not views or any(v is None for v in views):
+        return False
+    first = views[0]
+    return first.members == members and all(v == first for v in views[1:])
+
+
+def describe_views(nodes: dict) -> str:
+    """Render ``pid -> current view`` for settle-timeout diagnostics."""
+    parts = []
+    for pid in sorted(nodes):
+        node = nodes[pid]
+        view = getattr(node, "current_view", None)
+        blocked = getattr(getattr(node, "runner", None), "blocked", None)
+        tag = " blocked" if blocked else ""
+        parts.append(f"{pid}={view!r}{tag}")
+    return ", ".join(parts)
+
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "await_settled",
+    "describe_views",
+    "uniform_view",
+]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import asyncio
 import pickle
 import struct
-from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.types import ProcessId
@@ -61,6 +61,10 @@ class TcpTransport:
         self.host = host
         self.port = port
         self.peers: Dict[ProcessId, Tuple[str, int]] = {}
+        # Partition emulation: when set, frames to/from processes outside
+        # the allowed set are silently dropped (a lost suffix, which the
+        # CO_RFIFO contract permits across a partition).
+        self._allowed: Optional[FrozenSet[ProcessId]] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Dict[ProcessId, asyncio.StreamWriter] = {}
         self._reader_tasks: list = []
@@ -82,6 +86,19 @@ class TcpTransport:
         """Address book: where each peer process listens."""
         self.peers = dict(peers)
 
+    def restrict(self, allowed: Optional[Iterable[ProcessId]]) -> None:
+        """Limit traffic to ``allowed`` peers (``None`` lifts the limit).
+
+        Used by clusters to emulate a network partition on loopback:
+        outgoing frames to, and incoming frames from, processes outside
+        the set are dropped, mirroring the simulator's
+        drop-across-the-cut semantics.
+        """
+        self._allowed = None if allowed is None else frozenset(allowed)
+
+    def _permitted(self, peer: ProcessId) -> bool:
+        return self._allowed is None or peer in self._allowed
+
     async def close(self) -> None:
         self._closed = True
         for writer in self._writers.values():
@@ -102,7 +119,7 @@ class TcpTransport:
     async def send(self, targets: Iterable[ProcessId], message: Any) -> None:
         frame = None
         for dst in targets:
-            if dst == self.pid:
+            if dst == self.pid or not self._permitted(dst):
                 continue
             writer = await self._writer_to(dst)
             if writer is None:
@@ -145,6 +162,8 @@ class TcpTransport:
         try:
             while not self._closed:
                 src, message = await read_frame(reader)
+                if not self._permitted(src):
+                    continue  # frame crossed a partition cut: drop it
                 self.handler(src, message)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             pass  # peer went away: CO_RFIFO may lose the suffix

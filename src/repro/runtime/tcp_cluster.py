@@ -3,10 +3,12 @@
 ``TcpCluster`` runs each member's end-point behind a
 :class:`~repro.runtime.tcp.TcpTransport`: every wire message crosses a
 real loopback (or LAN) socket, giving the closest analogue to the
-paper's C++ deployment this repository offers.  Membership is
-coordinated in-process (the cluster object plays the Figure 2 service);
-in a multi-host deployment the same node wiring would take its notices
-from `repro.membership` servers instead.
+paper's C++ deployment this repository offers.  Membership is provided
+by a :class:`~repro.membership.tier.MembershipTier` whose servers each
+listen on their *own* socket - start_change and view notices cross the
+kernel exactly like application traffic, and partitions (emulated with
+per-transport frame filters) cut clients off from their servers the way
+a real network split would.
 
 TCP supplies CO_RFIFO's per-connection gap-free FIFO; a broken
 connection is a lost suffix, after which the membership must
@@ -16,16 +18,19 @@ reconfigure - the assumption the paper makes of its substrate [36].
 from __future__ import annotations
 
 import asyncio
-import itertools
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro._collections import frozendict
 from repro.checking.events import GcsTrace
 from repro.core.gcs_endpoint import GcsEndpoint
 from repro.core.runner import EndpointRunner
+from repro.errors import SettleTimeoutError
+from repro.membership.protocol import StartChangeNotice, ViewNotice
+from repro.membership.tier import MembershipTier
 from repro.runtime.node import Delivery, ViewChange
+from repro.runtime.settle import await_settled, describe_views
 from repro.runtime.tcp import TcpTransport
-from repro.types import ProcessId, View, ViewId
+from repro.types import VID_ZERO, ProcessId, View
 
 
 class TcpGcsNode:
@@ -36,6 +41,10 @@ class TcpGcsNode:
         self.cluster = cluster
         self.endpoint = GcsEndpoint(pid, gc_views=True)
         self.events: asyncio.Queue = asyncio.Queue()
+        self.delivered: List[Tuple[ProcessId, Any]] = []
+        self.views: List[View] = []
+        self._unblocked = asyncio.Event()
+        self._unblocked.set()
         # wire sends are produced synchronously by the runner but must be
         # awaited on sockets: an outbox task serialises them in order.
         self._outbox: asyncio.Queue = asyncio.Queue()
@@ -44,14 +53,19 @@ class TcpGcsNode:
             self.endpoint,
             send_wire=lambda targets, m: self._outbox.put_nowait((targets, m)),
             set_reliable=lambda targets: None,  # TCP reconnects on demand
-            on_deliver=lambda sender, payload: self.events.put_nowait(
-                Delivery(sender, payload)
-            ),
-            on_view=lambda view, T: self.events.put_nowait(ViewChange(view, T)),
+            on_deliver=self._on_deliver,
+            on_view=self._on_view,
+            on_block=self._unblocked.clear,
             auto_block_ok=True,
+            clock=time.monotonic,
             trace=cluster.trace,
         )
         self._pump_task: Optional[asyncio.Task] = None
+
+    @property
+    def events_queue(self) -> asyncio.Queue:
+        """Alias matching :class:`AsyncGcsNode`, for substrate-generic code."""
+        return self.events
 
     async def start(self) -> Tuple[str, int]:
         address = await self.transport.start()
@@ -68,13 +82,43 @@ class TcpGcsNode:
         while True:
             targets, message = await self._outbox.get()
             await self.transport.send(targets, message)
+            self._outbox.task_done()
 
     def _on_wire(self, src: ProcessId, message: Any) -> None:
-        self.runner.receive(src, message)
+        if self.endpoint.crashed:
+            return  # a crashed end-point hears nothing (Section 8)
+        if isinstance(message, StartChangeNotice):
+            self.runner.membership_start_change(message.cid, message.members)
+        elif isinstance(message, ViewNotice):
+            self.runner.membership_view(message.view)
+        else:
+            self.runner.receive(src, message)
+        if not self.runner.blocked:
+            self._unblocked.set()
+
+    def _on_deliver(self, sender: ProcessId, payload: Any) -> None:
+        self.delivered.append((sender, payload))
+        self.events.put_nowait(Delivery(sender, payload))
+        self.cluster._progress.set()
+
+    def _on_view(self, view: View, transitional: FrozenSet[ProcessId]) -> None:
+        self.views.append(view)
+        self.events.put_nowait(ViewChange(view, transitional))
+        self._unblocked.set()
+        self.cluster._progress.set()
+
+    def crash(self) -> None:
+        self.runner.crash()
+        self._unblocked.set()  # do not leave senders waiting on a corpse
+
+    def recover(self) -> None:
+        self.runner.recover()
+        if not self.runner.blocked:
+            self._unblocked.set()
 
     async def send(self, payload: Any) -> None:
         while self.runner.blocked:
-            await asyncio.sleep(0.002)
+            await self._unblocked.wait()
         self.runner.app_send(payload)
         await asyncio.sleep(0)
 
@@ -86,54 +130,238 @@ class TcpGcsNode:
         return self.endpoint.current_view
 
 
+class _ServerPort:
+    """A membership server's own socket endpoint plus send pump."""
+
+    def __init__(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+        self.sid = sid
+        self.transport = TcpTransport(sid, handler)
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self._pump_task: Optional[asyncio.Task] = None
+
+    async def start(self) -> Tuple[str, int]:
+        address = await self.transport.start()
+        self._pump_task = asyncio.get_event_loop().create_task(self._pump())
+        return address
+
+    async def _pump(self) -> None:
+        while True:
+            dst, message = await self.outbox.get()
+            await self.transport.send([dst], message)
+            self.outbox.task_done()
+
+    async def stop(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            await asyncio.gather(self._pump_task, return_exceptions=True)
+        await self.transport.close()
+
+
+class TcpTierLink:
+    """Hosts membership servers on sockets of their own."""
+
+    def __init__(self, cluster: "TcpCluster") -> None:
+        self.cluster = cluster
+
+    async def attach(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+        await self.cluster._attach_server(sid, handler)
+
+    def post(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+        self.cluster._server_ports[src].outbox.put_nowait((dst, message))
+
+
 class TcpCluster:
     """Spin up members on loopback sockets and manage their membership."""
 
-    def __init__(self, *, record_trace: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        record_trace: bool = True,
+        servers: int = 1,
+        settle_timeout: float = 10.0,
+    ) -> None:
+        del record_trace  # accepted for compatibility; tracing is unconditional
         self.nodes: Dict[ProcessId, TcpGcsNode] = {}
-        self.trace: Optional[GcsTrace] = GcsTrace() if record_trace else None
-        self._cid = itertools.count(start=1)
-        self._counter = itertools.count(start=1)
+        self.trace: GcsTrace = GcsTrace()
+        self._settle_timeout = settle_timeout
+        self._addresses: Dict[ProcessId, Tuple[str, int]] = {}
+        self._server_ports: Dict[ProcessId, _ServerPort] = {}
+        self.tier = MembershipTier(TcpTierLink(self), servers=servers)
+        self._progress = asyncio.Event()
+
+    @property
+    def views_formed(self) -> List[View]:
+        return self.tier.views_formed
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    async def _attach_server(
+        self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]
+    ) -> None:
+        port = _ServerPort(sid, handler)
+        self._server_ports[sid] = port
+        self._addresses[sid] = await port.start()
+        self._broadcast_book()
+
+    def _broadcast_book(self) -> None:
+        for node in self.nodes.values():
+            node.transport.set_peers(self._addresses)
+        for port in self._server_ports.values():
+            port.transport.set_peers(self._addresses)
+
+    def _all_transports(self) -> List[TcpTransport]:
+        return [node.transport for node in self.nodes.values()] + [
+            port.transport for port in self._server_ports.values()
+        ]
+
+    # ------------------------------------------------------------------
+    # topology management
+    # ------------------------------------------------------------------
 
     async def add_nodes(self, pids: Iterable[ProcessId]) -> List[TcpGcsNode]:
         created = []
         for pid in pids:
             node = TcpGcsNode(pid, self)
             self.nodes[pid] = node
+            self.tier.add_client(pid)
             created.append(node)
-        addresses = {}
         for node in created:
-            addresses[node.pid] = await node.start()
-        book = {pid: addr for pid, addr in addresses.items()}
-        for node in self.nodes.values():
-            node.transport.set_peers(book)
+            self._addresses[node.pid] = await node.start()
+        self._broadcast_book()
         return created
 
-    async def reconfigure(self, members: Iterable[ProcessId], timeout: float = 10.0) -> View:
-        member_set = frozenset(members)
-        cids = {pid: next(self._cid) for pid in sorted(member_set)}
-        for pid, cid in cids.items():
-            self.nodes[pid].runner.membership_start_change(cid, member_set)
-        await asyncio.sleep(0)
-        view = View(ViewId(next(self._counter)), member_set, frozendict(cids))
-        for pid in sorted(member_set):
-            self.nodes[pid].runner.membership_view(view)
-
-        async def settled() -> None:
-            while not all(
-                self.nodes[pid].current_view == view for pid in member_set
-            ):
-                await asyncio.sleep(0.005)
-
-        await asyncio.wait_for(settled(), timeout)
-        return view
-
     async def start(self) -> View:
-        return await self.reconfigure(list(self.nodes))
+        """Activate the membership tier; wait for the all-nodes view."""
+        await self.tier.start()
+        return await self.await_members(frozenset(self.nodes))
+
+    async def reconfigure(
+        self, members: Iterable[ProcessId], timeout: Optional[float] = None
+    ) -> View:
+        member_set = frozenset(members)
+        unknown = member_set - set(self.nodes)
+        if unknown:
+            raise ValueError(f"unknown nodes {sorted(unknown)}")
+        if not self.tier.started:
+            await self.tier.start()
+        self.tier.set_members(member_set)
+        return await self.await_members(member_set, timeout)
+
+    async def await_members(
+        self, member_set: FrozenSet[ProcessId], timeout: Optional[float] = None
+    ) -> View:
+        """Wait until ``member_set`` share one installed view of themselves."""
+        if not member_set:
+            raise ValueError("empty member set")
+        members = sorted(member_set)
+
+        def predicate() -> bool:
+            views = [self.nodes[pid].current_view for pid in members]
+            first = views[0]
+            return (
+                first.vid != VID_ZERO
+                and first.members == member_set
+                and all(v == first for v in views[1:])
+            )
+
+        await await_settled(
+            predicate,
+            self._progress,
+            timeout=self._settle_timeout if timeout is None else timeout,
+            describe=lambda: "awaiting view %s; %s"
+            % (members, describe_views({p: self.nodes[p] for p in members})),
+        )
+        return self.nodes[members[0]].current_view
+
+    async def quiesce(self, idle: float = 0.08, timeout: float = 10.0) -> None:
+        """Wait until the cluster stops making progress.
+
+        Sockets give no global in-flight counter, so quiescence is a
+        bounded stability window: no new trace events and empty outboxes
+        for ``idle`` seconds.  Raises :class:`SettleTimeoutError` when
+        the window never closes within ``timeout``.
+        """
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+
+        def outbox_depth() -> int:
+            depth = sum(node._outbox.qsize() for node in self.nodes.values())
+            return depth + sum(p.outbox.qsize() for p in self._server_ports.values())
+
+        last = (len(self.trace), outbox_depth())
+        last_change = loop.time()
+        while True:
+            await asyncio.sleep(min(idle / 4, 0.02))
+            current = (len(self.trace), outbox_depth())
+            if current != last:
+                last, last_change = current, loop.time()
+            elif current[1] == 0 and loop.time() - last_change >= idle:
+                return
+            if loop.time() >= deadline:
+                raise SettleTimeoutError(
+                    f"TCP cluster still active after {timeout:.1f}s "
+                    f"(trace={current[0]} events, outboxes={current[1]})"
+                )
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    async def partition(self, groups: Iterable[Iterable[ProcessId]]) -> List[View]:
+        """Split the network into components; one view forms per group.
+
+        Emulated with per-transport frame filters: each process only
+        exchanges frames within its own component (its group plus the
+        membership server assigned to it).
+        """
+        groups = [list(group) for group in groups]
+        await self.tier.ensure_capacity(max(len(groups), len(self.tier.servers)))
+        plan = self.tier.plan_partition(groups)
+        component_of: Dict[ProcessId, FrozenSet[ProcessId]] = {}
+        for component in plan.components:
+            member_set = frozenset(component)
+            for pid in component:
+                component_of[pid] = member_set
+        for transport in self._all_transports():
+            transport.restrict(component_of.get(transport.pid, frozenset({transport.pid})))
+        self.tier.apply_partition(plan)
+        views = []
+        for group in groups:
+            views.append(await self.await_members(frozenset(group)))
+        return views
+
+    async def heal(self) -> View:
+        """Lift all frame filters; wait for the merged view."""
+        for transport in self._all_transports():
+            transport.restrict(None)
+        self.tier.heal()
+        return await self.await_members(self.tier.active_members())
+
+    async def crash(self, pid: ProcessId) -> Optional[View]:
+        """Crash ``pid``; wait for the survivors' view (if any survive)."""
+        self.nodes[pid].crash()
+        self.tier.client_crashed(pid)
+        survivors = self.tier.active_members()
+        if not survivors:
+            return None
+        return await self.await_members(survivors)
+
+    async def recover(self, pid: ProcessId) -> View:
+        """Recover ``pid``; wait for the view re-admitting it."""
+        self.nodes[pid].recover()
+        self.tier.client_recovered(pid)
+        return await self.await_members(self.tier.active_members())
 
     async def close(self) -> None:
         for node in self.nodes.values():
             await node.stop()
+        for port in self._server_ports.values():
+            await port.stop()
+
+    def node(self, pid: ProcessId) -> TcpGcsNode:
+        return self.nodes[pid]
 
     async def __aenter__(self) -> "TcpCluster":
         return self

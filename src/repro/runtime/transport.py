@@ -14,8 +14,9 @@ would).
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable
 
+from repro.errors import SettleTimeoutError
 from repro.types import ProcessId
 
 Handler = Callable[[ProcessId, Any], None]
@@ -31,6 +32,12 @@ class AsyncHub:
         self._pumps: Dict[ProcessId, asyncio.Task] = {}
         self._groups: Dict[ProcessId, int] = {}
         self._closed = False
+        # Messages enqueued but not yet fully handled.  ``_idle`` fires
+        # whenever the count returns to zero, so ``quiesce`` can wait on
+        # an event instead of sleep-polling the queues.
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     def register(self, pid: ProcessId, handler: Handler) -> None:
         if pid in self._handlers:
@@ -61,6 +68,8 @@ class AsyncHub:
                 continue
             if not self.connected(src, dst):
                 continue
+            self._inflight += 1
+            self._idle.clear()
             self._queues[dst].put_nowait((src, message))
 
     async def _pump(self, pid: ProcessId) -> None:
@@ -70,7 +79,12 @@ class AsyncHub:
             src, message = await queue.get()
             if self.delay:
                 await asyncio.sleep(self.delay)
-            handler(src, message)
+            try:
+                handler(src, message)
+            finally:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.set()
 
     async def close(self) -> None:
         self._closed = True
@@ -79,12 +93,35 @@ class AsyncHub:
         await asyncio.gather(*self._pumps.values(), return_exceptions=True)
         self._pumps.clear()
 
-    async def quiesce(self, settle: float = 0.01, rounds: int = 200) -> None:
-        """Wait until all inboxes drain and stay empty briefly."""
-        for _ in range(rounds):
-            if all(queue.empty() for queue in self._queues.values()):
-                await asyncio.sleep(settle)
-                if all(queue.empty() for queue in self._queues.values()):
-                    return
-            else:
-                await asyncio.sleep(settle)
+    async def quiesce(self, timeout: float = 10.0) -> None:
+        """Wait until no message is in flight anywhere on the hub.
+
+        Handlers may send further messages while handling one; the
+        in-flight counter covers those too, so when it hits zero the
+        fabric is genuinely quiescent.  Raises
+        :class:`SettleTimeoutError` instead of hanging if traffic never
+        stops within ``timeout`` seconds.
+        """
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while True:
+            # Yield once so a send scheduled in the current task's step
+            # reaches the pumps before we sample the counter.
+            await asyncio.sleep(0)
+            if self._inflight == 0:
+                return
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                pending = {
+                    pid: queue.qsize()
+                    for pid, queue in self._queues.items()
+                    if queue.qsize()
+                }
+                raise SettleTimeoutError(
+                    f"hub still has {self._inflight} message(s) in flight "
+                    f"after {timeout:.1f}s; pending inboxes: {pending}"
+                )
+            try:
+                await asyncio.wait_for(self._idle.wait(), remaining)
+            except asyncio.TimeoutError:
+                pass

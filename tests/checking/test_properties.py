@@ -7,9 +7,15 @@ checkers themselves).
 
 import pytest
 
+from repro.checking.events import (
+    GcsTrace,
+    MbrshpStartChangeEvent,
+    MbrshpViewEvent,
+)
 from repro.checking.properties import (
     check_all_safety,
     check_liveness,
+    check_mbrshp_conformance,
     check_local_monotonicity,
     check_safety_spec,
     check_self_delivery,
@@ -231,3 +237,64 @@ def test_check_all_safety_bundles_everything():
     bad = trace_of(("view", "a", V2, {"a"}), ("view", "a", V1, {"a"}))
     with pytest.raises(SpecificationViolation):
         check_all_safety(bad, ["a", "b"])
+
+
+class TestMbrshpConformance:
+    """check_mbrshp_conformance replays notices through Figure 2."""
+
+    def mb_trace(self, *events):
+        trace = GcsTrace()
+        for time, event in enumerate(events):
+            kind = event[0]
+            if kind == "sc":
+                _, p, cid, members = event
+                trace.append(
+                    MbrshpStartChangeEvent(float(time), p, cid, frozenset(members))
+                )
+            elif kind == "mv":
+                _, p, view = event
+                trace.append(MbrshpViewEvent(float(time), p, view))
+            else:
+                raise ValueError(kind)
+        return trace
+
+    def test_accepts_valid_notice_stream(self):
+        trace = self.mb_trace(
+            ("sc", "a", 1, {"a", "b"}),
+            ("sc", "b", 1, {"a", "b"}),
+            ("mv", "a", V1),
+            ("mv", "b", V1),
+        )
+        check_mbrshp_conformance(trace)
+
+    def test_rejects_view_without_start_change(self):
+        trace = self.mb_trace(("mv", "a", V1))
+        with pytest.raises(SpecificationViolation, match="MBRSHP conformance"):
+            check_mbrshp_conformance(trace)
+
+    def test_rejects_non_increasing_cid(self):
+        trace = self.mb_trace(
+            ("sc", "a", 2, {"a", "b"}),
+            ("sc", "a", 2, {"a"}),
+        )
+        with pytest.raises(SpecificationViolation, match="MBRSHP conformance"):
+            check_mbrshp_conformance(trace)
+
+    def test_rejects_members_outside_suggested_set(self):
+        trace = self.mb_trace(
+            ("sc", "a", 1, {"a"}),
+            ("mv", "a", V1),  # V1 has members {a, b}, announced only {a}
+        )
+        with pytest.raises(SpecificationViolation, match="MBRSHP conformance"):
+            check_mbrshp_conformance(trace)
+
+    def test_rejects_stale_start_id(self):
+        trace = self.mb_trace(
+            ("sc", "a", 5, {"a", "b"}),
+            ("mv", "a", V1),  # V1 binds startId(a) = 1, but cid 5 was announced
+        )
+        with pytest.raises(SpecificationViolation, match="MBRSHP conformance"):
+            check_mbrshp_conformance(trace)
+
+    def test_empty_trace_passes(self):
+        check_mbrshp_conformance(GcsTrace())

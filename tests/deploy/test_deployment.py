@@ -1,0 +1,224 @@
+"""Unit tests for the deployment layer and the membership tier.
+
+The integration matrix (tests/integration/test_scenarios.py) exercises
+the three backends end to end; here the pieces are tested in isolation -
+the tier over a synchronous loopback link, the backend registry, and the
+Deployment contract itself.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.deploy import (
+    SUBSTRATES,
+    SimDeployment,
+    make_deployment,
+    run_scenario,
+)
+from repro.membership import (
+    MembershipTier,
+    StartChangeNotice,
+    ViewNotice,
+)
+from repro.types import VID_ZERO
+
+
+class LoopbackLink:
+    """A buffering TierLink: ``post`` is fire-and-forget, as the protocol
+    demands, and messages are delivered FIFO on ``drain()`` - after the
+    tier has finished its control step, the way every real substrate's
+    event loop does.  (Delivering synchronously inside ``post`` would let
+    a proposal reach a peer whose reachable-set update is still pending
+    in the same tier operation, which no asynchronous transport does.)
+
+    Server-to-server messages go into the destination handler; client-
+    bound notices land in per-client inboxes so tests can assert on the
+    exact MBRSHP notice stream.
+    """
+
+    def __init__(self):
+        self.handlers = {}
+        self.inboxes = {}
+        self.queue = []
+
+    async def attach(self, sid, handler):
+        self.handlers[sid] = handler
+
+    def post(self, src, dst, message):
+        self.queue.append((src, dst, message))
+
+    def drain(self):
+        while self.queue:
+            src, dst, message = self.queue.pop(0)
+            if dst in self.handlers:
+                self.handlers[dst](src, message)
+            else:
+                self.inboxes.setdefault(dst, []).append(message)
+
+
+class TierDriver:
+    """A started tier plus its link, draining after every operation."""
+
+    def __init__(self, clients=("a", "b", "c"), servers=1):
+        self.link = LoopbackLink()
+        self.tier = MembershipTier(self.link, servers=servers)
+        for pid in clients:
+            self.tier.add_client(pid)
+        asyncio.run(self.tier.start())
+        self.link.drain()
+
+    def do(self, fn, *args, **kwargs):
+        result = fn(*args, **kwargs)
+        self.link.drain()
+        return result
+
+    def inbox(self, pid):
+        return self.link.inboxes.get(pid, [])
+
+
+def started_tier(clients=("a", "b", "c"), servers=1):
+    driver = TierDriver(clients=clients, servers=servers)
+    return driver, driver.tier
+
+
+class TestMembershipTier:
+    def test_start_forms_full_view(self):
+        driver, tier = started_tier()
+        assert len(tier.views_formed) == 1
+        view = tier.views_formed[0]
+        assert view.members == {"a", "b", "c"}
+        assert view.vid != VID_ZERO
+
+    def test_notice_discipline_per_client(self):
+        # Figure 2: every view is preceded by a start_change whose cid
+        # becomes the view's startId for that client.
+        driver, tier = started_tier()
+        for pid in ("a", "b", "c"):
+            inbox = driver.inbox(pid)
+            kinds = [type(m) for m in inbox]
+            assert kinds == [StartChangeNotice, ViewNotice]
+            start, view = inbox
+            assert view.view.start_id(pid) == start.cid
+            assert view.view.members <= start.members
+
+    def test_add_client_alone_does_not_join(self):
+        driver, tier = started_tier()
+        tier.add_client("d")
+        assert tier.active_members() == {"a", "b", "c"}
+        assert len(tier.views_formed) == 1
+        driver.do(tier.set_members, ["a", "b", "c", "d"])
+        assert tier.active_members() == {"a", "b", "c", "d"}
+        assert tier.views_formed[-1].members == {"a", "b", "c", "d"}
+
+    def test_set_members_unknown_raises(self):
+        driver, tier = started_tier()
+        with pytest.raises(ValueError, match="unknown clients"):
+            tier.set_members(["a", "z"])
+
+    def test_set_members_noop_returns_false(self):
+        driver, tier = started_tier()
+        assert driver.do(tier.set_members, ["a", "b", "c"]) is False
+        assert len(tier.views_formed) == 1
+
+    def test_cids_stay_unique_across_reconfigurations(self):
+        driver, tier = started_tier()
+        driver.do(tier.set_members, ["a", "b"])
+        driver.do(tier.set_members, ["a", "b", "c"])
+        for pid in ("a", "b", "c"):
+            cids = [m.cid for m in driver.inbox(pid) if isinstance(m, StartChangeNotice)]
+            assert len(cids) == len(set(cids))
+            assert cids == sorted(cids)
+
+    def test_plan_partition_components(self):
+        driver, tier = started_tier(clients=("a", "b", "c", "d", "e"), servers=1)
+        asyncio.run(tier.ensure_capacity(3))
+        plan = tier.plan_partition([["a", "b"], ["c", "d"]])
+        # One component per group (clients + its server), a singleton for
+        # the spare server, and a singleton for the stray client e.
+        assert sorted(map(sorted, plan.components)) == sorted(
+            map(sorted, [["a", "b", "srv:0"], ["c", "d", "srv:1"], ["srv:2"], ["e"]])
+        )
+
+    def test_partition_detaches_and_heal_reattaches(self):
+        driver, tier = started_tier(clients=("a", "b", "c"), servers=2)
+        plan = tier.plan_partition([["a", "b"]])
+        driver.do(tier.apply_partition, plan)
+        assert tier.active_members() == {"a", "b"}
+        assert tier.views_formed[-1].members == {"a", "b"}
+        driver.do(tier.heal)
+        assert tier.active_members() == {"a", "b", "c"}
+        assert tier.views_formed[-1].members == {"a", "b", "c"}
+
+    def test_explicit_leave_survives_heal(self):
+        driver, tier = started_tier()
+        driver.do(tier.set_members, ["a", "b"])
+        driver.do(tier.heal)
+        # c left by reconfiguration, not by partition: heal must not
+        # resurrect it.
+        assert tier.active_members() == {"a", "b"}
+
+    def test_local_monotonicity_across_server_move(self):
+        # When a client's home server changes, the new server's counters
+        # must exceed everything the client may have installed.
+        driver, tier = started_tier(clients=("a", "b", "c", "d"), servers=1)
+        asyncio.run(tier.ensure_capacity(2))
+        plan = tier.plan_partition([["a", "b"], ["c", "d"]])
+        driver.do(tier.apply_partition, plan)
+        driver.do(tier.heal)
+        for pid in ("a", "b", "c", "d"):
+            vids = [m.view.vid for m in driver.inbox(pid) if isinstance(m, ViewNotice)]
+            assert vids == sorted(vids)
+            assert len(set(vids)) == len(vids)
+
+    def test_crashed_client_not_resurrected_by_move(self):
+        driver, tier = started_tier(clients=("a", "b", "c"), servers=1)
+        driver.do(tier.client_crashed, "c")
+        assert tier.views_formed[-1].members == {"a", "b"}
+        asyncio.run(tier.ensure_capacity(2))
+        plan = tier.plan_partition([["a", "c"], ["b"]])
+        driver.do(tier.apply_partition, plan)
+        # c moved homes while crashed; the views of the two components
+        # both exclude it.
+        assert {v.members for v in tier.views_formed[-2:]} == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+        }
+
+    def test_watermark_tracks_max_counter(self):
+        driver, tier = started_tier()
+        first = tier.watermark()
+        driver.do(tier.set_members, ["a", "b"])
+        assert tier.watermark() > first
+
+
+class TestBackendRegistry:
+    def test_unknown_substrate_raises(self):
+        with pytest.raises(ValueError, match="unknown substrate"):
+            make_deployment("carrier-pigeon")
+
+    def test_sim_backend_constructs_eagerly(self):
+        deployment = make_deployment("sim")
+        assert isinstance(deployment, SimDeployment)
+        assert deployment.name == "sim"
+
+    def test_substrate_names_match_backends(self):
+        assert set(SUBSTRATES) == {"sim", "async", "tcp"}
+
+
+class TestDeploymentContract:
+    @pytest.mark.parametrize("substrate", SUBSTRATES)
+    def test_observables_consistent(self, substrate):
+        async def scenario(deployment):
+            await deployment.setup(["a", "b"])
+            await deployment.send("a", "x")
+            await deployment.settle()
+
+        deployment = run_scenario(substrate, scenario)
+        assert deployment.processes() == ["a", "b"]
+        for pid in "ab":
+            assert ("a", "x") in deployment.delivered(pid)
+            assert deployment.current_view(pid).members == {"a", "b"}
+            assert deployment.views(pid)[-1] == deployment.current_view(pid)
+        assert len(deployment.trace) > 0
+        deployment.check()

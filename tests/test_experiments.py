@@ -18,10 +18,13 @@ from repro.experiments import (
     measure_forwarding,
     measure_obsolete_views,
     measure_ordering_overhead,
+    matrix_agrees,
     measure_reconfiguration,
+    measure_substrate,
     measure_throughput,
     measure_two_tier,
     reconfiguration_sweep,
+    substrate_matrix,
 )
 
 
@@ -126,3 +129,20 @@ class TestFormatTable:
     def test_empty_rows(self):
         table = format_table(["h"], [])
         assert "h" in table
+
+
+class TestSubstrates:
+    def test_single_substrate_counts(self):
+        row = measure_substrate("sim", nodes=2, rounds=1)
+        assert row.sends == 2
+        assert row.deliveries == 4  # 2 sends x 2 members
+        assert row.checked is True
+
+    def test_matrix_covers_all_substrates_and_agrees(self):
+        rows = substrate_matrix(nodes=2, rounds=1)
+        assert [r.substrate for r in rows] == ["sim", "async", "tcp"]
+        assert matrix_agrees(rows)
+
+    def test_unknown_substrate_propagates(self):
+        with pytest.raises(ValueError):
+            measure_substrate("avian")

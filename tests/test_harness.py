@@ -86,3 +86,12 @@ class TestHarness:
         calls = []
         harness.run_to_quiescence(hooks=[lambda *a: calls.append(1)])
         assert calls
+
+    def test_check_mbrshp_accepts_spec_generated_behaviour(self):
+        harness = ModelHarness("abc", seed=3)
+        harness.form_view("abc")
+        harness.run_to_quiescence()
+        harness.form_view("ab")
+        harness.run_to_quiescence()
+        harness.check_safety()
+        harness.check_mbrshp()
