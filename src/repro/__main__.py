@@ -7,16 +7,21 @@ Commands:
 * ``experiments`` - run the headline experiments (E1, E4, E5, E10, E11)
   at moderate scale and print their claim-versus-measured tables;
 * ``simulate`` - run a parameterised reconfiguration and print its
-  numbers (see ``--help`` for knobs).
+  numbers (see ``--help`` for knobs);
+* ``chaos`` - run seeded adversarial episodes (E16) on any substrate,
+  with ``--self-test`` to prove the checkers catch an injected bug and
+  shrink it to a replayable minimal schedule.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro import __version__
+from repro.chaos import ChaosPlan, ChaosRunner
 from repro.checking import check_all_safety
 from repro.core import MinCopiesStrategy, SimpleStrategy
 from repro.experiments import (
@@ -150,6 +155,60 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments import chaos_self_test, chaos_sweep
+
+    if args.self_test:
+        result = chaos_self_test(substrate=args.backend, seed=args.seed)
+        if result is None:
+            print("chaos self-test FAILED: the injected known-bad mutation "
+                  "was not caught by the checkers", file=sys.stderr)
+            return 1
+        print("chaos self-test: injected known-bad mutation caught and shrunk")
+        print(result.summary())
+        print("minimal replayable schedule (replay with "
+              f"ChaosPlan.from_dict on backend {args.backend!r}):")
+        print(result.plan.describe())
+        print(json.dumps(result.plan.to_dict()))
+        return 0
+
+    if args.episodes == 1:
+        plan = ChaosPlan.generate(args.seed, intensity=args.intensity)
+        print(plan.describe())
+        episode = ChaosRunner(args.backend).run(plan)
+        print(episode.summary())
+        return 0 if episode.ok else 1
+
+    result = chaos_sweep(
+        args.backend,
+        episodes=args.episodes,
+        seed_base=args.seed,
+        intensity=args.intensity,
+    )
+    injected = {k: v for k, v in result.injected.items() if k != "messages"}
+    print(f"[{result.substrate}] {result.episodes} episodes "
+          f"(seeds {args.seed}..{args.seed + args.episodes - 1}), "
+          f"{result.ops} ops, injected faults {injected}: "
+          f"{result.violations} violation(s)")
+    if result.failures:
+        from repro.chaos import shrink_plan
+
+        for failure in result.failures:
+            print(failure, file=sys.stderr)
+        # Shrink the first failing seed to a replayable minimal schedule.
+        first_bad = int(result.failures[0].split("seed=")[1].split()[0])
+        shrunk = shrink_plan(
+            ChaosRunner(args.backend),
+            ChaosPlan.generate(first_bad, intensity=args.intensity),
+        )
+        if shrunk is not None:
+            print(shrunk.summary(), file=sys.stderr)
+            print(shrunk.plan.describe(), file=sys.stderr)
+            print(json.dumps(shrunk.plan.to_dict()), file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,6 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--wan", action="store_true",
                           help="lognormal (heavy-tailed) latency instead of constant")
     simulate.add_argument("--seed", type=int, default=0)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded adversarial fault schedules (E16)",
+        description="Run seeded chaos episodes: randomized operation "
+                    "schedules under message drop/duplicate/delay/reorder "
+                    "faults, audited by the full safety battery.  A "
+                    "violating schedule is shrunk to a minimal replayable "
+                    "form and printed with its seed.",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed of the episode (or the sweep's first seed)")
+    chaos.add_argument("--backend", default="sim", choices=["sim", "async", "tcp"])
+    chaos.add_argument("--episodes", type=int, default=1,
+                       help="number of consecutive seeds to run (default 1)")
+    chaos.add_argument("--intensity", type=float, default=1.0,
+                       help="fault-rate multiplier (0 disables message faults)")
+    chaos.add_argument("--self-test", action="store_true",
+                       help="inject a known-bad trace mutation and require "
+                            "the pipeline to catch and shrink it")
     return parser
 
 
@@ -180,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "experiments": _cmd_experiments,
         "simulate": _cmd_simulate,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

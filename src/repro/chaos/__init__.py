@@ -1,0 +1,57 @@
+"""Seeded chaos engine over the deployment layer.
+
+The ROADMAP's "handle as many scenarios as you can imagine" made
+executable: instead of hand-writing adversarial scenarios one by one,
+:class:`ChaosPlan` *generates* them - a schedule of multicasts,
+partitions, heals, crashes, recoveries and reconfigurations, interleaved
+with substrate-level message faults (drop/duplicate/delay/reorder),
+derived deterministically from one integer seed.  :class:`ChaosRunner`
+executes a plan on any backend (sim / async / tcp), audits the recorded
+trace with the full safety battery plus MBRSHP conformance, and
+:func:`shrink_plan` minimises any failing schedule to one that replays
+byte-for-byte from its seed.
+
+Quickstart::
+
+    from repro.chaos import ChaosPlan, ChaosRunner, shrink_plan
+
+    episode = ChaosRunner("sim").run_seed(7)
+    assert episode.ok, episode.violation
+
+Dependency note: the substrates import :mod:`repro.chaos.faults` for the
+fault hooks, so nothing in this package may import :mod:`repro.deploy`,
+:mod:`repro.net` or :mod:`repro.runtime` at module level (the runner
+imports the deployment registry lazily inside the episode).
+"""
+
+from repro.chaos.faults import (
+    DuplicateCopy,
+    FaultDecision,
+    FaultInjector,
+    FaultModel,
+)
+from repro.chaos.plan import OP_KINDS, ChaosOp, ChaosPlan, sanitise_ops
+from repro.chaos.runner import (
+    TIME_SCALES,
+    ChaosRunner,
+    Episode,
+    forge_nonmonotonic_view,
+)
+from repro.chaos.shrink import ShrinkResult, shrink_plan
+
+__all__ = [
+    "OP_KINDS",
+    "TIME_SCALES",
+    "ChaosOp",
+    "ChaosPlan",
+    "ChaosRunner",
+    "DuplicateCopy",
+    "Episode",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultModel",
+    "ShrinkResult",
+    "forge_nonmonotonic_view",
+    "sanitise_ops",
+    "shrink_plan",
+]

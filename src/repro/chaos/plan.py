@@ -1,0 +1,377 @@
+"""Seeded chaos schedules over the Deployment contract.
+
+A :class:`ChaosPlan` is everything one adversarial episode needs: the
+process set, a :class:`~repro.chaos.faults.FaultModel` for the substrate,
+and a schedule of :class:`ChaosOp` steps (multicasts, partitions, heals,
+crashes, recoveries, reconfigurations).  The whole plan derives
+deterministically from one integer seed, so quoting the seed *is*
+quoting the episode; :meth:`ChaosPlan.to_dict` / :meth:`from_dict` give
+the byte-for-byte serialisation the shrinker prints for replay.
+
+Generation walks a small state machine so that every emitted schedule is
+*executable on all three substrates*.  The invariants encode real
+substrate semantics, not taste:
+
+* crash/recover and partition only while the explicit member set is the
+  full process set - the simulator's oracle reconfigures to "everyone
+  minus the crashed" on those events, so doing them mid-reconfiguration
+  would make the substrates diverge;
+* crash/recover never during a partition - the runtime tiers wait for a
+  view of *all* active members, which cannot form across a cut;
+* reconfiguration targets exclude crashed processes and keep >= 2
+  members, partitions start from a crash-free full group, and sends come
+  from processes that are currently in the configured member set.
+
+The same state machine powers :func:`sanitise_ops`, which repairs an
+arbitrary op list (dropping now-disabled steps and appending the closing
+heal/recover/reconfigure/settle sequence).  The shrinker leans on it:
+removing ops from a valid schedule yields another valid schedule, so
+shrinking explores only executable candidates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chaos.faults import FaultModel
+from repro.types import ProcessId
+
+# Operation kinds, in the vocabulary of repro.deploy.base.Deployment.
+OP_KINDS = ("send", "settle", "partition", "heal", "crash", "recover", "reconfigure")
+
+
+@dataclass(frozen=True)
+class ChaosOp:
+    """One step of a chaos schedule, mirroring the Deployment contract."""
+
+    kind: str
+    pid: Optional[ProcessId] = None  # send / crash / recover
+    payload: Any = None  # send
+    groups: Tuple[Tuple[ProcessId, ...], ...] = ()  # partition
+    members: Tuple[ProcessId, ...] = ()  # reconfigure
+
+    def describe(self) -> str:
+        if self.kind == "send":
+            return f"send({self.pid}, {self.payload!r})"
+        if self.kind == "partition":
+            return f"partition({[list(g) for g in self.groups]})"
+        if self.kind == "reconfigure":
+            return f"reconfigure({list(self.members)})"
+        if self.kind in ("crash", "recover"):
+            return f"{self.kind}({self.pid})"
+        return f"{self.kind}()"
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.pid is not None:
+            data["pid"] = self.pid
+        if self.payload is not None:
+            data["payload"] = self.payload
+        if self.groups:
+            data["groups"] = [list(g) for g in self.groups]
+        if self.members:
+            data["members"] = list(self.members)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosOp":
+        return cls(
+            kind=data["kind"],
+            pid=data.get("pid"),
+            payload=data.get("payload"),
+            groups=tuple(tuple(g) for g in data.get("groups", ())),
+            members=tuple(data.get("members", ())),
+        )
+
+
+class _ScheduleState:
+    """The executable-schedule state machine (see the module docstring)."""
+
+    def __init__(self, processes: Sequence[ProcessId]) -> None:
+        self.full: Tuple[ProcessId, ...] = tuple(processes)
+        self.partitioned = False
+        self.crashed: set = set()
+        self.configured: Tuple[ProcessId, ...] = self.full
+
+    # -- enabling preconditions -------------------------------------------
+
+    def senders(self) -> List[ProcessId]:
+        if self.partitioned:
+            # Partition requires a crash-free full group, so every
+            # process is up and inside some component.
+            return list(self.full)
+        return [p for p in self.configured if p not in self.crashed]
+
+    def can_partition(self) -> bool:
+        return (
+            not self.partitioned
+            and not self.crashed
+            and self.configured == self.full
+            and len(self.full) >= 2
+        )
+
+    def can_heal(self) -> bool:
+        return self.partitioned
+
+    def crash_candidates(self) -> List[ProcessId]:
+        if self.partitioned or self.configured != self.full:
+            return []
+        alive = [p for p in self.full if p not in self.crashed]
+        return alive if len(alive) >= 3 else []  # keep >= 2 survivors
+
+    def recover_candidates(self) -> List[ProcessId]:
+        if self.partitioned:
+            return []
+        return sorted(self.crashed)
+
+    def can_reconfigure(self) -> bool:
+        return not self.partitioned and not self.crashed and len(self.full) >= 2
+
+    def enabled(self, op: ChaosOp) -> bool:
+        if op.kind == "settle":
+            return True
+        if op.kind == "send":
+            return op.pid in self.senders()
+        if op.kind == "partition":
+            return (
+                self.can_partition()
+                and len(op.groups) >= 2
+                and sorted(p for g in op.groups for p in g) == sorted(self.full)
+            )
+        if op.kind == "heal":
+            return self.can_heal()
+        if op.kind == "crash":
+            return op.pid in self.crash_candidates()
+        if op.kind == "recover":
+            return op.pid in self.recover_candidates()
+        if op.kind == "reconfigure":
+            members = set(op.members)
+            return (
+                self.can_reconfigure()
+                and len(members) >= 2
+                and members <= set(self.full)
+            )
+        return False
+
+    def apply(self, op: ChaosOp) -> None:
+        if op.kind == "partition":
+            self.partitioned = True
+        elif op.kind == "heal":
+            self.partitioned = False
+        elif op.kind == "crash":
+            self.crashed.add(op.pid)
+        elif op.kind == "recover":
+            self.crashed.discard(op.pid)
+        elif op.kind == "reconfigure":
+            self.configured = tuple(sorted(op.members))
+
+    def closing_ops(self) -> List[ChaosOp]:
+        """The suffix that returns the deployment to a stable full view."""
+        ops: List[ChaosOp] = []
+        if self.partitioned:
+            ops.append(ChaosOp("heal"))
+        for pid in sorted(self.crashed):
+            ops.append(ChaosOp("recover", pid=pid))
+        if self.configured != self.full:
+            ops.append(ChaosOp("reconfigure", members=self.full))
+        ops.append(ChaosOp("settle"))
+        return ops
+
+
+def sanitise_ops(
+    processes: Sequence[ProcessId], ops: Iterable[ChaosOp]
+) -> Tuple[ChaosOp, ...]:
+    """Repair an op list into an executable, properly closed schedule.
+
+    Walks the state machine, drops every op whose precondition does not
+    hold at its position (the fate of ops orphaned by shrinking), and
+    appends the closing heal/recover/reconfigure/settle suffix.
+    """
+    state = _ScheduleState(processes)
+    kept: List[ChaosOp] = []
+    for op in ops:
+        if state.enabled(op):
+            state.apply(op)
+            kept.append(op)
+    kept.extend(state.closing_ops())
+    # Re-sanitising a closed schedule must be a fixpoint: collapse the
+    # trailing settle the closing suffix would otherwise keep stacking.
+    while len(kept) >= 2 and kept[-1].kind == "settle" and kept[-2].kind == "settle":
+        kept.pop()
+    return tuple(kept)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A complete chaos episode: processes + fault model + op schedule."""
+
+    seed: int
+    processes: Tuple[ProcessId, ...]
+    faults: FaultModel
+    ops: Tuple[ChaosOp, ...] = field(default_factory=tuple)
+
+    # -- generation -------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        processes: Optional[Sequence[ProcessId]] = None,
+        length: Optional[int] = None,
+        intensity: float = 1.0,
+    ) -> "ChaosPlan":
+        """Derive a full plan from ``seed`` alone (plus optional shaping).
+
+        ``intensity`` scales the fault rates; 0.0 gives a fault-free
+        schedule (the ops still churn membership), 1.0 the default rates.
+        """
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        rng = random.Random(seed)
+        if processes is None:
+            count = rng.randint(3, 5)
+            processes = tuple(chr(ord("a") + i) for i in range(count))
+        else:
+            processes = tuple(processes)
+        if len(processes) < 2:
+            raise ValueError("chaos needs at least 2 processes")
+        faults = FaultModel(
+            drop=min(1.0, rng.uniform(0.05, 0.20) * intensity),
+            duplicate=min(1.0, rng.uniform(0.05, 0.15) * intensity),
+            delay=min(1.0, rng.uniform(0.10, 0.30) * intensity),
+            reorder=min(1.0, rng.uniform(0.05, 0.20) * intensity),
+            seed=seed,
+        )
+        if length is None:
+            length = rng.randint(8, 14)
+        state = _ScheduleState(processes)
+        ops: List[ChaosOp] = []
+        sent = 0
+        for _ in range(length):
+            op = cls._random_op(rng, state, sent)
+            if op.kind == "send":
+                sent += 1
+            state.apply(op)
+            ops.append(op)
+        ops.extend(state.closing_ops())
+        return cls(seed=seed, processes=processes, faults=faults, ops=tuple(ops))
+
+    @staticmethod
+    def _random_op(rng: random.Random, state: _ScheduleState, sent: int) -> ChaosOp:
+        # Weighted pick among the enabled op kinds; sends dominate so
+        # every membership event competes with application traffic.
+        choices: List[Tuple[str, float]] = [("send", 5.0), ("settle", 1.5)]
+        if state.can_partition():
+            choices.append(("partition", 1.5))
+        if state.can_heal():
+            choices.append(("heal", 2.5))
+        if state.crash_candidates():
+            choices.append(("crash", 1.0))
+        if state.recover_candidates():
+            choices.append(("recover", 2.0))
+        if state.can_reconfigure():
+            choices.append(("reconfigure", 1.0))
+        kinds = [kind for kind, _w in choices]
+        weights = [w for _kind, w in choices]
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "send":
+            pid = rng.choice(state.senders())
+            return ChaosOp("send", pid=pid, payload=f"{pid}-m{sent}")
+        if kind == "partition":
+            pids = list(state.full)
+            rng.shuffle(pids)
+            groups = 3 if len(pids) >= 4 and rng.random() < 0.3 else 2
+            cuts = sorted(rng.sample(range(1, len(pids)), groups - 1))
+            parts = [
+                tuple(pids[i:j]) for i, j in zip([0] + cuts, cuts + [len(pids)])
+            ]
+            return ChaosOp("partition", groups=tuple(parts))
+        if kind == "crash":
+            return ChaosOp("crash", pid=rng.choice(state.crash_candidates()))
+        if kind == "recover":
+            return ChaosOp("recover", pid=rng.choice(state.recover_candidates()))
+        if kind == "reconfigure":
+            size = rng.randint(2, len(state.full))
+            members = tuple(sorted(rng.sample(list(state.full), size)))
+            return ChaosOp("reconfigure", members=members)
+        return ChaosOp(kind)
+
+    # -- derived plans ----------------------------------------------------
+
+    def with_ops(self, ops: Iterable[ChaosOp]) -> "ChaosPlan":
+        """This plan with a repaired replacement schedule (same seed)."""
+        return replace(self, ops=sanitise_ops(self.processes, ops))
+
+    def with_faults(self, faults: FaultModel) -> "ChaosPlan":
+        return replace(self, faults=faults)
+
+    def with_processes(self, processes: Sequence[ProcessId]) -> "ChaosPlan":
+        """Shrink to a sub-group: ops mentioning dropped pids are pruned."""
+        keep = tuple(p for p in self.processes if p in set(processes))
+        if len(keep) < 2:
+            raise ValueError("cannot shrink below 2 processes")
+        kept_set = set(keep)
+        ops: List[ChaosOp] = []
+        for op in self.ops:
+            if op.kind in ("send", "crash", "recover"):
+                if op.pid not in kept_set:
+                    continue
+                ops.append(op)
+            elif op.kind == "partition":
+                groups = tuple(
+                    tuple(p for p in g if p in kept_set) for g in op.groups
+                )
+                groups = tuple(g for g in groups if g)
+                if len(groups) >= 2:
+                    ops.append(replace(op, groups=groups))
+            elif op.kind == "reconfigure":
+                members = tuple(p for p in op.members if p in kept_set)
+                if len(members) >= 2:
+                    ops.append(replace(op, members=members))
+            else:
+                ops.append(op)
+        return ChaosPlan(
+            seed=self.seed,
+            processes=keep,
+            faults=self.faults,
+            ops=sanitise_ops(keep, ops),
+        )
+
+    # -- presentation and serialisation -----------------------------------
+
+    def describe(self) -> str:
+        lines = [
+            f"seed={self.seed} processes={list(self.processes)} "
+            f"faults=[{self.faults.describe()}]"
+        ]
+        for index, op in enumerate(self.ops):
+            lines.append(f"  {index:2d}. {op.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "processes": list(self.processes),
+            "faults": self.faults.to_dict(),
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosPlan":
+        return cls(
+            seed=data["seed"],
+            processes=tuple(data["processes"]),
+            faults=FaultModel.from_dict(data["faults"]),
+            ops=tuple(ChaosOp.from_dict(op) for op in data["ops"]),
+        )
+
+
+__all__ = [
+    "OP_KINDS",
+    "ChaosOp",
+    "ChaosPlan",
+    "sanitise_ops",
+]

@@ -1,0 +1,212 @@
+"""Execute chaos plans on any deployment backend and audit the traces.
+
+``ChaosRunner`` is the bridge between a :class:`~repro.chaos.plan.ChaosPlan`
+and the substrate-agnostic :class:`~repro.deploy.base.Deployment`
+contract: it replays the plan's operations on a fresh deployment of the
+chosen backend with the plan's fault model injected into the substrate's
+transport, then holds the recorded :class:`GcsTrace` to the full safety
+battery plus MBRSHP (Figure 2) conformance.  A settle timeout during the
+episode is reported as a violation too - under a *masked* fault model
+(drops become retransmission latency, duplicates are deduplicated) the
+protocol has no excuse to stall, so a stall is as much a finding as a
+broken property, and the raised
+:class:`~repro.errors.SettleTimeoutError` carries the pending fault
+schedule for diagnosis.
+
+The ``mutate_trace`` hook applies a transformation to the trace before
+checking.  Its production use is the self-test: inject a known-bad
+mutation (:func:`forge_nonmonotonic_view`) and confirm the pipeline
+catches it and shrinks it - proof that a green chaos sweep is green
+because the protocol is correct, not because the checkers are asleep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.chaos.faults import FaultInjector
+from repro.chaos.plan import ChaosOp, ChaosPlan
+from repro.checking.events import GcsTrace, ViewEvent
+from repro.checking.properties import check_deployment_trace
+from repro.errors import SettleTimeoutError, SpecificationViolation
+
+# One latency unit of the fault model, in each substrate's own time.
+# The simulator's virtual clock ticks in model units; the asyncio and TCP
+# runtimes run in real seconds, where a few milliseconds already reorder
+# traffic without stretching CI wall-clock.
+TIME_SCALES: Dict[str, float] = {"sim": 1.0, "async": 0.003, "tcp": 0.003}
+
+TraceMutator = Callable[[GcsTrace], GcsTrace]
+
+
+def forge_nonmonotonic_view(trace: GcsTrace) -> GcsTrace:
+    """The canonical known-bad mutation: re-deliver the last view.
+
+    Appending a copy of the final :class:`ViewEvent` makes the view
+    identifiers at that process non-increasing, which Local Monotonicity
+    (Section 3.1) must reject on every schedule - so this mutation is
+    catchable regardless of what the episode otherwise did.
+    """
+    views = trace.of_type(ViewEvent)
+    if not views:
+        return trace
+    mutated = GcsTrace(trace)
+    mutated.append(views[-1])
+    return mutated
+
+
+@dataclass
+class Episode:
+    """The outcome of one chaos plan on one backend."""
+
+    plan: ChaosPlan
+    backend: str
+    violation: Optional[str] = None  # None == the full battery passed
+    counters: Dict[str, int] = field(default_factory=dict)  # injected faults
+    events: int = 0  # trace length
+    trace: Optional[GcsTrace] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"VIOLATION: {self.violation}"
+        injected = {k: v for k, v in self.counters.items() if k != "messages"}
+        return (
+            f"[{self.backend}] seed={self.plan.seed} ops={len(self.plan.ops)} "
+            f"events={self.events} faults={injected} -> {status}"
+        )
+
+
+class ChaosRunner:
+    """Runs :class:`ChaosPlan` episodes on one backend and checks them."""
+
+    def __init__(
+        self,
+        backend: str = "sim",
+        *,
+        mutate_trace: Optional[TraceMutator] = None,
+    ) -> None:
+        if backend not in TIME_SCALES:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {sorted(TIME_SCALES)}"
+            )
+        self.backend = backend
+        self.mutate_trace = mutate_trace
+
+    # ------------------------------------------------------------------
+    # episodes
+    # ------------------------------------------------------------------
+
+    def run(self, plan: ChaosPlan) -> Episode:
+        """Execute ``plan`` once; never raises on a violation, reports it."""
+        injector = FaultInjector(
+            plan.faults, time_scale=TIME_SCALES[self.backend]
+        )
+        try:
+            deployment = asyncio.run(self._execute(plan, injector))
+        except SettleTimeoutError as exc:
+            return Episode(
+                plan=plan,
+                backend=self.backend,
+                violation=f"settle timeout: {exc}",
+                counters=injector.snapshot(),
+            )
+        trace = deployment.trace
+        if self.mutate_trace is not None:
+            trace = self.mutate_trace(trace)
+        violation: Optional[str] = None
+        try:
+            check_deployment_trace(trace, list(plan.processes))
+        except SpecificationViolation as exc:
+            violation = str(exc)
+        return Episode(
+            plan=plan,
+            backend=self.backend,
+            violation=violation,
+            counters=injector.snapshot(),
+            events=len(trace),
+            trace=trace,
+        )
+
+    def run_seed(self, seed: int, *, intensity: float = 1.0, **generate_kwargs: Any) -> Episode:
+        """Generate the plan for ``seed`` and run it."""
+        plan = ChaosPlan.generate(seed, intensity=intensity, **generate_kwargs)
+        return self.run(plan)
+
+    def sweep(
+        self,
+        seeds: List[int],
+        *,
+        intensity: float = 1.0,
+        on_episode: Optional[Callable[[Episode], None]] = None,
+    ) -> List[Episode]:
+        """Run one episode per seed; collect every outcome."""
+        episodes = []
+        for seed in seeds:
+            episode = self.run_seed(seed, intensity=intensity)
+            episodes.append(episode)
+            if on_episode is not None:
+                on_episode(episode)
+        return episodes
+
+    # ------------------------------------------------------------------
+    # plan execution
+    # ------------------------------------------------------------------
+
+    async def _execute(self, plan: ChaosPlan, injector: FaultInjector) -> Any:
+        from repro.deploy import make_deployment  # local import: no cycle
+
+        deployment = make_deployment(self.backend, faults=injector)
+        try:
+            await deployment.setup(list(plan.processes))
+            for index, op in enumerate(plan.ops):
+                try:
+                    await self._apply(deployment, op)
+                except SettleTimeoutError as exc:
+                    raise SettleTimeoutError(
+                        f"chaos op {index} ({op.describe()}) stalled: {exc}",
+                        schedule=self._pending_schedule(plan, index, injector),
+                    ) from exc
+        finally:
+            await deployment.close()
+        return deployment
+
+    @staticmethod
+    async def _apply(deployment: Any, op: ChaosOp) -> None:
+        if op.kind == "send":
+            await deployment.send(op.pid, op.payload)
+        elif op.kind == "settle":
+            await deployment.settle()
+        elif op.kind == "partition":
+            await deployment.partition([list(g) for g in op.groups])
+        elif op.kind == "heal":
+            await deployment.heal()
+        elif op.kind == "crash":
+            await deployment.crash(op.pid)
+        elif op.kind == "recover":
+            await deployment.recover(op.pid)
+        elif op.kind == "reconfigure":
+            await deployment.reconfigure(list(op.members))
+        else:
+            raise ValueError(f"unknown chaos op kind {op.kind!r}")
+
+    @staticmethod
+    def _pending_schedule(plan: ChaosPlan, index: int, injector: FaultInjector) -> str:
+        pending = [op.describe() for op in plan.ops[index:]]
+        return (
+            f"seed={plan.seed} faults=[{plan.faults.describe()}] "
+            f"injected={injector.snapshot()} "
+            f"pending_ops={pending}"
+        )
+
+
+__all__ = [
+    "TIME_SCALES",
+    "ChaosRunner",
+    "Episode",
+    "forge_nonmonotonic_view",
+]

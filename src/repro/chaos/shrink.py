@@ -1,0 +1,143 @@
+"""Shrink a failing chaos plan to a minimal replayable schedule.
+
+When an episode violates a property, the raw plan is rarely the story:
+most of its operations and fault classes are bystanders.  The shrinker
+minimises along the three axes a :class:`~repro.chaos.plan.ChaosPlan`
+has - **ops** (delta-debugging-style chunk removal, halving granularity),
+**fault rates** (switching whole fault classes off), and **processes**
+(dropping group members) - re-running the episode after each candidate
+edit and keeping it only if the violation persists.  Candidate schedules
+go through :func:`~repro.chaos.plan.sanitise_ops`, so every attempt is
+an executable, properly closed schedule; the result keeps the original
+seed and serialises via ``plan.to_dict()``, so the minimal failing
+schedule replays byte-for-byte from what a CI log prints.
+
+Every re-run costs a full episode, so the search is bounded by
+``max_runs`` - shrinking is best-effort minimisation, not a proof of
+minimality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chaos.plan import ChaosPlan
+from repro.chaos.runner import ChaosRunner, Episode
+
+
+@dataclass
+class ShrinkResult:
+    """A minimised failing plan plus the evidence trail."""
+
+    plan: ChaosPlan  # the smallest schedule still failing
+    violation: str  # the violation it produces
+    original: ChaosPlan  # what we started from
+    runs: int  # episodes executed, confirmation included
+
+    def summary(self) -> str:
+        return (
+            f"shrunk seed={self.plan.seed}: "
+            f"{len(self.original.ops)} -> {len(self.plan.ops)} ops, "
+            f"{len(self.original.processes)} -> {len(self.plan.processes)} processes, "
+            f"faults [{self.original.faults.describe()}] -> "
+            f"[{self.plan.faults.describe()}] in {self.runs} runs; "
+            f"violation: {self.violation}"
+        )
+
+
+def shrink_plan(
+    runner: ChaosRunner, plan: ChaosPlan, *, max_runs: int = 80
+) -> Optional[ShrinkResult]:
+    """Minimise ``plan`` under ``runner``; ``None`` if it doesn't fail."""
+    state = _Shrinker(runner, max_runs)
+    first = state.attempt(plan)
+    if first is None or first.ok:
+        return None
+    state.adopt(plan, first)
+    state.shrink_ops()
+    state.shrink_faults()
+    state.shrink_processes()
+    # Rate removal can orphan ops; one more op pass mops up.
+    state.shrink_ops()
+    return ShrinkResult(
+        plan=state.best,
+        violation=state.violation,
+        original=plan,
+        runs=state.runs,
+    )
+
+
+class _Shrinker:
+    def __init__(self, runner: ChaosRunner, max_runs: int) -> None:
+        self.runner = runner
+        self.max_runs = max_runs
+        self.runs = 0
+        self.best: ChaosPlan = None  # type: ignore[assignment]
+        self.violation: str = ""
+
+    def attempt(self, candidate: ChaosPlan) -> Optional[Episode]:
+        if self.runs >= self.max_runs:
+            return None
+        self.runs += 1
+        return self.runner.run(candidate)
+
+    def adopt(self, plan: ChaosPlan, episode: Episode) -> None:
+        self.best = plan
+        self.violation = episode.violation or ""
+
+    def try_candidate(self, candidate: ChaosPlan) -> bool:
+        """Run ``candidate``; adopt it if the failure persists."""
+        episode = self.attempt(candidate)
+        if episode is not None and not episode.ok:
+            self.adopt(candidate, episode)
+            return True
+        return False
+
+    # -- axes ------------------------------------------------------------
+
+    def shrink_ops(self) -> None:
+        """Remove op chunks, halving the chunk size as removals dry up."""
+        chunk = max(len(self.best.ops) // 2, 1)
+        while chunk >= 1 and self.runs < self.max_runs:
+            removed_any = False
+            index = 0
+            while index < len(self.best.ops) and self.runs < self.max_runs:
+                remaining = self.best.ops[:index] + self.best.ops[index + chunk :]
+                candidate = self.best.with_ops(remaining)
+                # sanitise_ops may re-append closing ops; require genuine
+                # progress or the loop would spin on its own repairs.
+                if len(candidate.ops) < len(self.best.ops) and self.try_candidate(
+                    candidate
+                ):
+                    removed_any = True  # ops shifted; retry same index
+                else:
+                    index += chunk
+            if not removed_any:
+                chunk //= 2
+
+    def shrink_faults(self) -> None:
+        """Switch whole fault classes off while the failure persists."""
+        for name in sorted(self.best.faults.active_rates()):
+            if self.runs >= self.max_runs:
+                return
+            self.try_candidate(self.best.with_faults(self.best.faults.without(name)))
+
+    def shrink_processes(self) -> None:
+        """Drop group members one at a time down to the 2-process floor."""
+        progress = True
+        while progress and len(self.best.processes) > 2 and self.runs < self.max_runs:
+            progress = False
+            for pid in list(self.best.processes):
+                if len(self.best.processes) <= 2 or self.runs >= self.max_runs:
+                    break
+                keep = [p for p in self.best.processes if p != pid]
+                if self.try_candidate(self.best.with_processes(keep)):
+                    progress = True
+                    break
+
+
+__all__ = [
+    "ShrinkResult",
+    "shrink_plan",
+]

@@ -25,6 +25,7 @@ from repro.deploy.base import Deployment
 from repro.deploy.scenarios import (
     SCENARIOS,
     scenario_churn,
+    scenario_crash_mid_sync,
     scenario_reconfiguration,
     scenario_self_delivery,
     scenario_virtual_synchrony,
@@ -90,6 +91,7 @@ __all__ = [
     "make_deployment",
     "run_scenario",
     "scenario_churn",
+    "scenario_crash_mid_sync",
     "scenario_reconfiguration",
     "scenario_self_delivery",
     "scenario_virtual_synchrony",

@@ -64,9 +64,36 @@ async def scenario_churn(deployment: Deployment) -> None:
     await deployment.settle()
 
 
+async def scenario_crash_mid_sync(deployment: Deployment) -> None:
+    """A member crashes while a membership round is in flight (Section 8).
+
+    Messages are multicast and *not* settled before the crash, so the
+    crash lands while deliveries and the ensuing view change are still
+    in progress - the survivors must agree on what the crashed process's
+    last view delivered (Virtual Synchrony across the crash), and the
+    recovered process must rejoin under its original identity with a
+    fresh initial state.
+    """
+    await deployment.setup(["a", "b", "c"])
+    await deployment.send("a", "pre")
+    await deployment.settle()
+    # In-flight traffic at crash time: no settle between these and the
+    # crash, so synchronization and the crash view change overlap.
+    await deployment.send("a", "inflight-1")
+    await deployment.send("b", "inflight-2")
+    await deployment.crash("c")
+    await deployment.settle()
+    await deployment.send("a", "after")
+    await deployment.settle()
+    await deployment.recover("c")
+    await deployment.send("c", "back")
+    await deployment.settle()
+
+
 SCENARIOS = {
     "self_delivery": scenario_self_delivery,
     "reconfiguration": scenario_reconfiguration,
     "virtual_synchrony": scenario_virtual_synchrony,
     "churn": scenario_churn,
+    "crash_mid_sync": scenario_crash_mid_sync,
 }

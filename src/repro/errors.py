@@ -59,7 +59,18 @@ class SettleTimeoutError(ReproError):
     Raised by the event-driven settling helpers (in place of the former
     unbounded sleep-polling loops) with a description of which processes
     were still unsettled and what state they were observed in.
+
+    When the stall happened under a chaos schedule, ``schedule``
+    describes the fault model and the operations still pending at the
+    time of the timeout, so a CI log alone is enough to see what the
+    deployment was being subjected to when it stopped converging.
     """
+
+    def __init__(self, message: str = "", *, schedule: str | None = None) -> None:
+        if schedule:
+            message = f"{message}\npending fault schedule: {schedule}"
+        super().__init__(message)
+        self.schedule = schedule
 
 
 class ClientMisuseError(ReproError):

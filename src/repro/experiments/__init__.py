@@ -29,6 +29,11 @@ from repro.experiments.extensions import (
     measure_ordering_overhead,
     measure_two_tier,
 )
+from repro.experiments.chaos_sweep import (
+    ChaosSweepResult,
+    chaos_self_test,
+    chaos_sweep,
+)
 from repro.experiments.servers import ServerTierResult, measure_server_tier
 from repro.experiments.substrates import (
     SubstrateResult,
@@ -41,6 +46,7 @@ from repro.experiments.tables import format_table
 __all__ = [
     "ALGORITHMS",
     "BlockingResult",
+    "ChaosSweepResult",
     "CompactSyncResult",
     "CrashRecoveryResult",
     "ForwardingResult",
@@ -51,6 +57,8 @@ __all__ = [
     "SubstrateResult",
     "ThroughputResult",
     "TwoTierResult",
+    "chaos_self_test",
+    "chaos_sweep",
     "format_table",
     "matrix_agrees",
     "measure_blocking_window",

@@ -1,0 +1,100 @@
+"""E16: seeded chaos sweeps - adversarial schedules as an experiment.
+
+The hand-written scenarios of E15 exercise a handful of stories; the
+chaos engine (:mod:`repro.chaos`) generates them from seeds.  This
+experiment quantifies a sweep: N seeded episodes per substrate, each a
+randomized schedule of multicasts, partitions, heals, crashes,
+recoveries and reconfigurations under nonzero message-fault rates, each
+audited with the full safety battery plus MBRSHP conformance.  The
+headline number is simple - **zero violations** - backed by evidence
+that the sweep was adversarial (operations and faults actually injected)
+and not a calm-weather pass.
+
+The companion *self-test* proves the pipeline can fail: a known-bad
+trace mutation (a re-delivered view) must be caught by the checkers and
+shrunk to a minimal schedule that replays from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.chaos import (
+    ChaosPlan,
+    ChaosRunner,
+    ShrinkResult,
+    forge_nonmonotonic_view,
+    shrink_plan,
+)
+
+
+@dataclass
+class ChaosSweepResult:
+    """One substrate's row of the E16 table."""
+
+    substrate: str
+    episodes: int
+    violations: int  # safety/conformance/stall findings (0 == pass)
+    ops: int  # schedule operations executed across the sweep
+    injected: Dict[str, int]  # fault counters summed over the sweep
+    failures: List[str]  # summaries of any violating episodes
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+
+def chaos_sweep(
+    substrate: str,
+    *,
+    episodes: int = 25,
+    seed_base: int = 0,
+    intensity: float = 1.0,
+) -> ChaosSweepResult:
+    """Run ``episodes`` seeded chaos episodes on one substrate."""
+    runner = ChaosRunner(substrate)
+    ops = 0
+    injected: Dict[str, int] = {}
+    failures: List[str] = []
+    for seed in range(seed_base, seed_base + episodes):
+        episode = runner.run_seed(seed, intensity=intensity)
+        ops += len(episode.plan.ops)
+        for key, count in episode.counters.items():
+            injected[key] = injected.get(key, 0) + count
+        if not episode.ok:
+            failures.append(episode.summary())
+    return ChaosSweepResult(
+        substrate=substrate,
+        episodes=episodes,
+        violations=len(failures),
+        ops=ops,
+        injected=injected,
+        failures=failures,
+    )
+
+
+def chaos_self_test(
+    *,
+    substrate: str = "sim",
+    seed: int = 7,
+    max_runs: int = 40,
+) -> Optional[ShrinkResult]:
+    """Prove the pipeline catches and shrinks a known-bad episode.
+
+    Runs one episode with the forge-nonmonotonic-view mutation applied to
+    its trace before checking; the checkers must reject it, and the
+    shrinker must reduce the schedule.  Returns the :class:`ShrinkResult`
+    (``None`` means the mutation was *not* caught - the checkers are
+    broken, and the caller should fail loudly).
+    """
+    runner = ChaosRunner(substrate, mutate_trace=forge_nonmonotonic_view)
+    plan = ChaosPlan.generate(seed)
+    return shrink_plan(runner, plan, max_runs=max_runs)
+
+
+__all__ = [
+    "ChaosSweepResult",
+    "chaos_self_test",
+    "chaos_sweep",
+]

@@ -12,6 +12,13 @@ per-link FIFO/no-gap discipline easy to preserve across flapping links.
 
 The network also keeps per-kind message counters; the benchmark harness
 reads them to reproduce the paper's message-cost claims.
+
+For chaos testing a :class:`~repro.chaos.faults.FaultInjector` can be
+attached: dropped datagrams become retransmission-penalty latency,
+duplicated ones travel the wire as :class:`DuplicateCopy` markers that
+are discarded on arrival (receiver-side dedup), and delay/reorder faults
+add jitter - all without breaking the per-link FIFO clamp, so the
+CO_RFIFO contract the end-points assume keeps holding.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.chaos.faults import DuplicateCopy, FaultInjector
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.simclock import EventScheduler, ScheduledEvent
 from repro.types import ProcessId
@@ -38,9 +46,11 @@ class SimNetwork:
         self,
         clock: EventScheduler,
         latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.clock = clock
         self.latency = latency or ConstantLatency(1.0)
+        self.faults = faults
         self._handlers: Dict[ProcessId, DeliveryHandler] = {}
         self._bounce: Dict[ProcessId, BounceHandler] = {}
         self._group: Dict[ProcessId, int] = {}
@@ -116,6 +126,8 @@ class SimNetwork:
                 event, message = flight.popleft()
                 event.cancel()
                 self.bounced[self.kind_of(message)] += 1
+                if isinstance(message, DuplicateCopy):
+                    continue  # the original copy is bounced; the dup is moot
                 if bounce is not None:
                     bounce(dst, message)
 
@@ -136,8 +148,13 @@ class SimNetwork:
         size = getattr(message, "estimated_size", None)
         if size is not None:
             self.volume[kind] += size()
+        decision = None
+        if self.faults is not None and not isinstance(message, DuplicateCopy):
+            decision = self.faults.decide(src, dst)
         link = (src, dst)
         arrival = self.clock.now + self.latency.sample(src, dst)
+        if decision is not None:
+            arrival += decision.extra_delay
         arrival = max(arrival, self._last_arrival.get(link, 0.0))
         self._last_arrival[link] = arrival
         flight = self._in_flight.setdefault(link, deque())
@@ -156,6 +173,10 @@ class SimNetwork:
                 except ValueError:
                     pass
             self.delivered[kind] += 1
+            if isinstance(message, DuplicateCopy):
+                if self.faults is not None:
+                    self.faults.suppressed_duplicate()
+                return  # receiver-side dedup: the second copy dies here
             handler = self._handlers.get(dst)
             if handler is not None:
                 handler(src, message)
@@ -163,6 +184,8 @@ class SimNetwork:
         event = self.clock.schedule_at(arrival, deliver)
         entry = (event, message)
         flight.append(entry)
+        if decision is not None and decision.duplicate:
+            self.send(src, dst, DuplicateCopy(message))
         return True
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Type
 
+from repro.chaos.faults import FaultInjector
 from repro.checking.events import GcsTrace
 from repro.core.forwarding import ForwardingStrategy
 from repro.core.gcs_endpoint import GcsEndpoint
@@ -152,9 +153,10 @@ class SimWorld:
         strict: bool = False,
         compact_syncs: bool = False,
         ack_gc_interval: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.clock = EventScheduler()
-        self.network = SimNetwork(self.clock, latency)
+        self.network = SimNetwork(self.clock, latency, faults)
         self.trace = GcsTrace()
         self.nodes: Dict[ProcessId, SimNode] = {}
         self._endpoint_cls = endpoint_cls

@@ -18,11 +18,13 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional
 
+from repro.chaos.faults import FaultInjector
 from repro.checking.events import GcsTrace
 from repro.core.forwarding import ForwardingStrategy
 from repro.membership.tier import MembershipTier
 from repro.runtime.node import AsyncGcsNode
 from repro.runtime.settle import await_settled, describe_views
+from repro.runtime.settle import settle_timeout as env_settle_timeout
 from repro.runtime.transport import AsyncHub
 from repro.types import VID_ZERO, ProcessId, View
 
@@ -54,14 +56,17 @@ class AsyncCluster:
         forwarding: Optional[ForwardingStrategy] = None,
         record_trace: bool = True,
         servers: int = 1,
-        settle_timeout: float = 10.0,
+        settle_timeout: Optional[float] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         del record_trace  # accepted for compatibility; tracing is unconditional
-        self.hub = AsyncHub(delay=delay)
+        self.hub = AsyncHub(delay=delay, faults=faults)
         self.nodes: Dict[ProcessId, AsyncGcsNode] = {}
         self.trace: GcsTrace = GcsTrace()
         self._forwarding = forwarding
-        self._settle_timeout = settle_timeout
+        self._settle_timeout = (
+            env_settle_timeout(10.0) if settle_timeout is None else settle_timeout
+        )
         self.tier = MembershipTier(HubTierLink(self.hub), servers=servers)
         # Set whenever any node installs a view; wakes settling waiters.
         self._progress = asyncio.Event()

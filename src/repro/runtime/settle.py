@@ -13,6 +13,7 @@ stuck state.
 from __future__ import annotations
 
 import asyncio
+import os
 from typing import Callable, Iterable, Optional
 
 from repro.errors import SettleTimeoutError
@@ -20,12 +21,39 @@ from repro.types import View
 
 DEFAULT_TIMEOUT = 5.0
 
+# Environment override for every settling deadline in the runtime.  Chaos
+# schedules stretch convergence (retransmission penalties, jitter), and
+# CI machines are slower than laptops; rather than threading a knob
+# through every cluster and deployment constructor, one variable rescales
+# them all.
+ENV_TIMEOUT = "REPRO_SETTLE_TIMEOUT"
+
+
+def settle_timeout(fallback: float = DEFAULT_TIMEOUT) -> float:
+    """The effective settle timeout: ``$REPRO_SETTLE_TIMEOUT`` or ``fallback``.
+
+    Read at call time, not import time, so tests and CI jobs can adjust
+    it per run.  An unparsable value fails loudly - a silently ignored
+    timeout override is exactly the kind of CI mystery this exists to
+    prevent.
+    """
+    raw = os.environ.get(ENV_TIMEOUT)
+    if raw is None or not raw.strip():
+        return fallback
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{ENV_TIMEOUT}={raw!r} is not a number") from None
+    if value <= 0:
+        raise ValueError(f"{ENV_TIMEOUT}={raw!r} must be positive")
+    return value
+
 
 async def await_settled(
     predicate: Callable[[], bool],
     event: asyncio.Event,
     *,
-    timeout: float = DEFAULT_TIMEOUT,
+    timeout: Optional[float] = None,
     describe: Optional[Callable[[], str]] = None,
 ) -> None:
     """Wait until ``predicate()`` holds, woken by ``event``.
@@ -35,9 +63,13 @@ async def await_settled(
     lost-wakeup race the event is cleared *before* each predicate check:
     a wake-up arriving between check and wait is then never dropped.
 
-    Raises :class:`SettleTimeoutError` after ``timeout`` seconds, with
-    ``describe()`` (if given) appended to the error message.
+    Raises :class:`SettleTimeoutError` after ``timeout`` seconds
+    (default: :func:`settle_timeout`, i.e. ``$REPRO_SETTLE_TIMEOUT`` or
+    ``DEFAULT_TIMEOUT``), with ``describe()`` (if given) appended to the
+    error message.
     """
+    if timeout is None:
+        timeout = settle_timeout()
     loop = asyncio.get_event_loop()
     deadline = loop.time() + timeout
     while True:
@@ -79,7 +111,9 @@ def describe_views(nodes: dict) -> str:
 
 __all__ = [
     "DEFAULT_TIMEOUT",
+    "ENV_TIMEOUT",
     "await_settled",
     "describe_views",
+    "settle_timeout",
     "uniform_view",
 ]

@@ -20,6 +20,7 @@ import pickle
 import struct
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
+from repro.chaos.faults import DuplicateCopy, FaultInjector
 from repro.errors import TransportError
 from repro.types import ProcessId
 
@@ -55,11 +56,13 @@ class TcpTransport:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.pid = pid
         self.handler = handler
         self.host = host
         self.port = port
+        self.faults = faults
         self.peers: Dict[ProcessId, Tuple[str, int]] = {}
         # Partition emulation: when set, frames to/from processes outside
         # the allowed set are silently dropped (a lost suffix, which the
@@ -124,10 +127,21 @@ class TcpTransport:
             writer = await self._writer_to(dst)
             if writer is None:
                 continue  # unreachable: a suffix is lost, as CO_RFIFO allows
+            duplicate = False
+            if self.faults is not None:
+                decision = self.faults.decide(self.pid, dst)
+                duplicate = decision.duplicate
+                if decision.extra_delay:
+                    # Loss penalty / jitter: hold the frame back.  TCP's
+                    # own FIFO keeps the per-connection order intact.
+                    await asyncio.sleep(decision.extra_delay)
             if frame is None:
                 frame = encode_frame(self.pid, message)
             try:
                 writer.write(frame)
+                if duplicate:
+                    # A second wire copy; the receiver's dedup drops it.
+                    writer.write(encode_frame(self.pid, DuplicateCopy(message)))
                 await writer.drain()
             except (ConnectionError, OSError):
                 self._drop_writer(dst)
@@ -164,6 +178,10 @@ class TcpTransport:
                 src, message = await read_frame(reader)
                 if not self._permitted(src):
                     continue  # frame crossed a partition cut: drop it
+                if isinstance(message, DuplicateCopy):
+                    if self.faults is not None:
+                        self.faults.suppressed_duplicate()
+                    continue  # receiver-side dedup: second copy dies here
                 self.handler(src, message)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             pass  # peer went away: CO_RFIFO may lose the suffix

@@ -21,6 +21,7 @@ import asyncio
 import time
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.chaos.faults import FaultInjector
 from repro.checking.events import GcsTrace
 from repro.core.gcs_endpoint import GcsEndpoint
 from repro.core.runner import EndpointRunner
@@ -29,6 +30,7 @@ from repro.membership.protocol import StartChangeNotice, ViewNotice
 from repro.membership.tier import MembershipTier
 from repro.runtime.node import Delivery, ViewChange
 from repro.runtime.settle import await_settled, describe_views
+from repro.runtime.settle import settle_timeout as env_settle_timeout
 from repro.runtime.tcp import TcpTransport
 from repro.types import VID_ZERO, ProcessId, View
 
@@ -48,7 +50,7 @@ class TcpGcsNode:
         # wire sends are produced synchronously by the runner but must be
         # awaited on sockets: an outbox task serialises them in order.
         self._outbox: asyncio.Queue = asyncio.Queue()
-        self.transport = TcpTransport(pid, self._on_wire)
+        self.transport = TcpTransport(pid, self._on_wire, faults=cluster.faults)
         self.runner = EndpointRunner(
             self.endpoint,
             send_wire=lambda targets, m: self._outbox.put_nowait((targets, m)),
@@ -133,9 +135,14 @@ class TcpGcsNode:
 class _ServerPort:
     """A membership server's own socket endpoint plus send pump."""
 
-    def __init__(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+    def __init__(
+        self,
+        sid: ProcessId,
+        handler: Callable[[ProcessId, Any], None],
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         self.sid = sid
-        self.transport = TcpTransport(sid, handler)
+        self.transport = TcpTransport(sid, handler, faults=faults)
         self.outbox: asyncio.Queue = asyncio.Queue()
         self._pump_task: Optional[asyncio.Task] = None
 
@@ -178,12 +185,16 @@ class TcpCluster:
         *,
         record_trace: bool = True,
         servers: int = 1,
-        settle_timeout: float = 10.0,
+        settle_timeout: Optional[float] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         del record_trace  # accepted for compatibility; tracing is unconditional
         self.nodes: Dict[ProcessId, TcpGcsNode] = {}
         self.trace: GcsTrace = GcsTrace()
-        self._settle_timeout = settle_timeout
+        self.faults = faults
+        self._settle_timeout = (
+            env_settle_timeout(10.0) if settle_timeout is None else settle_timeout
+        )
         self._addresses: Dict[ProcessId, Tuple[str, int]] = {}
         self._server_ports: Dict[ProcessId, _ServerPort] = {}
         self.tier = MembershipTier(TcpTierLink(self), servers=servers)
@@ -200,7 +211,7 @@ class TcpCluster:
     async def _attach_server(
         self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]
     ) -> None:
-        port = _ServerPort(sid, handler)
+        port = _ServerPort(sid, handler, faults=self.faults)
         self._server_ports[sid] = port
         self._addresses[sid] = await port.start()
         self._broadcast_book()
@@ -275,14 +286,17 @@ class TcpCluster:
         )
         return self.nodes[members[0]].current_view
 
-    async def quiesce(self, idle: float = 0.08, timeout: float = 10.0) -> None:
+    async def quiesce(self, idle: float = 0.08, timeout: Optional[float] = None) -> None:
         """Wait until the cluster stops making progress.
 
         Sockets give no global in-flight counter, so quiescence is a
         bounded stability window: no new trace events and empty outboxes
         for ``idle`` seconds.  Raises :class:`SettleTimeoutError` when
-        the window never closes within ``timeout``.
+        the window never closes within ``timeout`` (default: the
+        ``$REPRO_SETTLE_TIMEOUT``-scaled settle deadline).
         """
+        if timeout is None:
+            timeout = env_settle_timeout(10.0)
         loop = asyncio.get_event_loop()
         deadline = loop.time() + timeout
 

@@ -14,9 +14,11 @@ would).
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, Iterable
+from typing import Any, Callable, Dict, Iterable, Optional
 
+from repro.chaos.faults import DuplicateCopy, FaultInjector
 from repro.errors import SettleTimeoutError
+from repro.runtime.settle import settle_timeout as env_settle_timeout
 from repro.types import ProcessId
 
 Handler = Callable[[ProcessId, Any], None]
@@ -25,8 +27,9 @@ Handler = Callable[[ProcessId, Any], None]
 class AsyncHub:
     """Routes messages between in-process asyncio nodes."""
 
-    def __init__(self, *, delay: float = 0.0) -> None:
+    def __init__(self, *, delay: float = 0.0, faults: Optional[FaultInjector] = None) -> None:
         self.delay = delay
+        self.faults = faults
         self._handlers: Dict[ProcessId, Handler] = {}
         self._queues: Dict[ProcessId, asyncio.Queue] = {}
         self._pumps: Dict[ProcessId, asyncio.Task] = {}
@@ -68,19 +71,35 @@ class AsyncHub:
                 continue
             if not self.connected(src, dst):
                 continue
-            self._inflight += 1
-            self._idle.clear()
-            self._queues[dst].put_nowait((src, message))
+            extra = 0.0
+            duplicate = False
+            if self.faults is not None:
+                decision = self.faults.decide(src, dst)
+                extra, duplicate = decision.extra_delay, decision.duplicate
+            self._enqueue(dst, (src, message, extra))
+            if duplicate:
+                # A real second copy occupies the queue behind the first;
+                # the pump discards it (receiver-side dedup).
+                self._enqueue(dst, (src, DuplicateCopy(message), 0.0))
+
+    def _enqueue(self, dst: ProcessId, entry: Any) -> None:
+        self._inflight += 1
+        self._idle.clear()
+        self._queues[dst].put_nowait(entry)
 
     async def _pump(self, pid: ProcessId) -> None:
         queue = self._queues[pid]
         handler = self._handlers[pid]
         while not self._closed:
-            src, message = await queue.get()
-            if self.delay:
-                await asyncio.sleep(self.delay)
+            src, message, extra = await queue.get()
+            if self.delay or extra:
+                await asyncio.sleep(self.delay + extra)
             try:
-                handler(src, message)
+                if isinstance(message, DuplicateCopy):
+                    if self.faults is not None:
+                        self.faults.suppressed_duplicate()
+                else:
+                    handler(src, message)
             finally:
                 self._inflight -= 1
                 if self._inflight == 0:
@@ -93,15 +112,18 @@ class AsyncHub:
         await asyncio.gather(*self._pumps.values(), return_exceptions=True)
         self._pumps.clear()
 
-    async def quiesce(self, timeout: float = 10.0) -> None:
+    async def quiesce(self, timeout: Optional[float] = None) -> None:
         """Wait until no message is in flight anywhere on the hub.
 
         Handlers may send further messages while handling one; the
         in-flight counter covers those too, so when it hits zero the
         fabric is genuinely quiescent.  Raises
         :class:`SettleTimeoutError` instead of hanging if traffic never
-        stops within ``timeout`` seconds.
+        stops within ``timeout`` seconds (default: the
+        ``$REPRO_SETTLE_TIMEOUT``-scaled settle deadline).
         """
+        if timeout is None:
+            timeout = env_settle_timeout(10.0)
         loop = asyncio.get_event_loop()
         deadline = loop.time() + timeout
         while True:

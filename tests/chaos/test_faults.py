@@ -1,0 +1,77 @@
+"""Unit tests for the fault models and the deterministic injector."""
+
+import pickle
+
+import pytest
+
+from repro.chaos import DuplicateCopy, FaultInjector, FaultModel
+
+
+class TestFaultModel:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="drop rate"):
+            FaultModel(drop=1.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultModel(penalty=-1.0)
+
+    def test_without_switches_one_class_off(self):
+        model = FaultModel(drop=0.2, delay=0.3)
+        assert model.without("drop").drop == 0.0
+        assert model.without("drop").delay == 0.3
+
+    def test_active_rates_and_describe(self):
+        model = FaultModel(duplicate=0.1)
+        assert model.active_rates() == {"duplicate": 0.1}
+        assert "duplicate=0.1" in model.describe()
+        assert FaultModel().describe() == "no faults"
+
+    def test_serialisation_round_trip(self):
+        model = FaultModel(drop=0.2, duplicate=0.1, delay=0.3, reorder=0.05, seed=42)
+        assert FaultModel.from_dict(model.to_dict()) == model
+
+
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        decisions = []
+        for _ in range(2):
+            injector = FaultInjector(FaultModel(drop=0.5, duplicate=0.3, seed=9))
+            decisions.append([injector.decide("a", "b") for _ in range(50)])
+        assert decisions[0] == decisions[1]
+
+    def test_counters_track_injections(self):
+        injector = FaultInjector(FaultModel(drop=1.0, duplicate=1.0, seed=1))
+        for _ in range(10):
+            decision = injector.decide("a", "b")
+            assert decision.dropped and decision.duplicate
+            assert decision.extra_delay > 0
+        injector.suppressed_duplicate()
+        snap = injector.snapshot()
+        assert snap["messages"] == 10
+        assert snap["dropped"] == 10
+        assert snap["duplicated"] == 10
+        assert snap["suppressed"] == 1
+
+    def test_no_faults_means_clean_decisions(self):
+        injector = FaultInjector(FaultModel())
+        decision = injector.decide("a", "b")
+        assert decision.extra_delay == 0.0
+        assert not decision.duplicate and not decision.dropped
+
+    def test_time_scale_scales_delays(self):
+        fast = FaultInjector(FaultModel(drop=1.0, seed=3), time_scale=1.0)
+        slow = FaultInjector(FaultModel(drop=1.0, seed=3), time_scale=10.0)
+        assert slow.decide("a", "b").extra_delay == pytest.approx(
+            10.0 * fast.decide("a", "b").extra_delay
+        )
+
+    def test_time_scale_validated(self):
+        with pytest.raises(ValueError, match="time_scale"):
+            FaultInjector(FaultModel(), time_scale=0.0)
+
+
+class TestDuplicateCopy:
+    def test_picklable_for_tcp_frames(self):
+        copy = DuplicateCopy(("payload", 42))
+        restored = pickle.loads(pickle.dumps(copy))
+        assert isinstance(restored, DuplicateCopy)
+        assert restored.message == ("payload", 42)

@@ -1,0 +1,105 @@
+"""Runner episodes, seed reproducibility, shrinking, and slow sweeps.
+
+The fast tests run on the simulator only; the ``slow``-marked sweeps
+exercise the asyncio and TCP runtimes and are picked up by the
+chaos-smoke CI job (``pytest -m slow``).
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ChaosPlan,
+    ChaosRunner,
+    forge_nonmonotonic_view,
+    shrink_plan,
+)
+
+
+class TestRunner:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ChaosRunner("carrier-pigeon")
+
+    def test_sim_episode_passes_with_faults_injected(self):
+        episode = ChaosRunner("sim").run_seed(3)
+        assert episode.ok, episode.summary()
+        assert episode.events > 0
+        assert episode.counters["messages"] > 0
+        # The generated fault model has nonzero rates for every class;
+        # an episode's traffic is enough for each to actually fire.
+        assert episode.counters["dropped"] > 0
+        assert episode.counters["duplicated"] > 0
+        # Every duplicate that reaches a live receiver is suppressed
+        # there; copies aimed at crashed or cut destinations never
+        # arrive, so suppression can undercount but never overcount.
+        assert 0 < episode.counters["suppressed"] <= episode.counters["duplicated"]
+
+    def test_summary_mentions_seed_and_status(self):
+        episode = ChaosRunner("sim").run_seed(4)
+        assert f"seed={episode.plan.seed}" in episode.summary()
+        assert episode.summary().endswith("ok")
+
+
+class TestSeedReproducibility:
+    """Satellite: the same seed must produce the identical trace."""
+
+    @pytest.mark.parametrize("seed", [13, 29])
+    def test_same_plan_twice_gives_identical_trace(self, seed):
+        runner = ChaosRunner("sim")
+        plan = ChaosPlan.generate(seed)
+        first = runner.run(plan)
+        second = runner.run(plan)
+        assert first.ok and second.ok
+        assert list(first.trace) == list(second.trace)
+        assert first.counters == second.counters
+
+    def test_json_round_trip_replays_identically(self):
+        runner = ChaosRunner("sim")
+        plan = ChaosPlan.generate(8)
+        replayed = ChaosPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert list(runner.run(plan).trace) == list(runner.run(replayed).trace)
+
+
+class TestShrinking:
+    def test_passing_plan_is_not_shrunk(self):
+        assert shrink_plan(ChaosRunner("sim"), ChaosPlan.generate(3)) is None
+
+    def test_known_bad_mutation_is_caught_and_shrunk(self):
+        """The self-test loop: forge a violation, catch it, minimise it."""
+        runner = ChaosRunner("sim", mutate_trace=forge_nonmonotonic_view)
+        original = ChaosPlan.generate(7)
+        result = shrink_plan(runner, original, max_runs=40)
+        assert result is not None, "checkers missed the forged violation"
+        assert "Local Monotonicity" in result.violation
+        # The forged violation survives any schedule, so shrinking must
+        # reach the floor: minimal ops, 2 processes, no message faults.
+        assert len(result.plan.ops) < len(original.ops)
+        assert len(result.plan.processes) == 2
+        assert result.plan.faults.active_rates() == {}
+        # The printed JSON replays to the same violation.
+        replayed = ChaosPlan.from_dict(json.loads(json.dumps(result.plan.to_dict())))
+        episode = runner.run(replayed)
+        assert not episode.ok
+        assert episode.violation == result.violation
+
+
+@pytest.mark.slow
+class TestSweeps:
+    """Multi-seed sweeps per substrate - the chaos-smoke CI battery."""
+
+    def test_sim_sweep_clean(self):
+        episodes = ChaosRunner("sim").sweep(list(range(25)))
+        bad = [e.summary() for e in episodes if not e.ok]
+        assert not bad, "\n".join(bad)
+
+    def test_async_sweep_clean(self):
+        episodes = ChaosRunner("async").sweep(list(range(100, 110)))
+        bad = [e.summary() for e in episodes if not e.ok]
+        assert not bad, "\n".join(bad)
+
+    def test_tcp_sweep_clean(self):
+        episodes = ChaosRunner("tcp").sweep(list(range(200, 210)))
+        bad = [e.summary() for e in episodes if not e.ok]
+        assert not bad, "\n".join(bad)

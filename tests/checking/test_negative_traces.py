@@ -1,0 +1,115 @@
+"""Negative-path tests: forged trace mutations every checker must reject.
+
+A green safety battery only means something if a broken trace turns it
+red.  Each test takes a known-good trace (recorded from a deterministic
+simulator episode), applies one targeted corruption, and asserts the
+matching checker raises :class:`SpecificationViolation`.  This is the
+unit-level counterpart of the chaos engine's ``--self-test``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos import ChaosOp, ChaosPlan, ChaosRunner, FaultModel
+from repro.checking import (
+    DeliverEvent,
+    GcsTrace,
+    MbrshpViewEvent,
+    ViewEvent,
+    check_deployment_trace,
+    check_local_monotonicity,
+    check_mbrshp_conformance,
+    check_safety_spec,
+    check_self_delivery,
+    check_self_inclusion,
+)
+from repro.errors import SpecificationViolation
+
+PROCS = ("a", "b", "c")
+
+
+@pytest.fixture(scope="module")
+def good_trace():
+    """A fault-free episode with traffic and two reconfigurations.
+
+    The shape guarantees the raw material every mutation needs: two
+    FIFO-ordered messages from one sender, self-deliveries followed by
+    later view changes, and several membership view notices.
+    """
+    plan = ChaosPlan(
+        seed=0,
+        processes=PROCS,
+        faults=FaultModel(),
+        ops=(),
+    ).with_ops([
+        ChaosOp("send", pid="a", payload="m1"),
+        ChaosOp("send", pid="a", payload="m2"),
+        ChaosOp("settle"),
+        ChaosOp("reconfigure", members=("a", "b")),
+        ChaosOp("settle"),
+        ChaosOp("reconfigure", members=PROCS),
+    ])
+    episode = ChaosRunner("sim").run(plan)
+    assert episode.ok, episode.summary()
+    return episode.trace
+
+
+def test_the_unmutated_trace_passes(good_trace):
+    check_deployment_trace(good_trace, list(PROCS))
+
+
+def test_dropped_self_delivery_is_caught(good_trace):
+    """Remove a's delivery of its own message: Self Delivery must fail."""
+    victim = next(
+        e
+        for e in good_trace.of_type(DeliverEvent)
+        if e.proc == "a" and e.sender == "a"
+    )
+    mutated = GcsTrace(e for e in good_trace if e is not victim)
+    with pytest.raises(SpecificationViolation, match="Self Delivery"):
+        check_self_delivery(mutated)
+
+
+def test_reordered_fifo_pair_is_caught(good_trace):
+    """Swap b's deliveries of a's m1/m2: the spec replay must reject."""
+    deliveries = [
+        e
+        for e in good_trace.of_type(DeliverEvent)
+        if e.proc == "b" and e.sender == "a"
+    ]
+    first, second = deliveries[0], deliveries[1]
+    assert (first.payload, second.payload) == ("m1", "m2")
+    events = list(good_trace)
+    i, j = events.index(first), events.index(second)
+    events[i], events[j] = events[j], events[i]
+    with pytest.raises(SpecificationViolation, match="not accepted"):
+        check_safety_spec(GcsTrace(events), PROCS)
+
+
+def test_nonmonotonic_view_is_caught(good_trace):
+    """Re-deliver the last view: Local Monotonicity must fail."""
+    mutated = GcsTrace(good_trace)
+    mutated.append(good_trace.of_type(ViewEvent)[-1])
+    with pytest.raises(SpecificationViolation, match="Local Monotonicity"):
+        check_local_monotonicity(mutated)
+
+
+def test_view_without_self_is_caught(good_trace):
+    """Strip the recipient from a delivered view: Self Inclusion fails."""
+    victim = good_trace.of_type(ViewEvent)[-1]
+    forged_view = replace(
+        victim.view, members=victim.view.members - {victim.proc}
+    )
+    forged = replace(victim, view=forged_view)
+    mutated = GcsTrace(forged if e is victim else e for e in good_trace)
+    with pytest.raises(SpecificationViolation, match="Self Inclusion"):
+        check_self_inclusion(mutated)
+
+
+def test_duplicated_membership_notice_is_caught(good_trace):
+    """Replay a membership view notice: Figure 2 conformance must fail."""
+    mutated = GcsTrace(good_trace)
+    mutated.append(good_trace.of_type(MbrshpViewEvent)[-1])
+    with pytest.raises(SpecificationViolation, match="MBRSHP conformance"):
+        check_mbrshp_conformance(mutated, PROCS)

@@ -17,6 +17,7 @@ from repro.deploy import (
     SUBSTRATES,
     run_scenario,
     scenario_churn,
+    scenario_crash_mid_sync,
     scenario_reconfiguration,
     scenario_self_delivery,
     scenario_virtual_synchrony,
@@ -273,3 +274,25 @@ class TestSubstrateMatrix:
         got_c = self.payloads(deployment, "c")
         assert "while-down" not in got_c
         assert "back" in got_c
+
+    def test_crash_mid_sync(self, substrate):
+        # Section 8 crash semantics with traffic still in flight: the
+        # survivors keep every message (Self Delivery and Virtual
+        # Synchrony hold across the crash view change), and the
+        # recovered process rejoins with a fresh state - it sees the
+        # post-recovery traffic but none of what it missed while down.
+        deployment = run_scenario(substrate, scenario_crash_mid_sync)
+        deployment.check()
+        for pid in "ab":
+            per_sender = {}
+            for sender, payload in deployment.delivered(pid):
+                per_sender.setdefault(sender, []).append(payload)
+            # Per-sender FIFO is guaranteed; cross-sender order is not.
+            assert per_sender["a"] == ["pre", "inflight-1", "after"]
+            assert per_sender["b"] == ["inflight-2"]
+            assert per_sender["c"] == ["back"]
+        got_c = self.payloads(deployment, "c")
+        assert "after" not in got_c
+        assert got_c[-1] == "back"
+        for pid in "abc":
+            assert deployment.current_view(pid).members == {"a", "b", "c"}

@@ -1,0 +1,46 @@
+"""The REPRO_SETTLE_TIMEOUT environment knob and timeout diagnostics."""
+
+import pytest
+
+from repro.errors import SettleTimeoutError
+from repro.runtime.settle import DEFAULT_TIMEOUT, ENV_TIMEOUT, settle_timeout
+
+
+class TestSettleTimeoutEnv:
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_TIMEOUT, raising=False)
+        assert settle_timeout() == DEFAULT_TIMEOUT
+        assert settle_timeout(2.5) == 2.5
+
+    def test_env_overrides_fallback(self, monkeypatch):
+        monkeypatch.setenv(ENV_TIMEOUT, "42.5")
+        assert settle_timeout() == 42.5
+        assert settle_timeout(2.5) == 42.5
+
+    def test_empty_env_means_unset(self, monkeypatch):
+        monkeypatch.setenv(ENV_TIMEOUT, "")
+        assert settle_timeout(3.0) == 3.0
+
+    def test_read_at_call_time(self, monkeypatch):
+        monkeypatch.setenv(ENV_TIMEOUT, "1.0")
+        assert settle_timeout() == 1.0
+        monkeypatch.setenv(ENV_TIMEOUT, "2.0")
+        assert settle_timeout() == 2.0
+
+    @pytest.mark.parametrize("bad", ["soon", "0", "-3"])
+    def test_bad_values_rejected_loudly(self, monkeypatch, bad):
+        monkeypatch.setenv(ENV_TIMEOUT, bad)
+        with pytest.raises(ValueError, match=ENV_TIMEOUT):
+            settle_timeout()
+
+
+class TestSettleTimeoutError:
+    def test_schedule_lands_in_message_and_attribute(self):
+        err = SettleTimeoutError("stuck", schedule="seed=7 pending_ops=['settle()']")
+        assert err.schedule == "seed=7 pending_ops=['settle()']"
+        assert "pending fault schedule: seed=7" in str(err)
+
+    def test_without_schedule(self):
+        err = SettleTimeoutError("stuck")
+        assert err.schedule is None
+        assert str(err) == "stuck"
