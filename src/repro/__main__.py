@@ -209,6 +209,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -250,6 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--self-test", action="store_true",
                        help="inject a known-bad trace mutation and require "
                             "the pipeline to catch and shrink it")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify automaton definitions (R1-R4)",
+        description="Static verifier for the I/O-automaton DSL: "
+                    "precondition purity (R1), inheritance conformance "
+                    "(R2), signature coherence (R3), and determinism "
+                    "hygiene (R4), without executing any transition.",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -260,6 +278,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "simulate": _cmd_simulate,
         "chaos": _cmd_chaos,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

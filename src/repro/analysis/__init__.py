@@ -1,0 +1,30 @@
+"""Static verifier for the I/O-automaton DSL (``python -m repro lint``).
+
+Checks, without executing a single transition:
+
+- **R1 precondition purity** - ``_pre_*`` bodies (and helpers they
+  reach) never write automaton state or call effects.
+- **R2 inheritance conformance** - a class's ``_eff_*`` write-sets stay
+  within its own ``_state`` variables; the static mirror of the runtime
+  strict mode (the inheritance construct of [26]).
+- **R3 signature coherence** - SIGNATURE entries, DSL methods, and
+  PARAM_PROJECTIONS keys form a closed, unambiguous vocabulary.
+- **R4 determinism hygiene** - no unseeded randomness, wall clocks, or
+  set-order iteration inside replay-critical packages.
+"""
+
+from repro.analysis.discovery import AnalysisError, load_targets
+from repro.analysis.findings import Finding, Location, RULE_CATALOGUE, Severity
+from repro.analysis.runner import DEFAULT_DET_SCOPE, Report, analyze
+
+__all__ = [
+    "AnalysisError",
+    "DEFAULT_DET_SCOPE",
+    "Finding",
+    "Location",
+    "RULE_CATALOGUE",
+    "Report",
+    "Severity",
+    "analyze",
+    "load_targets",
+]

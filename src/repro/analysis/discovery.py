@@ -1,0 +1,217 @@
+"""Target loading: imports, ASTs, and Automaton subclass collection.
+
+The verifier is AST-plus-introspection: modules are *imported* (so the
+real MRO, merged signatures, and ``ActionKind`` values are available)
+and *parsed* (so method bodies can be checked without executing a single
+transition).  A target is either a dotted module/package name or a
+filesystem path; paths are resolved to their importable dotted name by
+climbing past ``__init__.py`` files, so fixture packages analyze under
+their real names.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import os
+import pkgutil
+import sys
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.errors import ReproError
+from repro.ioa.automaton import Automaton
+
+from repro.analysis.suppressions import SuppressionIndex
+
+
+class AnalysisError(ReproError):
+    """A lint target could not be loaded (bad path, import failure)."""
+
+
+@dataclass
+class ModuleTarget:
+    """One imported-and-parsed module under analysis."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source_lines: List[str]
+    suppressions: SuppressionIndex
+    module: ModuleType
+
+
+@dataclass
+class ClassTarget:
+    """One Automaton subclass defined in a target module."""
+
+    cls: Type[Automaton]
+    node: ast.ClassDef  # linenos absolute within module.path
+    module: ModuleTarget
+
+    @property
+    def qualname(self) -> str:
+        return self.cls.__qualname__
+
+
+@dataclass
+class TargetSet:
+    modules: List[ModuleTarget] = field(default_factory=list)
+    classes: List[ClassTarget] = field(default_factory=list)
+
+
+def _dotted_name_for_path(path: str) -> Tuple[str, str]:
+    """(sys.path root, dotted module name) for a file/package path."""
+    path = os.path.abspath(path)
+    if os.path.isfile(path):
+        base, ext = os.path.splitext(path)
+        if ext != ".py":
+            raise AnalysisError(f"not a python file: {path}")
+        parent, leaf = os.path.dirname(base), os.path.basename(base)
+    elif os.path.isdir(path):
+        if not os.path.exists(os.path.join(path, "__init__.py")):
+            raise AnalysisError(f"not a package (no __init__.py): {path}")
+        parent, leaf = os.path.dirname(path), os.path.basename(path)
+    else:
+        raise AnalysisError(f"no such lint target: {path}")
+    parts = [leaf]
+    while os.path.exists(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    return parent, ".".join(reversed(parts))
+
+
+def _import_target(spec: str) -> ModuleType:
+    if os.path.sep in spec or os.path.exists(spec):
+        root, dotted = _dotted_name_for_path(spec)
+        if root not in sys.path:
+            sys.path.insert(0, root)
+    else:
+        dotted = spec
+    try:
+        return importlib.import_module(dotted)
+    except Exception as exc:  # surface import failures as analysis errors
+        raise AnalysisError(f"cannot import lint target {dotted!r}: {exc}") from exc
+
+
+def _iter_modules(root: ModuleType) -> List[ModuleType]:
+    """The module itself, plus every submodule if it is a package."""
+    modules = [root]
+    if hasattr(root, "__path__"):
+        prefix = root.__name__ + "."
+        for info in pkgutil.walk_packages(root.__path__, prefix=prefix):
+            try:
+                modules.append(importlib.import_module(info.name))
+            except Exception as exc:
+                raise AnalysisError(
+                    f"cannot import submodule {info.name!r}: {exc}"
+                ) from exc
+    return modules
+
+
+def _parse_module(module: ModuleType) -> Optional[ModuleTarget]:
+    path = getattr(module, "__file__", None)
+    if not path or not path.endswith(".py") or not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=path)
+    return ModuleTarget(
+        name=module.__name__,
+        path=path,
+        tree=tree,
+        source_lines=lines,
+        suppressions=SuppressionIndex(lines),
+        module=module,
+    )
+
+
+def _class_defs(tree: ast.Module) -> Dict[str, ast.ClassDef]:
+    """qualname -> ClassDef for every (possibly nested) class."""
+    found: Dict[str, ast.ClassDef] = {}
+
+    def walk(nodes, prefix: str) -> None:
+        for node in nodes:
+            if isinstance(node, ast.ClassDef):
+                qualname = f"{prefix}{node.name}"
+                found[qualname] = node
+                walk(node.body, f"{qualname}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk(node.body, f"{prefix}{node.name}.<locals>.")
+
+    walk(tree.body, "")
+    return found
+
+
+def load_targets(specs: Tuple[str, ...]) -> TargetSet:
+    """Import and parse every target, collecting Automaton subclasses.
+
+    A class is attributed to the module that *defines* it (its
+    ``__module__``), so re-exports never produce duplicate targets.
+    """
+    result = TargetSet()
+    seen_modules: Dict[str, ModuleTarget] = {}
+    for spec in specs:
+        root = _import_target(spec)
+        for module in _iter_modules(root):
+            if module.__name__ in seen_modules:
+                continue
+            target = _parse_module(module)
+            if target is None:
+                continue
+            seen_modules[module.__name__] = target
+            result.modules.append(target)
+    for target in result.modules:
+        defs = _class_defs(target.tree)
+        for name in sorted(vars(target.module)):
+            obj = vars(target.module)[name]
+            if not (isinstance(obj, type) and issubclass(obj, Automaton)):
+                continue
+            if obj is Automaton or obj.__module__ != target.name:
+                continue
+            node = defs.get(obj.__qualname__)
+            if node is None:
+                continue  # dynamically created class; nothing to parse
+            if any(ct.cls is obj for ct in result.classes):
+                continue
+            result.classes.append(ClassTarget(cls=obj, node=node, module=target))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# out-of-target class ASTs (ancestors living outside the analyzed set)
+# ---------------------------------------------------------------------------
+
+_FOREIGN_AST_CACHE: Dict[type, Optional[ast.ClassDef]] = {}
+
+
+def class_def_for(cls: type, targets: TargetSet) -> Optional[ast.ClassDef]:
+    """The ClassDef of ``cls``, from the target set or via inspect.
+
+    Ancestors of analyzed automata (e.g. the repro base layers when a
+    fixture package is the target) still need their ``_state`` and
+    helper bodies; they are parsed on demand and cached per class.
+    """
+    for ct in targets.classes:
+        if ct.cls is cls:
+            return ct.node
+    if cls in _FOREIGN_AST_CACHE:
+        return _FOREIGN_AST_CACHE[cls]
+    node: Optional[ast.ClassDef] = None
+    try:
+        source_lines, start = inspect.getsourcelines(cls)
+        source = "".join(source_lines)
+        import textwrap
+
+        tree = ast.parse(textwrap.dedent(source))
+        candidate = tree.body[0]
+        if isinstance(candidate, ast.ClassDef):
+            ast.increment_lineno(candidate, start - 1)
+            node = candidate
+    except (OSError, TypeError, SyntaxError, IndexError):
+        node = None
+    _FOREIGN_AST_CACHE[cls] = node
+    return node

@@ -1,0 +1,108 @@
+"""--strict-parity: cross-check static ownership against the runtime.
+
+The verifier and the runtime strict mode are two enforcers of the same
+clause of [26]: child effects never touch parent-owned state.  They can
+only drift apart if the static write-set analysis mis-reads a ``_state``
+body (or a ``_state`` body does something genuinely dynamic).  This
+check composes one real :class:`SimWorld` with ``strict=True``, reads
+the ownership table the runtime recorded (``endpoint._owners``), and
+diffs it against the owners the analyzer predicted for the same class.
+Any disagreement is an ``R2.parity`` finding against the class.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, List, Optional, Type
+
+from repro.analysis.findings import Finding, Location, Severity
+from repro.analysis.writes import ClassIndex
+
+
+def predicted_owners(cls: type, index: ClassIndex) -> Dict[str, type]:
+    """attr -> owning class, as the analyzer models _init_state_chain."""
+    owners: Dict[str, type] = {}
+    for klass in reversed(cls.__mro__):
+        for attr in index.state_writes(klass):
+            owners.setdefault(attr, klass)
+    return owners
+
+
+def _class_location(cls: type) -> Location:
+    try:
+        path = inspect.getsourcefile(cls) or ""
+        _lines, line = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        path, line = "", 0
+    return Location(file=path, line=line, module=cls.__module__, obj=cls.__qualname__)
+
+
+def diff_ownership(
+    cls: type, runtime_owners: Dict[str, type], index: ClassIndex
+) -> List[Finding]:
+    """R2.parity findings for every static/runtime ownership mismatch."""
+    static = predicted_owners(cls, index)
+    location = _class_location(cls)
+    findings: List[Finding] = []
+
+    def emit(explanation: str) -> None:
+        findings.append(Finding(
+            rule="R2",
+            check="parity",
+            severity=Severity.ERROR,
+            location=location,
+            explanation=explanation,
+            anchors=(location.line,),
+        ))
+
+    for attr in sorted(set(static) - set(runtime_owners)):
+        emit(
+            f"static analysis predicts state variable {attr!r} (created in "
+            f"{static[attr].__name__}._state) but the runtime ownership "
+            "table has no such variable; a _state body is conditional or "
+            "the write-set analysis over-approximates"
+        )
+    for attr in sorted(set(runtime_owners) - set(static)):
+        emit(
+            f"the runtime ownership table records state variable {attr!r} "
+            f"(owned by {runtime_owners[attr].__name__}) that static "
+            "analysis cannot see; a _state body creates attributes "
+            "dynamically (setattr, helpers the analyzer cannot parse)"
+        )
+    for attr in sorted(set(static) & set(runtime_owners)):
+        if static[attr] is not runtime_owners[attr]:
+            emit(
+                f"ownership of state variable {attr!r} disagrees: static "
+                f"analysis assigns it to {static[attr].__name__}, the "
+                f"runtime to {runtime_owners[attr].__name__}"
+            )
+    return findings
+
+
+def run_strict_parity(
+    index: ClassIndex, endpoint_cls: Optional[type] = None
+) -> List[Finding]:
+    """Compose one strict SimWorld and diff ownership for its endpoints.
+
+    Uses ``gc_views=False`` so the endpoint keeps the exact ownership
+    table built at construction, and a constant-latency network because
+    no events are ever delivered - construction alone populates
+    ``_owners`` via ``_init_state_chain``.
+    """
+    from repro.net.latency import ConstantLatency
+    from repro.net.world import SimWorld
+
+    kwargs = {}
+    if endpoint_cls is not None:
+        kwargs["endpoint_cls"] = endpoint_cls
+    world = SimWorld(
+        latency=ConstantLatency(1.0),
+        membership="oracle",
+        strict=True,
+        gc_views=False,
+        **kwargs,
+    )
+    node = world.add_node("parity-probe")
+    endpoint = node.endpoint
+    runtime_owners: Dict[str, Type] = dict(endpoint._owners)
+    return diff_ownership(type(endpoint), runtime_owners, index)

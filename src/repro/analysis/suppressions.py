@@ -1,0 +1,55 @@
+"""``# repro: allow[...]`` suppression comments.
+
+A finding may be deliberately waived in place::
+
+    self.msgs = prune(self.msgs)  # repro: allow[R2] - GC is not part of [26]
+
+The bracket takes a comma-separated list of rule ids, either coarse
+("R2", silencing every R2 sub-check) or exact ("R3.missing-candidates").
+A suppression applies to findings anchored at its line - the offending
+line itself, the enclosing ``def`` or ``class`` line, or the SIGNATURE
+entry that declared the action - so a single comment on a method or
+class header can waive a whole family of related findings.  An allow on
+a standalone comment line also covers the next code line, so it can sit
+on its own line above the statement it waives.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Set
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+
+class SuppressionIndex:
+    """Per-file map of line number -> rule ids allowed on that line."""
+
+    def __init__(self, source_lines: Iterable[str]) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        # Allows on a standalone comment line also cover the next code
+        # line, so a suppression can sit above the statement it waives.
+        pending: Set[str] = set()
+        for lineno, text in enumerate(source_lines, start=1):
+            stripped = text.strip()
+            match = _ALLOW_RE.search(text)
+            if match is not None:
+                ids = {
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                }
+                if ids:
+                    self.by_line.setdefault(lineno, set()).update(ids)
+                    if stripped.startswith("#"):
+                        pending |= ids
+                        continue
+            if pending and stripped and not stripped.startswith("#"):
+                self.by_line.setdefault(lineno, set()).update(pending)
+                pending = set()
+
+    def allows(self, rule: str, rule_id: str, lines: Iterable[int]) -> bool:
+        """Whether any of ``lines`` carries an allow for this finding."""
+        for lineno in lines:
+            ids = self.by_line.get(lineno)
+            if ids and (rule in ids or rule_id in ids):
+                return True
+        return False

@@ -1,0 +1,308 @@
+"""Static write-set and purity analysis of automaton methods.
+
+The engine answers, for one method body, "which ``self`` attributes can
+this code write?" - where *write* covers plain assignment, augmented
+assignment, ``del``, subscript stores, and calls to known mutator
+methods (``append``, ``setdefault``, ...), including through local
+aliases (``buffers = self.msgs[q]; del buffers[view]`` counts as a
+write to ``msgs``).  Helper calls on ``self`` are resolved along the
+static MRO and folded in transitively, so a precondition that reaches a
+memoizing helper is still caught.
+
+Deliberately not modelled (documented analyzer limits): mutation through
+values returned by non-accessor method calls, ``setattr``/``getattr``
+indirection, and aliasing through containers.  The runtime strict-mode
+fingerprints remain the backstop for those.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Type
+
+# Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "add",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+        # repro collection types (MessageLog)
+        "put",
+        "truncate_through",
+    }
+)
+
+# Accessor methods whose return value still aliases (part of) the
+# receiver, so writes through it count against the receiver's root.
+ACCESSOR_METHODS = frozenset({"get", "setdefault", "__getitem__"})
+
+# Framework methods on ``self`` that change state by definition.
+FRAMEWORK_MUTATORS = frozenset({"touch", "reset_state", "apply", "enable_optional_actions"})
+
+
+@dataclass(frozen=True)
+class Write:
+    """One state write: the root attribute, where, and how."""
+
+    attr: str
+    line: int
+    reason: str
+    containing_def_line: int
+
+
+@dataclass
+class MethodEffects:
+    """The statically visible effects of one method body."""
+
+    name: str
+    def_line: int
+    writes: List[Write] = field(default_factory=list)
+    helper_calls: Set[str] = field(default_factory=set)  # self.m(...)
+    super_calls: Set[str] = field(default_factory=set)  # super().m(...)
+    eff_calls: List[Tuple[str, int]] = field(default_factory=list)  # (_eff_*, line)
+
+
+def _root_attr(node: ast.expr, aliases: Dict[str, Optional[str]]) -> Optional[str]:
+    """The ``self`` attribute an expression is rooted in, if any."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in ACCESSOR_METHODS:
+                node = func.value
+            else:
+                return None
+        elif isinstance(node, ast.Name):
+            return aliases.get(node.id)
+        else:
+            return None
+
+
+class _EffectsVisitor(ast.NodeVisitor):
+    """Single pass over a method body collecting writes and calls."""
+
+    def __init__(self, fn: ast.FunctionDef) -> None:
+        self.effects = MethodEffects(name=fn.name, def_line=fn.lineno)
+        self.aliases: Dict[str, Optional[str]] = {}
+        self._def_line = fn.lineno
+
+    # -- write recording ----------------------------------------------------
+
+    def _record(self, attr: Optional[str], line: int, reason: str) -> None:
+        if attr is not None:
+            self.effects.writes.append(Write(attr, line, reason, self._def_line))
+
+    def _written_root(self, target: ast.expr) -> Optional[str]:
+        """The self attribute a store-context target writes, if any."""
+        if isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                return target.attr  # self.x = ...
+            return _root_attr(target.value, self.aliases)  # self.a.b = / alias.b =
+        if isinstance(target, ast.Subscript):
+            return _root_attr(target.value, self.aliases)  # self.a[k] = / alias[k] =
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return None  # elements handled by the caller
+        return None
+
+    def _handle_target(self, target: ast.expr, line: int, reason: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._handle_target(element, line, reason)
+            return
+        self._record(self._written_root(target), line, reason)
+        if isinstance(target, ast.Name):
+            # a rebound local no longer aliases what it used to
+            self.aliases[target.id] = None
+
+    # -- statements ---------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._handle_target(target, node.lineno, "assignment")
+        # simple local aliasing: name = <expr rooted at self.attr>
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self.aliases[node.targets[0].id] = _root_attr(node.value, self.aliases)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._handle_target(node.target, node.lineno, "assignment")
+            if isinstance(node.target, ast.Name):
+                self.aliases[node.target.id] = _root_attr(node.value, self.aliases)
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            # read the alias before _handle_target clears the binding
+            root = self.aliases.get(node.target.id)
+            self._record(root, node.lineno, "augmented assignment through alias")
+        self._handle_target(node.target, node.lineno, "augmented assignment")
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                self._record(target.attr, node.lineno, "del of attribute")
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._record(
+                    _root_attr(target.value, self.aliases), node.lineno, "del of item"
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            is_self_call = isinstance(receiver, ast.Name) and receiver.id == "self"
+            if is_self_call and func.attr.startswith("_eff_"):
+                self.effects.eff_calls.append((func.attr, node.lineno))
+            elif is_self_call and func.attr in FRAMEWORK_MUTATORS:
+                self.effects.writes.append(
+                    Write("_state_version", node.lineno,
+                          f"call to self.{func.attr}()", self._def_line)
+                )
+            elif is_self_call:
+                self.effects.helper_calls.add(func.attr)
+            elif func.attr in MUTATOR_METHODS:
+                self._record(
+                    _root_attr(receiver, self.aliases),
+                    node.lineno,
+                    f"call to mutator .{func.attr}()",
+                )
+            # super().m(...) resolves past the defining class in the MRO
+            if (
+                isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Name)
+                and receiver.func.id == "super"
+            ):
+                if func.attr.startswith("_eff_"):
+                    self.effects.eff_calls.append((func.attr, node.lineno))
+                else:
+                    self.effects.super_calls.add(func.attr)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # nested defs (incl. lambdas via generic_visit) still count: their
+        # writes happen when the closure runs, and preconditions must not
+        # even construct state-mutating closures.
+        self.generic_visit(node)
+
+
+def method_effects(fn: ast.FunctionDef) -> MethodEffects:
+    visitor = _EffectsVisitor(fn)
+    for statement in fn.body:
+        visitor.visit(statement)
+    return visitor.effects
+
+
+# ---------------------------------------------------------------------------
+# per-class resolution
+# ---------------------------------------------------------------------------
+
+
+def methods_of(node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    """The function definitions in one class body (most nesting ignored)."""
+    return {
+        item.name: item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+class ClassIndex:
+    """Lazy per-class method-AST and effects cache over a static MRO."""
+
+    def __init__(self, class_def_for) -> None:
+        self._class_def_for = class_def_for
+        self._methods: Dict[type, Dict[str, ast.FunctionDef]] = {}
+        self._effects: Dict[Tuple[type, str], Optional[MethodEffects]] = {}
+
+    def methods(self, cls: type) -> Dict[str, ast.FunctionDef]:
+        cached = self._methods.get(cls)
+        if cached is None:
+            node = self._class_def_for(cls)
+            cached = methods_of(node) if node is not None else {}
+            self._methods[cls] = cached
+        return cached
+
+    def own_effects(self, cls: type, name: str) -> Optional[MethodEffects]:
+        key = (cls, name)
+        if key not in self._effects:
+            fn = self.methods(cls).get(name)
+            self._effects[key] = method_effects(fn) if fn is not None else None
+        return self._effects[key]
+
+    def resolve(self, cls: type, name: str, after: Optional[type] = None):
+        """(defining class, effects) for ``name`` along ``cls.__mro__``.
+
+        ``after`` resolves ``super()`` calls: the search starts past that
+        class in the MRO.
+        """
+        mro = list(cls.__mro__)
+        if after is not None and after in mro:
+            mro = mro[mro.index(after) + 1:]
+        for klass in mro:
+            if name in self.methods(klass):
+                return klass, self.own_effects(klass, name)
+            # Runtime-visible methods without parseable AST (builtins,
+            # dynamically attached) end the search conservatively.
+            if name in vars(klass):
+                return klass, None
+        return None, None
+
+    def closure(
+        self, cls: type, name: str, *, _origin: Optional[type] = None
+    ) -> Tuple[List[Write], List[Tuple[str, int]]]:
+        """Transitive (writes, eff-calls) of ``cls``'s method ``name``.
+
+        Helper calls on ``self`` are folded in, resolved along the MRO of
+        ``cls``; cycles and unknown methods are ignored.
+        """
+        writes: List[Write] = []
+        eff_calls: List[Tuple[str, int]] = []
+        seen: Set[Tuple[type, str]] = set()
+
+        def expand(method: str, after: Optional[type]) -> None:
+            defining, effects = self.resolve(cls, method, after=after)
+            if defining is None or effects is None or (defining, method) in seen:
+                return
+            seen.add((defining, method))
+            writes.extend(effects.writes)
+            eff_calls.extend(effects.eff_calls)
+            for helper in sorted(effects.helper_calls):
+                # plain self.helper() dispatches on the most-derived class
+                expand(helper, None)
+            for helper in sorted(effects.super_calls):
+                # super().helper() resolves past the class that called it
+                expand(helper, defining)
+
+        expand(name, _origin)
+        return writes, eff_calls
+
+    def state_writes(self, cls: type) -> Dict[str, Write]:
+        """Attributes ``cls``'s *own* ``_state`` creates (name -> write)."""
+        effects = self.own_effects(cls, "_state")
+        if effects is None:
+            return {}
+        result: Dict[str, Write] = {}
+        for write in effects.writes:
+            result.setdefault(write.attr, write)
+        return result

@@ -284,6 +284,8 @@ class SequentialVsEndpoint(WvRfifoEndpoint):
         self.block_status = BlockStatus.UNBLOCKED
         self.start_change = None
         if self.gc_views:
+            # repro: allow[R2.parent-write] - view GC prunes the parent's
+            # buffers; memory reclamation has no counterpart in [26].
             self.msgs = {
                 q: {view: log for view, log in buffers.items() if view == v}
                 for q, buffers in self.msgs.items()

@@ -394,12 +394,14 @@ class VsRfifoTsEndpoint(WvRfifoEndpoint):
             for log in buffers.values()
         )
 
-    def _collect_garbage(self, new_view: View) -> None:
+    def _collect_garbage(self, new_view: View) -> None:  # repro: allow[R2.parent-write]
         """Discard buffers, syncs and forwarding records of finished views.
 
         The abstract algorithm never frees memory; any real implementation
         must.  Safe once a view is delivered: older views' messages can no
-        longer be delivered or forwarded by this end-point.
+        longer be delivered or forwarded by this end-point.  Deliberate
+        exception to the ownership rule of [26] (pruning the parent's
+        ``msgs`` is a write to ancestor state), hence the allow above.
         """
         for q in list(self.msgs):
             buffers = self.msgs[q]

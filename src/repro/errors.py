@@ -36,6 +36,17 @@ class UnknownAction(ReproError):
     """An action name does not appear in an automaton's signature."""
 
 
+class AmbiguousActionName(ReproError):
+    """Two distinct action names collide onto one method suffix.
+
+    ``method_suffix`` maps dots to underscores (``co_rfifo.send`` ->
+    ``co_rfifo_send``), which is lossy: ``a.b_c`` and ``a_b.c`` would
+    both resolve ``_pre_a_b_c``.  The registry in
+    :mod:`repro.ioa.action` rejects the second name so the wrong
+    precondition can never be silently attached to an action.
+    """
+
+
 class CompositionError(ReproError):
     """Automata cannot be composed (e.g. clashing output actions)."""
 

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Any, Tuple
+from typing import Any, Dict, Tuple
+
+from repro.errors import AmbiguousActionName
 
 
 class ActionKind(enum.Enum):
@@ -36,7 +37,14 @@ class Action:
         return f"{self.name}({inner})"
 
 
-@lru_cache(maxsize=None)
+# suffix -> the action name that first claimed it.  The mapping from
+# action name to suffix is lossy ("a.b_c" and "a_b.c" both become
+# "a_b_c"); the registry makes the round trip injective in practice by
+# rejecting the second claimant instead of silently sharing methods.
+_suffix_owner: Dict[str, str] = {}
+_suffix_cache: Dict[str, str] = {}
+
+
 def method_suffix(action_name: str) -> str:
     """Translate an action name to a Python method-name suffix.
 
@@ -45,6 +53,20 @@ def method_suffix(action_name: str) -> str:
 
     Memoized: action vocabularies are tiny and fixed, and the compiled
     transition chains aside, the reflective oracle paths still build
-    method names per call.
+    method names per call.  Raises :class:`AmbiguousActionName` if a
+    *different* action name already resolved to the same suffix, so two
+    actions can never share a ``_pre_``/``_eff_``/``_candidates_``
+    family (the static analyzer's R3 collision rule catches the same
+    situation without executing anything).
     """
-    return action_name.replace(".", "_")
+    suffix = _suffix_cache.get(action_name)
+    if suffix is None:
+        suffix = action_name.replace(".", "_")
+        owner = _suffix_owner.setdefault(suffix, action_name)
+        if owner != action_name:
+            raise AmbiguousActionName(
+                f"action names {owner!r} and {action_name!r} both map to "
+                f"method suffix {suffix!r}; rename one of them"
+            )
+        _suffix_cache[action_name] = suffix
+    return suffix

@@ -111,6 +111,13 @@ class Automaton:
     """Base class of all executable I/O automata."""
 
     SIGNATURE: Dict[str, ActionKind] = {}
+    # Actions an *instance* may opt into after construction (e.g. the
+    # Figure 8 membership linkage of CoRfifoSpec).  Declaring them here
+    # keeps the vocabulary statically visible - the analyzer treats the
+    # union of SIGNATURE and OPTIONAL_SIGNATURE as the set of legal
+    # `_pre_`/`_eff_`/`_candidates_` targets - while the merged runtime
+    # signature only contains them once enable_optional_actions ran.
+    OPTIONAL_SIGNATURE: Dict[str, ActionKind] = {}
     PARAM_PROJECTIONS: Dict[str, _Projection] = {}
 
     def __init__(self, name: str, *, strict: bool = False) -> None:
@@ -167,6 +174,32 @@ class Automaton:
         """The effective (merged) signature of this automaton."""
         return dict(self._signature)
 
+    @classmethod
+    def optional_signature(cls) -> Dict[str, ActionKind]:
+        """The merged OPTIONAL_SIGNATURE declarations along the chain."""
+        optional: Dict[str, ActionKind] = {}
+        for klass in reversed(cls.__mro__):
+            optional.update(klass.__dict__.get("OPTIONAL_SIGNATURE", {}))
+        return optional
+
+    def enable_optional_actions(self, *names: str) -> None:
+        """Overlay declared-optional actions onto this instance's signature.
+
+        Only actions listed in some class's ``OPTIONAL_SIGNATURE`` along
+        the inheritance chain may be enabled; asking for anything else is
+        an :class:`UnknownAction` error, so instance-level signature
+        growth stays within the statically declared vocabulary.
+        """
+        optional = self.optional_signature()
+        for name in names:
+            kind = optional.get(name)
+            if kind is None:
+                raise UnknownAction(
+                    f"{self.name}: {name!r} is not declared in OPTIONAL_SIGNATURE"
+                )
+            self._signature[name] = kind
+        self._lc_compiled = None
+
     def kind_of(self, action_name: str) -> ActionKind:
         try:
             return self._signature[action_name]
@@ -221,7 +254,9 @@ class Automaton:
                 continue
             before = set(self.__dict__)
             klass.__dict__["_state"](self)
-            for attr in set(self.__dict__) - before:
+            # Sorted: _owners insertion order (and with it every strict-mode
+            # fingerprint tuple) must not depend on set hash order.
+            for attr in sorted(set(self.__dict__) - before):
                 self._owners[attr] = klass
 
     def _state(self) -> None:

@@ -36,6 +36,8 @@ class ClientSpec(Automaton):
         "deliver": ActionKind.INPUT,  # (p, q, m)
         "view": ActionKind.INPUT,  # (p, v, T)
         "block": ActionKind.INPUT,  # (p,)
+        # repro: allow[R3.missing-candidates] - concrete clients
+        # (ScriptedClient) supply the candidates.
         "send": ActionKind.OUTPUT,  # (p, m)
         "block_ok": ActionKind.OUTPUT,  # (p,)
     }

@@ -33,6 +33,13 @@ class CoRfifoSpec(Automaton):
         "crash": ActionKind.INPUT,  # (p,)
     }
 
+    # The Figure 8 membership linkage: instances accept the membership
+    # outputs as extra inputs only when link_membership is requested.
+    OPTIONAL_SIGNATURE = {
+        "mbrshp.start_change": ActionKind.INPUT,  # (p, cid, set)
+        "mbrshp.view": ActionKind.INPUT,  # (p, v)
+    }
+
     def __init__(
         self,
         processes: Iterable[ProcessId],
@@ -43,20 +50,10 @@ class CoRfifoSpec(Automaton):
     ) -> None:
         self.processes: Tuple[ProcessId, ...] = tuple(sorted(set(processes)))
         self.link_membership = link_membership
-        if link_membership:
-            # Accept the membership outputs as extra inputs (Figure 8).
-            self.SIGNATURE = dict(type(self).SIGNATURE)
-            self.SIGNATURE["mbrshp.start_change"] = ActionKind.INPUT
-            self.SIGNATURE["mbrshp.view"] = ActionKind.INPUT
         super().__init__(name, **kwargs)
         if link_membership:
-            # __init__ merged class-level signatures; overlay the instance's.
-            self._signature.update(
-                {
-                    "mbrshp.start_change": ActionKind.INPUT,
-                    "mbrshp.view": ActionKind.INPUT,
-                }
-            )
+            # Accept the membership outputs as extra inputs (Figure 8).
+            self.enable_optional_actions("mbrshp.start_change", "mbrshp.view")
 
     def _state(self) -> None:
         self.channel: Dict[Tuple[ProcessId, ProcessId], Deque[Any]] = {

@@ -20,6 +20,8 @@ class SelfDeliverySpec(WvRfifoSpec):
     """SELF : SPEC MODIFIES WV_RFIFO : SPEC (Figure 7)."""
 
     SIGNATURE = {
+        # repro: allow[R3.missing-candidates] - trace-checked spec; the
+        # implementation trace drives it, never enabled_actions().
         "view": ActionKind.OUTPUT,  # modifies wv_rfifo.view (same params)
     }
 

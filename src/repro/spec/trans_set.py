@@ -20,7 +20,10 @@ class TransSetSpec(Automaton):
     """TRANS_SET : SPEC (Figure 6), a stand-alone automaton."""
 
     SIGNATURE = {
+        # repro: allow[R3.missing-candidates] - trace-checked spec; the
+        # implementation trace drives it, never enabled_actions().
         "view": ActionKind.OUTPUT,  # (p, v, T)
+        # repro: allow[R3.missing-candidates]
         "set_prev_view": ActionKind.INTERNAL,  # (p, v)
     }
 

@@ -21,7 +21,10 @@ class VsRfifoSpec(WvRfifoSpec):
     """VS_RFIFO : SPEC MODIFIES WV_RFIFO : SPEC (Figure 5)."""
 
     SIGNATURE = {
+        # repro: allow[R3.missing-candidates] - trace-checked spec; the
+        # implementation trace drives it, never enabled_actions().
         "view": ActionKind.OUTPUT,  # modifies wv_rfifo.view (same params)
+        # repro: allow[R3.missing-candidates]
         "set_cut": ActionKind.INTERNAL,  # (v, v', c) new
     }
 

@@ -26,6 +26,8 @@ class WvRfifoSpec(Automaton):
     SIGNATURE = {
         "send": ActionKind.INPUT,  # (p, m)
         "deliver": ActionKind.OUTPUT,  # (p, q, m)  receiver, sender
+        # repro: allow[R3.missing-candidates] - trace-checked spec; the
+        # implementation trace drives it, never enabled_actions().
         "view": ActionKind.OUTPUT,  # (p, v, T)
     }
 

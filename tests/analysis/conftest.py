@@ -1,0 +1,22 @@
+"""Shared fixtures for the static-verifier tests."""
+
+import os
+
+import pytest
+
+from repro.analysis import analyze
+
+FIXTURES_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+FIXTURES_SCOPE = ("tests.analysis.fixtures",)
+
+
+@pytest.fixture(scope="session")
+def fixture_report():
+    """One analysis run over the broken-fixture package, shared."""
+    return analyze([FIXTURES_DIR], det_scope=FIXTURES_SCOPE)
+
+
+@pytest.fixture(scope="session")
+def repo_report():
+    """One analysis run over the real ``repro`` package, shared."""
+    return analyze(["repro"])

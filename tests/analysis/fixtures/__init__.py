@@ -1,0 +1,7 @@
+"""Deliberately broken automata, one verifier rule per module.
+
+Each fixture module is crafted to trigger exactly one rule of
+``repro.analysis`` and no other, so the fixture test can assert the
+analyzer's precision (it fires) and its selectivity (nothing else
+does).  None of these classes is ever instantiated.
+"""

@@ -1,0 +1,28 @@
+"""A real R1 violation waived in place with ``# repro: allow[...]``.
+
+The analyzer must report it as *suppressed*: invisible by default,
+visible again under ``--no-suppress``.
+"""
+
+from typing import Iterable, Tuple
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class MemoizingPre(Automaton):
+    SIGNATURE = {"probe": ActionKind.OUTPUT}
+
+    def _state(self) -> None:
+        self.cache = {}
+
+    def _pre_probe(self, m) -> bool:
+        # repro: allow[R1.write] - memoization cache, not automaton state
+        self.cache.setdefault(m, True)
+        return self.cache[m]
+
+    def _eff_probe(self, m) -> None:
+        self.cache.pop(m, None)
+
+    def _candidates_probe(self) -> Iterable[Tuple[str]]:
+        yield ("m",)

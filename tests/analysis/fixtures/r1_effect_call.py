@@ -1,0 +1,23 @@
+"""R1.calls-effect: a precondition that takes the transition itself."""
+
+from typing import Iterable, Tuple
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class EagerPre(Automaton):
+    SIGNATURE = {"fire": ActionKind.INTERNAL}
+
+    def _state(self) -> None:
+        self.fired = False
+
+    def _pre_fire(self) -> bool:
+        self._eff_fire()  # the violation: evaluating the guard fires it
+        return True
+
+    def _eff_fire(self) -> None:
+        self.fired = True
+
+    def _candidates_fire(self) -> Iterable[Tuple]:
+        yield ()

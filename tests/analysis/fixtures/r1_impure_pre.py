@@ -1,0 +1,23 @@
+"""R1.write: a precondition that mutates automaton state."""
+
+from typing import Iterable, Tuple
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class ImpurePre(Automaton):
+    SIGNATURE = {"send": ActionKind.OUTPUT}
+
+    def _state(self) -> None:
+        self.queue = []
+
+    def _pre_send(self, m) -> bool:
+        self.queue.append(m)  # the violation: a guard that writes state
+        return True
+
+    def _eff_send(self, m) -> None:
+        self.queue.pop(0)
+
+    def _candidates_send(self) -> Iterable[Tuple[str]]:
+        yield ("m",)

@@ -1,0 +1,23 @@
+"""R2.parent-write: a child effect mutating parent-owned state."""
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class BaseLayer(Automaton):
+    SIGNATURE = {"push": ActionKind.INPUT}
+
+    def _state(self) -> None:
+        self.log = []
+
+    def _eff_push(self, m) -> None:
+        self.log.append(m)
+
+
+class ChildLayer(BaseLayer):
+    def _state(self) -> None:
+        self.extra = 0
+
+    def _eff_push(self, m) -> None:
+        self.extra += 1
+        self.log.append(m)  # the violation: ``log`` belongs to BaseLayer

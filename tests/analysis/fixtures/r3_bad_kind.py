@@ -1,0 +1,7 @@
+"""R3.bad-kind: a SIGNATURE value that is not an ActionKind."""
+
+from repro.ioa.automaton import Automaton
+
+
+class StringKind(Automaton):
+    SIGNATURE = {"weird": "output"}  # the violation: a bare string kind

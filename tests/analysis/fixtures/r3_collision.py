@@ -1,0 +1,18 @@
+"""R3.suffix-collision: two action names sharing one method suffix."""
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class CollidingNames(Automaton):
+    # the violation: both names map to the method suffix "ping_pong"
+    SIGNATURE = {
+        "ping.pong": ActionKind.INPUT,
+        "ping_pong": ActionKind.INPUT,
+    }
+
+    def _state(self) -> None:
+        self.hits = 0
+
+    def _eff_ping_pong(self) -> None:
+        self.hits += 1

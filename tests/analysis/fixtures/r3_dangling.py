@@ -1,0 +1,17 @@
+"""R3.dangling-method: the classic ``_pre_veiw`` typo."""
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class TypoView(Automaton):
+    SIGNATURE = {"view": ActionKind.INPUT}
+
+    def _state(self) -> None:
+        self.views = []
+
+    def _eff_view(self, v) -> None:
+        self.views.append(v)
+
+    def _pre_veiw(self, v) -> bool:  # the violation: matches no action
+        return True

@@ -1,0 +1,17 @@
+"""R3.input-precondition: a guard on an input action (never evaluated)."""
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class GuardedInput(Automaton):
+    SIGNATURE = {"receive": ActionKind.INPUT}
+
+    def _state(self) -> None:
+        self.inbox = []
+
+    def _pre_receive(self, m) -> bool:  # the violation: inputs are always on
+        return bool(m)
+
+    def _eff_receive(self, m) -> None:
+        self.inbox.append(m)

@@ -1,0 +1,17 @@
+"""R3.missing-candidates: a locally controlled action that never fires."""
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class SilentOutput(Automaton):
+    SIGNATURE = {"emit": ActionKind.OUTPUT}  # the violation: no candidates
+
+    def _state(self) -> None:
+        self.emitted = []
+
+    def _pre_emit(self, m) -> bool:
+        return True
+
+    def _eff_emit(self, m) -> None:
+        self.emitted.append(m)

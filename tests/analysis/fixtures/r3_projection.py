@@ -1,0 +1,16 @@
+"""R3.unknown-projection: a projection keyed on an undeclared action."""
+
+from repro.ioa.action import ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class BadProjection(Automaton):
+    SIGNATURE = {"go": ActionKind.INPUT}
+    # the violation: "gone" is not a declared action
+    PARAM_PROJECTIONS = {"gone": lambda p, v: (p,)}
+
+    def _state(self) -> None:
+        self.where = None
+
+    def _eff_go(self, p) -> None:
+        self.where = p

@@ -1,0 +1,7 @@
+"""R4.unseeded-random: consuming the process-global RNG."""
+
+import random
+
+
+def pick(options):
+    return random.choice(options)  # the violation: unseeded global RNG

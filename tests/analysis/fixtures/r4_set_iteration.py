@@ -1,0 +1,8 @@
+"""R4.set-iteration: hash-order iteration feeding downstream state."""
+
+
+def drain(a, b):
+    out = []
+    for item in a | {1, 2, 3}:  # the violation: set union, hash order
+        out.append(item)
+    return out

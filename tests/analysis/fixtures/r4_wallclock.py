@@ -1,0 +1,7 @@
+"""R4.wall-clock: reading real time inside model code."""
+
+import time
+
+
+def stamp():
+    return time.time()  # the violation: wall clock, not the sim clock

@@ -1,0 +1,54 @@
+"""Each broken fixture triggers exactly its intended rule, nothing else."""
+
+import pytest
+
+# fixture module basename -> the one rule_id it must trigger
+EXPECTED = {
+    "r1_impure_pre": "R1.write",
+    "r1_effect_call": "R1.calls-effect",
+    "r2_parent_write": "R2.parent-write",
+    "r3_dangling": "R3.dangling-method",
+    "r3_input_pre": "R3.input-precondition",
+    "r3_missing_candidates": "R3.missing-candidates",
+    "r3_collision": "R3.suffix-collision",
+    "r3_projection": "R3.unknown-projection",
+    "r3_bad_kind": "R3.bad-kind",
+    "r4_random": "R4.unseeded-random",
+    "r4_wallclock": "R4.wall-clock",
+    "r4_set_iteration": "R4.set-iteration",
+}
+
+
+def _by_module(report):
+    grouped = {}
+    for finding in report.findings:
+        basename = finding.location.module.rsplit(".", 1)[-1]
+        grouped.setdefault(basename, []).append(finding)
+    return grouped
+
+
+@pytest.mark.parametrize("basename,rule_id", sorted(EXPECTED.items()))
+def test_fixture_triggers_exactly_its_rule(fixture_report, basename, rule_id):
+    found = _by_module(fixture_report).get(basename, [])
+    assert [f.rule_id for f in found] == [rule_id]
+    assert all(not f.suppressed for f in found)
+    assert all(f.location.line > 0 for f in found)
+
+
+def test_no_findings_outside_the_broken_modules(fixture_report):
+    known = set(EXPECTED) | {"allowed_mutation"}
+    for finding in fixture_report.findings:
+        assert finding.location.module.rsplit(".", 1)[-1] in known
+
+
+def test_dangling_finding_suggests_the_intended_name(fixture_report):
+    (finding,) = _by_module(fixture_report)["r3_dangling"]
+    assert "did you mean 'view'" in finding.explanation
+
+
+def test_findings_render_with_location_and_rule(fixture_report):
+    (finding,) = _by_module(fixture_report)["r1_impure_pre"]
+    rendered = finding.render()
+    assert "r1_impure_pre.py" in rendered
+    assert "R1.write" in rendered
+    assert "ImpurePre" in rendered

@@ -1,0 +1,63 @@
+"""The machine-readable surface: JSON schema, exit codes, CLI wiring."""
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.analysis.cli import main as lint_main
+
+from tests.analysis.conftest import FIXTURES_DIR
+
+_FINDING_KEYS = {
+    "rule",
+    "check",
+    "rule_id",
+    "severity",
+    "file",
+    "line",
+    "module",
+    "object",
+    "explanation",
+    "suppressed",
+}
+
+
+def test_json_schema_on_clean_repo(capsys):
+    assert lint_main(["--format", "json", "repro"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    summary = payload["summary"]
+    assert summary["errors"] == 0
+    assert summary["classes"] >= 15
+    assert summary["elapsed_seconds"] < 5.0
+    for finding in payload["findings"]:
+        assert set(finding) == _FINDING_KEYS
+        assert finding["suppressed"] is True  # clean repo: only waivers
+
+
+def test_json_exit_code_and_payload_on_violations(capsys):
+    code = lint_main(
+        ["--format", "json", "--det-scope", "tests.analysis.fixtures", FIXTURES_DIR]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    active = [f for f in payload["findings"] if not f["suppressed"]]
+    assert payload["summary"]["errors"] == len(active) > 0
+    assert {f["rule"] for f in active} == {"R1", "R2", "R3", "R4"}
+
+
+def test_lint_subcommand_is_wired_into_repro_main(capsys):
+    assert repro_main(["lint", "repro"]) == 0
+    out = capsys.readouterr().out
+    assert "lint: clean" in out
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R1.write", "R2.parent-write", "R3.dangling-method",
+                    "R4.unseeded-random"):
+        assert rule_id in out
+
+
+def test_bad_target_exits_2(capsys):
+    assert lint_main(["no.such.module"]) == 2

@@ -1,0 +1,40 @@
+"""--strict-parity: the static and runtime enforcers of [26] agree."""
+
+from repro.analysis import analyze, load_targets
+from repro.analysis.parity import diff_ownership, predicted_owners, run_strict_parity
+from repro.analysis.rules import make_class_index
+from repro.core.gcs_endpoint import GcsEndpoint
+from repro.core.wv_endpoint import WvRfifoEndpoint
+
+
+def _index():
+    return make_class_index(load_targets(("repro.core",)))
+
+
+def test_strict_parity_is_clean_on_the_composed_world():
+    assert run_strict_parity(_index()) == []
+
+
+def test_analyze_accepts_the_flag():
+    report = analyze(["repro.core"], strict_parity=True)
+    assert not [f for f in report.active if f.rule_id == "R2.parity"]
+
+
+def test_predicted_owners_match_a_real_endpoint():
+    index = _index()
+    owners = predicted_owners(GcsEndpoint, index)
+    assert owners["msgs"] is WvRfifoEndpoint
+    assert owners["block_status"] is GcsEndpoint
+
+
+def test_ownership_drift_is_detected():
+    index = _index()
+    runtime = dict(predicted_owners(GcsEndpoint, index))
+    del runtime["msgs"]  # runtime "lost" a variable
+    runtime["ghost"] = GcsEndpoint  # and grew one statically invisible
+    runtime["block_status"] = WvRfifoEndpoint  # and re-homed another
+    findings = diff_ownership(GcsEndpoint, runtime, index)
+    assert len(findings) == 3
+    assert {f.rule_id for f in findings} == {"R2.parity"}
+    texts = " ".join(f.explanation for f in findings)
+    assert "msgs" in texts and "ghost" in texts and "block_status" in texts

@@ -1,0 +1,53 @@
+"""``# repro: allow[...]`` behaviour: waive, resurface, anchor forms."""
+
+from repro.analysis import analyze
+from repro.analysis.suppressions import SuppressionIndex
+
+from tests.analysis.conftest import FIXTURES_DIR, FIXTURES_SCOPE
+
+
+def _allowed(report):
+    return [
+        f for f in report.findings
+        if f.location.module.endswith("allowed_mutation")
+    ]
+
+
+def test_allowed_violation_is_reported_suppressed(fixture_report):
+    (finding,) = _allowed(fixture_report)
+    assert finding.suppressed
+    assert finding.rule_id == "R1.write"
+    assert fixture_report.ok or finding not in fixture_report.active
+
+
+def test_no_suppress_mode_resurfaces_it():
+    report = analyze(
+        [FIXTURES_DIR], det_scope=FIXTURES_SCOPE, respect_suppressions=False
+    )
+    (finding,) = _allowed(report)
+    assert not finding.suppressed
+    assert finding in report.active
+
+
+def test_inline_allow_matches_exact_and_coarse_ids():
+    index = SuppressionIndex(["x = 1  # repro: allow[R2, R3.dangling-method]"])
+    assert index.allows("R2", "R2.parent-write", [1])
+    assert index.allows("R3", "R3.dangling-method", [1])
+    assert not index.allows("R3", "R3.bad-kind", [1])
+    assert not index.allows("R1", "R1.write", [2])
+
+
+def test_standalone_comment_covers_the_next_code_line():
+    index = SuppressionIndex([
+        "# repro: allow[R4] - replay-safe, reviewed",
+        "# a second, unrelated comment line",
+        "for x in {1, 2}:",
+    ])
+    assert index.allows("R4", "R4.set-iteration", [3])
+
+
+def test_anchor_lines_let_one_comment_cover_a_method(fixture_report):
+    (finding,) = _allowed(fixture_report)
+    # the finding anchors at its own line plus def/class context lines
+    assert finding.location.line in finding.anchors
+    assert len(finding.anchors) >= 2

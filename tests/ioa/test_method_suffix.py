@@ -1,0 +1,47 @@
+"""method_suffix round-tripping and collision detection."""
+
+import pytest
+
+from repro.errors import AmbiguousActionName
+from repro.ioa import action as action_module
+from repro.ioa.action import method_suffix
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry(monkeypatch):
+    """Isolate the global suffix registry per test."""
+    monkeypatch.setattr(action_module, "_suffix_owner", {})
+    monkeypatch.setattr(action_module, "_suffix_cache", {})
+
+
+def test_dots_become_underscores():
+    assert method_suffix("mbrshp.start_change") == "mbrshp_start_change"
+    assert method_suffix("send") == "send"
+
+
+def test_repeated_lookups_are_stable():
+    assert method_suffix("co_rfifo.deliver") == method_suffix("co_rfifo.deliver")
+
+
+def test_distinct_names_with_distinct_suffixes_coexist():
+    assert method_suffix("a.b") == "a_b"
+    assert method_suffix("a.c") == "a_c"
+
+
+def test_colliding_names_raise():
+    method_suffix("ping.pong")
+    with pytest.raises(AmbiguousActionName, match="ping_pong"):
+        method_suffix("ping_pong")
+
+
+def test_collision_message_names_both_actions():
+    method_suffix("a.b_c")
+    with pytest.raises(AmbiguousActionName, match=r"a\.b_c.*a_b\.c"):
+        method_suffix("a_b.c")
+
+
+def test_original_owner_keeps_working_after_a_collision():
+    method_suffix("ping.pong")
+    with pytest.raises(AmbiguousActionName):
+        method_suffix("ping_pong")
+    assert method_suffix("ping.pong") == "ping_pong"

@@ -47,6 +47,18 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_lint_command_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "lint: clean" in out
+    assert "automata" in out
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    assert "R2.parent-write" in capsys.readouterr().out
+
+
 def test_experiments_command(capsys):
     assert main(["experiments"]) == 0
     out = capsys.readouterr().out
