@@ -94,6 +94,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--reps", type=int, default=5, help="repetitions per workload (median is kept)"
     )
+    parser.add_argument(
+        "--guard",
+        type=Path,
+        default=None,
+        help="baseline JSON file to compare against: fail (exit 1) if any "
+        "workload regresses more than --tolerance below the baseline's "
+        "--guard-entry rates",
+    )
+    parser.add_argument(
+        "--guard-entry",
+        default="current",
+        help="entry inside the --guard file to compare against (default: current)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown vs the guard baseline (default: 0.10)",
+    )
     args = parser.parse_args(argv)
 
     entry = {}
@@ -124,8 +143,38 @@ def main(argv=None) -> int:
             if baseline.get(name)
         }
 
+    regressed = []
+    if args.guard is not None:
+        baseline_doc = json.loads(args.guard.read_text())
+        baseline = baseline_doc["entries"][args.guard_entry]
+        guard = {
+            "baseline_file": args.guard.name,
+            "baseline_entry": args.guard_entry,
+            "tolerance": args.tolerance,
+            "ratios": {},
+        }
+        for name, _fn in WORKLOADS:
+            if not baseline.get(name):
+                continue
+            ratio = round(entry[name] / baseline[name], 3)
+            guard["ratios"][name] = ratio
+            ok = ratio >= 1.0 - args.tolerance
+            print(
+                f"guard {name:24s} {ratio:6.3f}x vs "
+                f"{args.guard.name}:{args.guard_entry} "
+                f"{'ok' if ok else 'REGRESSION'}"
+            )
+            if not ok:
+                regressed.append(name)
+        guard["within_tolerance"] = not regressed
+        doc["guard"] = guard
+
     args.output.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if regressed:
+        print(f"guard FAILED: {', '.join(regressed)} regressed "
+              f"more than {args.tolerance:.0%}")
+        return 1
     return 0
 
 

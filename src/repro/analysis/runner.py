@@ -18,6 +18,7 @@ DEFAULT_DET_SCOPE: Tuple[str, ...] = (
     "repro.spec",
     "repro.core",
     "repro.chaos",
+    "repro.links",
 )
 
 

@@ -67,6 +67,7 @@ class Episode:
     counters: Dict[str, int] = field(default_factory=dict)  # injected faults
     events: int = 0  # trace length
     trace: Optional[GcsTrace] = None
+    link_totals: Dict[str, int] = field(default_factory=dict)  # per-kind wire counters
 
     @property
     def ok(self) -> bool:
@@ -130,6 +131,7 @@ class ChaosRunner:
             counters=injector.snapshot(),
             events=len(trace),
             trace=trace,
+            link_totals=deployment.link_totals(),
         )
 
     def run_seed(self, seed: int, *, intensity: float = 1.0, **generate_kwargs: Any) -> Episode:

@@ -18,10 +18,11 @@ runs on it unchanged.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.checking.events import GcsTrace
 from repro.checking.properties import check_deployment_trace
+from repro.links import LinkCore
 from repro.types import ProcessId, View
 
 
@@ -94,6 +95,18 @@ class Deployment(ABC):
     @abstractmethod
     def trace(self) -> GcsTrace:
         """The unconditional trace of every observable event so far."""
+
+    @property
+    @abstractmethod
+    def links(self) -> LinkCore:
+        """The substrate's unified :class:`~repro.links.LinkCore`.
+
+        One partition matrix, fault pipeline, and counter set per
+        deployment, whatever the substrate."""
+
+    def link_totals(self) -> Dict[str, int]:
+        """Per-kind wire-message counters (uniform across substrates)."""
+        return self.links.totals()
 
     @abstractmethod
     def processes(self) -> List[ProcessId]:

@@ -94,6 +94,10 @@ class SimDeployment(Deployment):
     def trace(self) -> GcsTrace:
         return self.world.trace
 
+    @property
+    def links(self):
+        return self.world.links
+
     def processes(self) -> List[ProcessId]:
         return sorted(self.world.nodes)
 

@@ -52,6 +52,10 @@ class TcpDeployment(Deployment):
     def trace(self) -> GcsTrace:
         return self.cluster.trace
 
+    @property
+    def links(self):
+        return self.cluster.links
+
     def processes(self) -> List[ProcessId]:
         return sorted(self.cluster.nodes)
 

@@ -1,0 +1,26 @@
+"""Substrate-agnostic link-layer core (CO_RFIFO's wire contract, once).
+
+:class:`LinkCore` owns partition/reachability, fault application,
+receiver-side deduplication, the per-link FIFO clamp, and uniform
+:class:`LinkStats` counters; the simulator, asyncio hub, and TCP
+transport are thin drivers over it.  See ``docs/ARCHITECTURE.md``
+("Link layer") for the contract and how to add a fourth substrate.
+"""
+
+from repro.links.core import (
+    Link,
+    LinkCore,
+    LinkStats,
+    Transmission,
+    WireCopy,
+    kind_of,
+)
+
+__all__ = [
+    "Link",
+    "LinkCore",
+    "LinkStats",
+    "Transmission",
+    "WireCopy",
+    "kind_of",
+]

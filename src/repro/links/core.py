@@ -1,0 +1,324 @@
+"""The unified link-layer core shared by every substrate.
+
+The paper's CO_RFIFO layer (Figure 3) assumes one well-defined link
+contract: per-link FIFO, no duplication, symmetric reachability.  Every
+substrate of this reproduction - the discrete-event
+:class:`~repro.net.network.SimNetwork`, the in-process asyncio
+:class:`~repro.runtime.transport.AsyncHub`, and the socket-backed
+:class:`~repro.runtime.tcp.TcpTransport` - must realise that same
+contract; :class:`LinkCore` states it exactly once.
+
+A ``LinkCore`` owns, for one deployment's fabric:
+
+* the **partition/reachability matrix** - ``partition(groups)`` /
+  ``heal()`` (component-based cuts) and ``restrict(pid, allowed)``
+  (per-endpoint frame filters, the former TCP-only emulation) are one
+  API, and :meth:`connected` is its single symmetric query;
+* the **fault-application pipeline** - :meth:`outbound` turns a
+  :class:`~repro.chaos.faults.FaultInjector` decision into wire copies
+  (drop = retransmission-penalty latency, duplicate = a real second
+  :class:`~repro.chaos.faults.DuplicateCopy` on the channel, delay and
+  reorder = jitter under the FIFO clamp);
+* **receiver-side deduplication** - :meth:`inbound` discards
+  ``DuplicateCopy`` markers, so no end-point ever sees a duplicate;
+* the **per-link FIFO clamp** - :meth:`fifo_arrival` keeps arrivals on
+  one ordered link monotone even under jittered latencies;
+* uniform :class:`LinkStats` **counters** - per-kind and per-link, with
+  ``totals()`` / ``reset_counters()`` on every substrate (previously the
+  simulator alone counted messages).
+
+The substrates keep only *scheduling and IO*: the simulator its event
+queue and bounce-on-cut flush, the hub its asyncio pumps, the TCP
+transport its stream framing.  A fourth substrate (UDP, shared memory,
+multi-process) is one driver over this class - see the "Link layer"
+section of ``docs/ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.chaos.faults import DuplicateCopy, FaultInjector
+from repro.types import ProcessId
+
+Link = Tuple[ProcessId, ProcessId]
+
+# One wire copy: (message, extra delay before it may travel).
+WireCopy = Tuple[Any, float]
+
+
+def kind_of(message: Any) -> str:
+    """The counter key of a wire message: its class name."""
+    return type(message).__name__
+
+
+@dataclass
+class LinkStats:
+    """Uniform message accounting for one fabric.
+
+    ``sent``/``delivered``/``bounced`` count by message kind (class
+    name); ``volume`` sums ``estimated_size()`` for kinds that define it
+    (synchronization messages); ``per_link`` counts transmissions per
+    ordered ``(src, dst)`` pair, which the settle-timeout diagnostics
+    print so a stalled run shows *where* the traffic was.
+    """
+
+    sent: Counter = field(default_factory=Counter)
+    delivered: Counter = field(default_factory=Counter)
+    bounced: Counter = field(default_factory=Counter)
+    volume: Counter = field(default_factory=Counter)
+    per_link: Counter = field(default_factory=Counter)
+
+    def record_sent(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+        kind = kind_of(message)
+        self.sent[kind] += 1
+        self.per_link[(src, dst)] += 1
+        size = getattr(message, "estimated_size", None)
+        if size is not None:
+            self.volume[kind] += size()
+
+    def record_delivered(self, message: Any) -> None:
+        self.delivered[kind_of(message)] += 1
+
+    def record_bounced(self, message: Any) -> None:
+        self.bounced[kind_of(message)] += 1
+
+    def totals(self) -> Dict[str, int]:
+        """Messages handed to the fabric, by kind."""
+        return dict(self.sent)
+
+    def reset_counters(self) -> None:
+        self.sent.clear()
+        self.delivered.clear()
+        self.bounced.clear()
+        self.volume.clear()
+        self.per_link.clear()
+
+    def describe_links(self, limit: int = 6) -> str:
+        """The busiest links, for :class:`SettleTimeoutError` diagnostics."""
+        if not self.per_link:
+            return "no traffic"
+        busiest = sorted(self.per_link.items(), key=lambda item: (-item[1], item[0]))
+        shown = ", ".join(f"{src}->{dst}: {count}" for (src, dst), count in busiest[:limit])
+        extra = len(busiest) - limit
+        suffix = f" (+{extra} more)" if extra > 0 else ""
+        return shown + suffix
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """What one accepted send puts on the wire.
+
+    ``copies`` lists the wire copies in channel order - the message
+    itself (with any fault-induced extra delay) and, when the injector
+    duplicated it, a :class:`DuplicateCopy` marker that the receiving
+    side of the core will discard.  ``dropped`` records that the
+    original was "lost" and its delay is a retransmission penalty.
+    """
+
+    copies: Tuple[WireCopy, ...]
+    dropped: bool = False
+
+
+class LinkCore:
+    """Substrate-agnostic semantics of one deployment's link fabric."""
+
+    def __init__(self, *, faults: Optional[FaultInjector] = None) -> None:
+        self.faults = faults
+        self.stats = LinkStats()
+        # partition matrix: processes in different groups cannot exchange
+        # messages; group 0 is the default connected component.
+        self._group: Dict[ProcessId, int] = {}
+        # per-endpoint frame filters (the former TCP-only ``restrict``):
+        # when set, the endpoint exchanges messages only with the listed
+        # peers.  Connectivity requires *mutual* allowance, keeping the
+        # reachability relation symmetric as the contract demands.
+        self._allowed: Dict[ProcessId, FrozenSet[ProcessId]] = {}
+        self._listeners: List[Callable[[], None]] = []
+        # Last granted arrival per ordered link: the FIFO clamp.
+        self._last_arrival: Dict[Link, float] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def ensure(self, pid: ProcessId) -> None:
+        """Register ``pid`` on the fabric (idempotent)."""
+        self._group.setdefault(pid, 0)
+
+    def processes(self) -> List[ProcessId]:
+        return sorted(self._group)
+
+    # ------------------------------------------------------------------
+    # the partition/reachability matrix
+    # ------------------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[ProcessId]]) -> None:
+        """Split the fabric into components; unmentioned processes join
+        group 0 (the residual component)."""
+        assignment: Dict[ProcessId, int] = {}
+        for index, group in enumerate(groups, start=1):
+            for pid in group:
+                assignment[pid] = index
+                self.ensure(pid)
+        for pid in self._group:
+            self._group[pid] = assignment.get(pid, 0)
+        self._notify_topology()
+
+    def heal(self) -> None:
+        """Merge every component and lift every restriction."""
+        for pid in self._group:
+            self._group[pid] = 0
+        self._allowed.clear()
+        self._notify_topology()
+
+    def restrict(self, pid: ProcessId, allowed: Optional[Iterable[ProcessId]]) -> None:
+        """Limit ``pid``'s traffic to ``allowed`` peers (``None`` lifts).
+
+        The per-endpoint face of the partition matrix: a process whose
+        allowed set excludes a peer can neither send to nor hear from it,
+        regardless of which side initiated the frame.
+        """
+        self.ensure(pid)
+        if allowed is None:
+            self._allowed.pop(pid, None)
+        else:
+            self._allowed[pid] = frozenset(allowed)
+        self._notify_topology()
+
+    def _permits(self, p: ProcessId, q: ProcessId) -> bool:
+        allowed = self._allowed.get(p)
+        return allowed is None or q == p or q in allowed
+
+    def connected(self, p: ProcessId, q: ProcessId) -> bool:
+        """Symmetric reachability: same component, mutual allowance."""
+        if self._group.get(p, 0) != self._group.get(q, 0):
+            return False
+        return self._permits(p, q) and self._permits(q, p)
+
+    def reachable_from(self, p: ProcessId) -> Set[ProcessId]:
+        return {q for q in self._group if self.connected(p, q)}
+
+    def on_topology_change(self, listener: Callable[[], None]) -> None:
+        self._listeners.append(listener)
+
+    def _notify_topology(self) -> None:
+        for listener in list(self._listeners):
+            listener()
+
+    # ------------------------------------------------------------------
+    # per-link FIFO sequencing
+    # ------------------------------------------------------------------
+
+    def fifo_arrival(self, src: ProcessId, dst: ProcessId, proposed: float) -> float:
+        """Clamp ``proposed`` so arrivals on the link stay monotone.
+
+        Jittered latencies (or fault-injected delays) must never let a
+        later transmission overtake an earlier one on the same ordered
+        link - per-link FIFO is part of the CO_RFIFO contract.
+        """
+        link = (src, dst)
+        arrival = max(proposed, self._last_arrival.get(link, 0.0))
+        self._last_arrival[link] = arrival
+        return arrival
+
+    # ------------------------------------------------------------------
+    # the fault-application pipeline
+    # ------------------------------------------------------------------
+
+    def outbound(self, src: ProcessId, dst: ProcessId, message: Any) -> Optional[Transmission]:
+        """Admit one transmission to the wire, or ``None`` across a cut.
+
+        Applies the fault pipeline exactly once, whatever the substrate:
+        a *dropped* message arrives after a retransmission penalty, a
+        *duplicated* one adds a real :class:`DuplicateCopy` to the
+        channel (behind the original, preserving FIFO), *delay*/*reorder*
+        add jitter the driver must pass through :meth:`fifo_arrival` or
+        its substrate's own per-link FIFO.  Every wire copy is counted.
+        """
+        if not self.connected(src, dst):
+            return None
+        decision = None
+        if self.faults is not None and not isinstance(message, DuplicateCopy):
+            decision = self.faults.decide(src, dst)
+        copies: List[WireCopy] = [(message, decision.extra_delay if decision else 0.0)]
+        if decision is not None and decision.duplicate:
+            copies.append((DuplicateCopy(message), 0.0))
+        for wire, _extra in copies:
+            self.stats.record_sent(src, dst, wire)
+        return Transmission(tuple(copies), dropped=bool(decision and decision.dropped))
+
+    def inbound(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        message: Any,
+        *,
+        check_topology: bool = False,
+    ) -> Optional[Any]:
+        """Filter one arriving wire copy; the payload to deliver, or ``None``.
+
+        ``check_topology=True`` (drivers whose wire can hold frames
+        across a cut, e.g. kernel socket buffers) drops arrivals whose
+        link the matrix has severed.  :class:`DuplicateCopy` markers die
+        here - receiver-side dedup, stated once for every substrate.
+        """
+        if check_topology and not self.connected(src, dst):
+            return None  # the frame crossed a partition cut: drop it
+        self.stats.record_delivered(message)
+        if isinstance(message, DuplicateCopy):
+            if self.faults is not None:
+                self.faults.suppressed_duplicate()
+            return None
+        return message
+
+    def bounced(self, src: ProcessId, dst: ProcessId, message: Any) -> Optional[Any]:
+        """Account a failed transmission (partition cut the link mid-flight).
+
+        Returns the message the driver should hand back to the sending
+        transport for possible retransmission, or ``None`` when the wire
+        copy needs no retransmission (a :class:`DuplicateCopy` - the
+        original copy is bounced in its own right, the marker is moot).
+        """
+        del src, dst  # accounting is kind-based; kept for future per-link stats
+        self.stats.record_bounced(message)
+        return None if isinstance(message, DuplicateCopy) else message
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def totals(self) -> Dict[str, int]:
+        return self.stats.totals()
+
+    def reset_counters(self) -> None:
+        self.stats.reset_counters()
+
+    def __repr__(self) -> str:
+        groups = sorted(set(self._group.values()))
+        return (
+            f"<LinkCore processes={len(self._group)} groups={groups} "
+            f"restricted={sorted(self._allowed)} sent={sum(self.stats.sent.values())}>"
+        )
+
+
+__all__ = [
+    "Link",
+    "LinkCore",
+    "LinkStats",
+    "Transmission",
+    "WireCopy",
+    "kind_of",
+]

@@ -29,10 +29,12 @@ from typing import (
     FrozenSet,
     Iterable,
     List,
+    Optional,
     Protocol,
     Set,
 )
 
+from repro.links import LinkCore
 from repro.membership.protocol import ViewNotice, server_id
 from repro.membership.server import MembershipServer
 from repro.types import ProcessId, StartChangeId, View
@@ -68,10 +70,20 @@ class PartitionPlan:
 class MembershipTier:
     """A tier of membership servers over a :class:`TierLink`."""
 
-    def __init__(self, link: TierLink, *, servers: int = 1) -> None:
+    def __init__(
+        self,
+        link: TierLink,
+        *,
+        servers: int = 1,
+        links: Optional[LinkCore] = None,
+    ) -> None:
         if servers < 1:
             raise ValueError("a membership tier needs at least one server")
         self.link = link
+        # The substrate's unified link core.  When given, the tier cuts
+        # and heals the transport itself (one API for every substrate)
+        # instead of each deployment reimplementing the partition wiring.
+        self.links = links
         self.servers: Dict[ProcessId, MembershipServer] = {}
         self._initial_servers = servers
         # Shared per-client cid watermarks: cids stay locally unique and
@@ -227,12 +239,17 @@ class MembershipTier:
         return PartitionPlan(group_sets, assignment, components)
 
     def apply_partition(self, plan: PartitionPlan) -> None:
-        """Announce a planned partition: move clients, isolate servers.
+        """Cut the transport and announce a planned partition.
 
-        The deployment must have cut its transport along
-        ``plan.components`` already; every notice a server sends from here
-        on stays within its own component.
+        With a :class:`~repro.links.LinkCore` attached, the tier splits
+        the fabric along ``plan.components`` itself before moving any
+        client - one partition surface for every substrate.  (A
+        deployment without a link core must have cut its transport
+        already.)  Every notice a server sends from here on stays within
+        its own component.
         """
+        if self.links is not None:
+            self.links.partition(plan.components)
         snapshot = self.watermark()
         listed: Set[ProcessId] = set().union(*plan.groups) if plan.groups else set()
         adds: Dict[ProcessId, List[ProcessId]] = {}
@@ -276,7 +293,13 @@ class MembershipTier:
                     server.begin_round(server.round + 1)
 
     def heal(self) -> None:
-        """Reunite the tier: all servers reachable, cut-off clients back."""
+        """Reunite the tier: all servers reachable, cut-off clients back.
+
+        With a :class:`~repro.links.LinkCore` attached, the transport
+        fabric is healed here too (all components merged, all
+        restrictions lifted)."""
+        if self.links is not None:
+            self.links.heal()
         everyone = frozenset(self.servers)
         adds: Dict[ProcessId, List[ProcessId]] = {}
         for pid in sorted(self._detached - self._crashed):

@@ -1,24 +1,23 @@
 """The simulated point-to-point network.
 
-``SimNetwork`` carries messages between registered processes with
-per-link latency and FIFO ordering, and models *partitions*: processes in
-different partition groups cannot exchange messages.  When a partition
-cuts a link, every message still in flight on it is *bounced back* to the
-sending transport at that instant (a failed transmission); the transport
-decides, based on its reliable set, whether to retransmit after the heal
-or to drop (realising CO_RFIFO's ``lose``).  Bouncing at partition time -
-rather than silently checking connectivity at arrival - keeps the
-per-link FIFO/no-gap discipline easy to preserve across flapping links.
+``SimNetwork`` is the discrete-event *driver* over the unified
+:class:`~repro.links.LinkCore`: the core owns link semantics (the
+partition/reachability matrix, the fault-application pipeline,
+receiver-side deduplication, the per-link FIFO clamp, message
+counters), while this class owns what is genuinely scheduling - the
+event queue that carries messages with per-link latency, and the
+*bounce* discipline: when a partition cuts a link, every message still
+in flight on it is bounced back to the sending transport at that
+instant (a failed transmission); the transport decides, based on its
+reliable set, whether to retransmit after the heal or to drop
+(realising CO_RFIFO's ``lose``).  Bouncing at partition time - rather
+than silently checking connectivity at arrival - keeps the per-link
+FIFO/no-gap discipline easy to preserve across flapping links.
 
-The network also keeps per-kind message counters; the benchmark harness
-reads them to reproduce the paper's message-cost claims.
-
-For chaos testing a :class:`~repro.chaos.faults.FaultInjector` can be
-attached: dropped datagrams become retransmission-penalty latency,
-duplicated ones travel the wire as :class:`DuplicateCopy` markers that
-are discarded on arrival (receiver-side dedup), and delay/reorder faults
-add jitter - all without breaking the per-link FIFO clamp, so the
-CO_RFIFO contract the end-points assume keeps holding.
+The per-kind message counters live in the core's
+:class:`~repro.links.LinkStats`; the benchmark harness reads them to
+reproduce the paper's message-cost claims, and the legacy ``sent`` /
+``delivered`` / ``bounced`` / ``volume`` attributes remain as views.
 """
 
 from __future__ import annotations
@@ -26,7 +25,8 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.chaos.faults import DuplicateCopy, FaultInjector
+from repro.chaos.faults import FaultInjector
+from repro.links import Link, LinkCore, kind_of
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.simclock import EventScheduler, ScheduledEvent
 from repro.types import ProcessId
@@ -35,8 +35,6 @@ from repro.types import ProcessId
 DeliveryHandler = Callable[[ProcessId, Any], None]
 # bounce callback: (dst, message) -> None, invoked on failed transmission
 BounceHandler = Callable[[ProcessId, Any], None]
-
-Link = Tuple[ProcessId, ProcessId]
 
 
 class SimNetwork:
@@ -47,28 +45,25 @@ class SimNetwork:
         clock: EventScheduler,
         latency: Optional[LatencyModel] = None,
         faults: Optional[FaultInjector] = None,
+        core: Optional[LinkCore] = None,
     ) -> None:
         self.clock = clock
         self.latency = latency or ConstantLatency(1.0)
-        self.faults = faults
+        self.core = core if core is not None else LinkCore(faults=faults)
         self._handlers: Dict[ProcessId, DeliveryHandler] = {}
         self._bounce: Dict[ProcessId, BounceHandler] = {}
-        self._group: Dict[ProcessId, int] = {}
-        self._partition_listeners: List[Callable[[], None]] = []
         # Messages on the wire, per link, in arrival order.
         self._in_flight: Dict[Link, Deque[Tuple[ScheduledEvent, Any]]] = {}
-        # Last scheduled arrival per link, to keep per-link FIFO even with
-        # jittered latencies.
-        self._last_arrival: Dict[Link, float] = {}
-        self.sent = Counter()  # message-kind -> count handed to the network
-        self.delivered = Counter()  # message-kind -> count delivered
-        self.bounced = Counter()  # message-kind -> count bounced by partitions
-        # message-kind -> estimated wire volume, for kinds that define
-        # estimated_size() (currently synchronization messages)
-        self.volume = Counter()
+        # The flush must observe topology changes before any transport
+        # pump does, so it is the core's first listener.
+        self.core.on_topology_change(self._flush_cut_links)
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        return self.core.faults
 
     # ------------------------------------------------------------------
-    # registration and topology
+    # registration and topology (delegated to the link core)
     # ------------------------------------------------------------------
 
     def register(
@@ -80,56 +75,40 @@ class SimNetwork:
         self._handlers[pid] = handler
         if bounce is not None:
             self._bounce[pid] = bounce
-        self._group.setdefault(pid, 0)
+        self.core.ensure(pid)
 
     def processes(self) -> List[ProcessId]:
         return sorted(self._handlers)
 
     def connected(self, p: ProcessId, q: ProcessId) -> bool:
-        return self._group.get(p, 0) == self._group.get(q, 0)
+        return self.core.connected(p, q)
 
     def reachable_from(self, p: ProcessId) -> Set[ProcessId]:
-        group = self._group.get(p, 0)
-        return {q for q in self._handlers if self._group.get(q, 0) == group}
+        return self.core.reachable_from(p)
 
     def partition(self, groups: Iterable[Iterable[ProcessId]]) -> None:
         """Split the network; unmentioned processes join group 0."""
-        assignment: Dict[ProcessId, int] = {}
-        for index, group in enumerate(groups, start=1):
-            for pid in group:
-                assignment[pid] = index
-        for pid in self._handlers:
-            self._group[pid] = assignment.get(pid, 0)
-        self._flush_cut_links()
-        self._notify_topology()
+        self.core.partition(groups)
 
     def heal(self) -> None:
         """Merge all partitions back into one connected component."""
-        for pid in self._group:
-            self._group[pid] = 0
-        self._notify_topology()
+        self.core.heal()
 
     def on_topology_change(self, listener: Callable[[], None]) -> None:
-        self._partition_listeners.append(listener)
-
-    def _notify_topology(self) -> None:
-        for listener in list(self._partition_listeners):
-            listener()
+        self.core.on_topology_change(listener)
 
     def _flush_cut_links(self) -> None:
         """Bounce everything in flight on links the new topology cuts."""
         for (src, dst), flight in self._in_flight.items():
-            if self.connected(src, dst):
+            if self.core.connected(src, dst):
                 continue
             bounce = self._bounce.get(src)
             while flight:
-                event, message = flight.popleft()
+                event, wire = flight.popleft()
                 event.cancel()
-                self.bounced[self.kind_of(message)] += 1
-                if isinstance(message, DuplicateCopy):
-                    continue  # the original copy is bounced; the dup is moot
-                if bounce is not None:
-                    bounce(dst, message)
+                original = self.core.bounced(src, dst, wire)
+                if original is not None and bounce is not None:
+                    bounce(dst, original)
 
     # ------------------------------------------------------------------
     # transmission
@@ -137,26 +116,22 @@ class SimNetwork:
 
     @staticmethod
     def kind_of(message: Any) -> str:
-        return type(message).__name__
+        return kind_of(message)
 
     def send(self, src: ProcessId, dst: ProcessId, message: Any) -> bool:
         """Put ``message`` on the wire; False if src and dst are partitioned."""
-        if not self.connected(src, dst):
+        transmission = self.core.outbound(src, dst, message)
+        if transmission is None:
             return False
-        kind = self.kind_of(message)
-        self.sent[kind] += 1
-        size = getattr(message, "estimated_size", None)
-        if size is not None:
-            self.volume[kind] += size()
-        decision = None
-        if self.faults is not None and not isinstance(message, DuplicateCopy):
-            decision = self.faults.decide(src, dst)
+        for wire, extra in transmission.copies:
+            self._schedule(src, dst, wire, extra)
+        return True
+
+    def _schedule(self, src: ProcessId, dst: ProcessId, wire: Any, extra: float) -> None:
         link = (src, dst)
-        arrival = self.clock.now + self.latency.sample(src, dst)
-        if decision is not None:
-            arrival += decision.extra_delay
-        arrival = max(arrival, self._last_arrival.get(link, 0.0))
-        self._last_arrival[link] = arrival
+        arrival = self.core.fifo_arrival(
+            src, dst, self.clock.now + self.latency.sample(src, dst) + extra
+        )
         flight = self._in_flight.setdefault(link, deque())
 
         def deliver() -> None:
@@ -172,31 +147,39 @@ class SimNetwork:
                     flight.remove(entry)
                 except ValueError:
                     pass
-            self.delivered[kind] += 1
-            if isinstance(message, DuplicateCopy):
-                if self.faults is not None:
-                    self.faults.suppressed_duplicate()
-                return  # receiver-side dedup: the second copy dies here
+            payload = self.core.inbound(src, dst, wire)
+            if payload is None:
+                return  # receiver-side dedup: the second copy dies in the core
             handler = self._handlers.get(dst)
             if handler is not None:
-                handler(src, message)
+                handler(src, payload)
 
         event = self.clock.schedule_at(arrival, deliver)
-        entry = (event, message)
+        entry = (event, wire)
         flight.append(entry)
-        if decision is not None and decision.duplicate:
-            self.send(src, dst, DuplicateCopy(message))
-        return True
 
     # ------------------------------------------------------------------
-    # statistics
+    # statistics (views over the core's LinkStats)
     # ------------------------------------------------------------------
+
+    @property
+    def sent(self) -> Counter:
+        return self.core.stats.sent
+
+    @property
+    def delivered(self) -> Counter:
+        return self.core.stats.delivered
+
+    @property
+    def bounced(self) -> Counter:
+        return self.core.stats.bounced
+
+    @property
+    def volume(self) -> Counter:
+        return self.core.stats.volume
 
     def reset_counters(self) -> None:
-        self.sent.clear()
-        self.delivered.clear()
-        self.bounced.clear()
-        self.volume.clear()
+        self.core.reset_counters()
 
     def totals(self) -> Dict[str, int]:
-        return dict(self.sent)
+        return self.core.totals()

@@ -257,9 +257,15 @@ class SimWorld:
         if remaining:
             raise SettleTimeoutError(
                 f"simulation still has {remaining} pending event(s) "
-                f"after {executed} steps at t={self.clock.now:.3f}"
+                f"after {executed} steps at t={self.clock.now:.3f}; "
+                f"busiest links: {self.network.core.stats.describe_links()}"
             )
         return executed
+
+    @property
+    def links(self):
+        """The network's unified :class:`~repro.links.LinkCore`."""
+        return self.network.core
 
     def run_until(self, time: float) -> int:
         return self.clock.run_until(time)

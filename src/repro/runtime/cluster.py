@@ -67,13 +67,27 @@ class AsyncCluster:
         self._settle_timeout = (
             env_settle_timeout(10.0) if settle_timeout is None else settle_timeout
         )
-        self.tier = MembershipTier(HubTierLink(self.hub), servers=servers)
+        self.tier = MembershipTier(
+            HubTierLink(self.hub), servers=servers, links=self.hub.core
+        )
         # Set whenever any node installs a view; wakes settling waiters.
         self._progress = asyncio.Event()
 
     @property
     def views_formed(self) -> List[View]:
         return self.tier.views_formed
+
+    @property
+    def links(self):
+        """The hub's unified :class:`~repro.links.LinkCore`."""
+        return self.hub.core
+
+    def totals(self) -> Dict[str, int]:
+        """Per-kind wire-message counters (uniform across substrates)."""
+        return self.hub.core.totals()
+
+    def reset_counters(self) -> None:
+        self.hub.core.reset_counters()
 
     # ------------------------------------------------------------------
     # topology management
@@ -171,7 +185,7 @@ class AsyncCluster:
         groups = [list(group) for group in groups]
         await self.tier.ensure_capacity(max(len(groups), len(self.tier.servers)))
         plan = self.tier.plan_partition(groups)
-        self.hub.partition(plan.components)
+        # The tier cuts the hub's link core along plan.components itself.
         self.tier.apply_partition(plan)
         views = []
         for group in groups:
@@ -180,8 +194,7 @@ class AsyncCluster:
 
     async def heal(self) -> View:
         """Reconnect everyone; wait for the merged view."""
-        self.hub.heal()
-        self.tier.heal()
+        self.tier.heal()  # heals the hub's link core too
         return await self.await_members(self.tier.active_members())
 
     async def crash(self, pid: ProcessId) -> Optional[View]:

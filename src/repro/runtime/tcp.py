@@ -1,12 +1,20 @@
 """Length-prefixed TCP transport for cross-process deployments.
 
-``TcpTransport`` gives a GCS node a real network face: it listens on a
-local endpoint, opens connections to peers lazily, and frames pickled
-wire messages with a 4-byte big-endian length prefix.  TCP supplies the
-FIFO, gap-free delivery CO_RFIFO requires per connection; a broken
-connection corresponds to CO_RFIFO losing a suffix, after which the
-membership service is expected to reconfigure - the same assumption the
-paper makes of its datagram substrate [36].
+``TcpTransport`` is the socket *driver* over the unified
+:class:`~repro.links.LinkCore`: it gives a GCS node a real network face
+- it listens on a local endpoint, opens connections to peers lazily,
+and frames pickled wire messages with a 4-byte big-endian length prefix
+- while all link semantics (the partition/reachability matrix behind
+:meth:`restrict`, fault application, receiver-side deduplication,
+message counters) live in the core.  TCP supplies the FIFO, gap-free
+delivery CO_RFIFO requires per connection; a broken connection
+corresponds to CO_RFIFO losing a suffix, after which the membership
+service is expected to reconfigure - the same assumption the paper
+makes of its datagram substrate [36].
+
+A cluster passes one shared ``core`` to every transport, so a single
+partition matrix (and a single counter set) covers the whole
+deployment; a standalone transport creates its own.
 
 Security note: frames are deserialised with :mod:`pickle`, so this
 transport must only be used among mutually trusted processes (it is meant
@@ -18,10 +26,11 @@ from __future__ import annotations
 import asyncio
 import pickle
 import struct
-from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
-from repro.chaos.faults import DuplicateCopy, FaultInjector
+from repro.chaos.faults import FaultInjector
 from repro.errors import TransportError
+from repro.links import LinkCore
 from repro.types import ProcessId
 
 Handler = Callable[[ProcessId, Any], None]
@@ -57,21 +66,23 @@ class TcpTransport:
         host: str = "127.0.0.1",
         port: int = 0,
         faults: Optional[FaultInjector] = None,
+        core: Optional[LinkCore] = None,
     ) -> None:
         self.pid = pid
         self.handler = handler
         self.host = host
         self.port = port
-        self.faults = faults
+        self.core = core if core is not None else LinkCore(faults=faults)
+        self.core.ensure(pid)
         self.peers: Dict[ProcessId, Tuple[str, int]] = {}
-        # Partition emulation: when set, frames to/from processes outside
-        # the allowed set are silently dropped (a lost suffix, which the
-        # CO_RFIFO contract permits across a partition).
-        self._allowed: Optional[FrozenSet[ProcessId]] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Dict[ProcessId, asyncio.StreamWriter] = {}
         self._reader_tasks: list = []
         self._closed = False
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        return self.core.faults
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -92,15 +103,12 @@ class TcpTransport:
     def restrict(self, allowed: Optional[Iterable[ProcessId]]) -> None:
         """Limit traffic to ``allowed`` peers (``None`` lifts the limit).
 
-        Used by clusters to emulate a network partition on loopback:
-        outgoing frames to, and incoming frames from, processes outside
-        the set are dropped, mirroring the simulator's
-        drop-across-the-cut semantics.
+        The per-endpoint face of the core's partition matrix, used to
+        emulate a network partition on loopback: outgoing frames to, and
+        incoming frames from, processes outside the set are dropped,
+        mirroring the simulator's drop-across-the-cut semantics.
         """
-        self._allowed = None if allowed is None else frozenset(allowed)
-
-    def _permitted(self, peer: ProcessId) -> bool:
-        return self._allowed is None or peer in self._allowed
+        self.core.restrict(self.pid, allowed)
 
     async def close(self) -> None:
         self._closed = True
@@ -122,26 +130,30 @@ class TcpTransport:
     async def send(self, targets: Iterable[ProcessId], message: Any) -> None:
         frame = None
         for dst in targets:
-            if dst == self.pid or not self._permitted(dst):
+            # Check the matrix before dialling: a partition cut must not
+            # leak real connections across the emulated split.
+            if dst == self.pid or not self.core.connected(self.pid, dst):
                 continue
             writer = await self._writer_to(dst)
             if writer is None:
                 continue  # unreachable: a suffix is lost, as CO_RFIFO allows
-            duplicate = False
-            if self.faults is not None:
-                decision = self.faults.decide(self.pid, dst)
-                duplicate = decision.duplicate
-                if decision.extra_delay:
-                    # Loss penalty / jitter: hold the frame back.  TCP's
-                    # own FIFO keeps the per-connection order intact.
-                    await asyncio.sleep(decision.extra_delay)
-            if frame is None:
-                frame = encode_frame(self.pid, message)
+            transmission = self.core.outbound(self.pid, dst, message)
+            if transmission is None:
+                continue
             try:
-                writer.write(frame)
-                if duplicate:
-                    # A second wire copy; the receiver's dedup drops it.
-                    writer.write(encode_frame(self.pid, DuplicateCopy(message)))
+                for wire, extra in transmission.copies:
+                    if extra:
+                        # Loss penalty / jitter: hold the frame back.  TCP's
+                        # own FIFO keeps the per-connection order intact.
+                        await asyncio.sleep(extra)
+                    if wire is message:
+                        if frame is None:
+                            frame = encode_frame(self.pid, wire)
+                        writer.write(frame)
+                    else:
+                        # A duplicated wire copy; the receiver's core
+                        # dedups it.
+                        writer.write(encode_frame(self.pid, wire))
                 await writer.drain()
             except (ConnectionError, OSError):
                 self._drop_writer(dst)
@@ -175,14 +187,14 @@ class TcpTransport:
             self._reader_tasks.append(task)
         try:
             while not self._closed:
-                src, message = await read_frame(reader)
-                if not self._permitted(src):
-                    continue  # frame crossed a partition cut: drop it
-                if isinstance(message, DuplicateCopy):
-                    if self.faults is not None:
-                        self.faults.suppressed_duplicate()
-                    continue  # receiver-side dedup: second copy dies here
-                self.handler(src, message)
+                src, wire = await read_frame(reader)
+                # The core drops frames that crossed a partition cut
+                # (kernel buffers can hold them past the split) and
+                # deduplicates wire copies.
+                payload = self.core.inbound(src, self.pid, wire, check_topology=True)
+                if payload is None:
+                    continue
+                self.handler(src, payload)
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             pass  # peer went away: CO_RFIFO may lose the suffix
         except asyncio.CancelledError:

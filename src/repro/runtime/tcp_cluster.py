@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tup
 from repro.chaos.faults import FaultInjector
 from repro.checking.events import GcsTrace
 from repro.core.gcs_endpoint import GcsEndpoint
+from repro.links import LinkCore
 from repro.core.runner import EndpointRunner
 from repro.errors import SettleTimeoutError
 from repro.membership.protocol import StartChangeNotice, ViewNotice
@@ -50,7 +51,7 @@ class TcpGcsNode:
         # wire sends are produced synchronously by the runner but must be
         # awaited on sockets: an outbox task serialises them in order.
         self._outbox: asyncio.Queue = asyncio.Queue()
-        self.transport = TcpTransport(pid, self._on_wire, faults=cluster.faults)
+        self.transport = TcpTransport(pid, self._on_wire, core=cluster.links)
         self.runner = EndpointRunner(
             self.endpoint,
             send_wire=lambda targets, m: self._outbox.put_nowait((targets, m)),
@@ -139,10 +140,10 @@ class _ServerPort:
         self,
         sid: ProcessId,
         handler: Callable[[ProcessId, Any], None],
-        faults: Optional[FaultInjector] = None,
+        core: Optional[LinkCore] = None,
     ) -> None:
         self.sid = sid
-        self.transport = TcpTransport(sid, handler, faults=faults)
+        self.transport = TcpTransport(sid, handler, core=core)
         self.outbox: asyncio.Queue = asyncio.Queue()
         self._pump_task: Optional[asyncio.Task] = None
 
@@ -191,18 +192,31 @@ class TcpCluster:
         del record_trace  # accepted for compatibility; tracing is unconditional
         self.nodes: Dict[ProcessId, TcpGcsNode] = {}
         self.trace: GcsTrace = GcsTrace()
-        self.faults = faults
+        # One link core shared by every transport of the deployment: one
+        # partition matrix, one fault pipeline, one counter set.
+        self.links = LinkCore(faults=faults)
         self._settle_timeout = (
             env_settle_timeout(10.0) if settle_timeout is None else settle_timeout
         )
         self._addresses: Dict[ProcessId, Tuple[str, int]] = {}
         self._server_ports: Dict[ProcessId, _ServerPort] = {}
-        self.tier = MembershipTier(TcpTierLink(self), servers=servers)
+        self.tier = MembershipTier(TcpTierLink(self), servers=servers, links=self.links)
         self._progress = asyncio.Event()
 
     @property
     def views_formed(self) -> List[View]:
         return self.tier.views_formed
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        return self.links.faults
+
+    def totals(self) -> Dict[str, int]:
+        """Per-kind wire-message counters (uniform across substrates)."""
+        return self.links.totals()
+
+    def reset_counters(self) -> None:
+        self.links.reset_counters()
 
     # ------------------------------------------------------------------
     # wiring
@@ -211,7 +225,7 @@ class TcpCluster:
     async def _attach_server(
         self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]
     ) -> None:
-        port = _ServerPort(sid, handler, faults=self.faults)
+        port = _ServerPort(sid, handler, core=self.links)
         self._server_ports[sid] = port
         self._addresses[sid] = await port.start()
         self._broadcast_book()
@@ -221,11 +235,6 @@ class TcpCluster:
             node.transport.set_peers(self._addresses)
         for port in self._server_ports.values():
             port.transport.set_peers(self._addresses)
-
-    def _all_transports(self) -> List[TcpTransport]:
-        return [node.transport for node in self.nodes.values()] + [
-            port.transport for port in self._server_ports.values()
-        ]
 
     # ------------------------------------------------------------------
     # topology management
@@ -316,7 +325,8 @@ class TcpCluster:
             if loop.time() >= deadline:
                 raise SettleTimeoutError(
                     f"TCP cluster still active after {timeout:.1f}s "
-                    f"(trace={current[0]} events, outboxes={current[1]})"
+                    f"(trace={current[0]} events, outboxes={current[1]}); "
+                    f"busiest links: {self.links.stats.describe_links()}"
                 )
 
     # ------------------------------------------------------------------
@@ -326,20 +336,14 @@ class TcpCluster:
     async def partition(self, groups: Iterable[Iterable[ProcessId]]) -> List[View]:
         """Split the network into components; one view forms per group.
 
-        Emulated with per-transport frame filters: each process only
-        exchanges frames within its own component (its group plus the
-        membership server assigned to it).
+        Emulated on the shared link core's partition matrix: each
+        process only exchanges frames within its own component (its
+        group plus the membership server assigned to it).  The tier cuts
+        the core along ``plan.components`` itself.
         """
         groups = [list(group) for group in groups]
         await self.tier.ensure_capacity(max(len(groups), len(self.tier.servers)))
         plan = self.tier.plan_partition(groups)
-        component_of: Dict[ProcessId, FrozenSet[ProcessId]] = {}
-        for component in plan.components:
-            member_set = frozenset(component)
-            for pid in component:
-                component_of[pid] = member_set
-        for transport in self._all_transports():
-            transport.restrict(component_of.get(transport.pid, frozenset({transport.pid})))
         self.tier.apply_partition(plan)
         views = []
         for group in groups:
@@ -347,10 +351,8 @@ class TcpCluster:
         return views
 
     async def heal(self) -> View:
-        """Lift all frame filters; wait for the merged view."""
-        for transport in self._all_transports():
-            transport.restrict(None)
-        self.tier.heal()
+        """Merge the link core's components; wait for the merged view."""
+        self.tier.heal()  # heals the shared link core too
         return await self.await_members(self.tier.active_members())
 
     async def crash(self, pid: ProcessId) -> Optional[View]:

@@ -1,14 +1,16 @@
 """In-process asyncio transport hub.
 
-``AsyncHub`` is the asyncio analogue of the simulated network: a
-per-ordered-pair FIFO fabric with optional artificial delay, delivering
-to per-process inbox queues.  In-process delivery is lossless, so the
-CO_RFIFO contract (Figure 3) holds trivially; partitions can still be
-injected for tests (messages across a cut are dropped, which the
-reliable-set semantics permit only for non-reliable peers - the paper's
-algorithm re-establishes reliability through the membership service, so
-tests pair partitions with reconfigurations, as a real WAN deployment
-would).
+``AsyncHub`` is the asyncio *driver* over the unified
+:class:`~repro.links.LinkCore`: per-ordered-pair FIFO delivery through
+per-process inbox queues and pump tasks, with all link semantics -
+partition matrix, fault application, receiver-side deduplication,
+message counters - delegated to the core.  In-process delivery is
+lossless, so the CO_RFIFO contract (Figure 3) holds trivially;
+partitions can still be injected for tests (messages across a cut are
+dropped, which the reliable-set semantics permit only for non-reliable
+peers - the paper's algorithm re-establishes reliability through the
+membership service, so tests pair partitions with reconfigurations, as
+a real WAN deployment would).
 """
 
 from __future__ import annotations
@@ -16,8 +18,9 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, Dict, Iterable, Optional
 
-from repro.chaos.faults import DuplicateCopy, FaultInjector
+from repro.chaos.faults import FaultInjector
 from repro.errors import SettleTimeoutError
+from repro.links import LinkCore
 from repro.runtime.settle import settle_timeout as env_settle_timeout
 from repro.types import ProcessId
 
@@ -27,13 +30,18 @@ Handler = Callable[[ProcessId, Any], None]
 class AsyncHub:
     """Routes messages between in-process asyncio nodes."""
 
-    def __init__(self, *, delay: float = 0.0, faults: Optional[FaultInjector] = None) -> None:
+    def __init__(
+        self,
+        *,
+        delay: float = 0.0,
+        faults: Optional[FaultInjector] = None,
+        core: Optional[LinkCore] = None,
+    ) -> None:
         self.delay = delay
-        self.faults = faults
+        self.core = core if core is not None else LinkCore(faults=faults)
         self._handlers: Dict[ProcessId, Handler] = {}
         self._queues: Dict[ProcessId, asyncio.Queue] = {}
         self._pumps: Dict[ProcessId, asyncio.Task] = {}
-        self._groups: Dict[ProcessId, int] = {}
         self._closed = False
         # Messages enqueued but not yet fully handled.  ``_idle`` fires
         # whenever the count returns to zero, so ``quiesce`` can wait on
@@ -42,45 +50,52 @@ class AsyncHub:
         self._idle = asyncio.Event()
         self._idle.set()
 
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        return self.core.faults
+
     def register(self, pid: ProcessId, handler: Handler) -> None:
         if pid in self._handlers:
             raise ValueError(f"duplicate process {pid!r}")
         self._handlers[pid] = handler
         self._queues[pid] = asyncio.Queue()
-        self._groups[pid] = 0
+        self.core.ensure(pid)
         self._pumps[pid] = asyncio.get_event_loop().create_task(self._pump(pid))
 
+    # ------------------------------------------------------------------
+    # topology and statistics (delegated to the link core)
+    # ------------------------------------------------------------------
+
     def connected(self, p: ProcessId, q: ProcessId) -> bool:
-        return self._groups.get(p, 0) == self._groups.get(q, 0)
+        return self.core.connected(p, q)
 
     def partition(self, groups: Iterable[Iterable[ProcessId]]) -> None:
-        assignment: Dict[ProcessId, int] = {}
-        for index, group in enumerate(groups, start=1):
-            for pid in group:
-                assignment[pid] = index
-        for pid in self._handlers:
-            self._groups[pid] = assignment.get(pid, 0)
+        self.core.partition(groups)
 
     def heal(self) -> None:
-        for pid in self._groups:
-            self._groups[pid] = 0
+        self.core.heal()
+
+    def totals(self) -> Dict[str, int]:
+        return self.core.totals()
+
+    def reset_counters(self) -> None:
+        self.core.reset_counters()
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
 
     def send(self, src: ProcessId, targets: Iterable[ProcessId], message: Any) -> None:
         for dst in targets:
             if dst == src or dst not in self._queues:
                 continue
-            if not self.connected(src, dst):
-                continue
-            extra = 0.0
-            duplicate = False
-            if self.faults is not None:
-                decision = self.faults.decide(src, dst)
-                extra, duplicate = decision.extra_delay, decision.duplicate
-            self._enqueue(dst, (src, message, extra))
-            if duplicate:
-                # A real second copy occupies the queue behind the first;
-                # the pump discards it (receiver-side dedup).
-                self._enqueue(dst, (src, DuplicateCopy(message), 0.0))
+            transmission = self.core.outbound(src, dst, message)
+            if transmission is None:
+                continue  # partitioned: the suffix is lost, as CO_RFIFO allows
+            for wire, extra in transmission.copies:
+                # A duplicated wire copy occupies the queue behind the
+                # original; the pump hands it to the core's dedup.
+                self._enqueue(dst, (src, wire, extra))
 
     def _enqueue(self, dst: ProcessId, entry: Any) -> None:
         self._inflight += 1
@@ -91,15 +106,13 @@ class AsyncHub:
         queue = self._queues[pid]
         handler = self._handlers[pid]
         while not self._closed:
-            src, message, extra = await queue.get()
+            src, wire, extra = await queue.get()
             if self.delay or extra:
                 await asyncio.sleep(self.delay + extra)
             try:
-                if isinstance(message, DuplicateCopy):
-                    if self.faults is not None:
-                        self.faults.suppressed_duplicate()
-                else:
-                    handler(src, message)
+                payload = self.core.inbound(src, pid, wire)
+                if payload is not None:
+                    handler(src, payload)
             finally:
                 self._inflight -= 1
                 if self._inflight == 0:
@@ -141,7 +154,8 @@ class AsyncHub:
                 }
                 raise SettleTimeoutError(
                     f"hub still has {self._inflight} message(s) in flight "
-                    f"after {timeout:.1f}s; pending inboxes: {pending}"
+                    f"after {timeout:.1f}s; pending inboxes: {pending}; "
+                    f"busiest links: {self.core.stats.describe_links()}"
                 )
             try:
                 await asyncio.wait_for(self._idle.wait(), remaining)
