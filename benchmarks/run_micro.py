@@ -1,21 +1,33 @@
 #!/usr/bin/env python
-"""Standalone E9 micro-benchmark runner -> BENCH_E9.json.
+"""Standalone framework micro-benchmark runner.
 
-Measures the framework substrate on three fixed workloads (the same ones
-``bench_e9_micro.py`` wraps for pytest-benchmark):
+Measures the framework substrate on four fixed workloads (the first
+three are the same ones ``bench_e9_micro.py`` wraps for
+pytest-benchmark):
 
 * ``fair_steps_per_s``   - fair-scheduler steps/s on the 3-process model
   harness (strict end-points), the acceptance metric for engine PRs;
 * ``random_steps_per_s`` - adversarial-scheduler steps/s on the same model;
-* ``sim_deliveries_per_s`` - deliveries/s of an 8-node simulated run.
+* ``sim_deliveries_per_s`` - deliveries/s of an 8-node simulated run;
+* ``steady_state_deliveries_per_s`` - deliveries/s of a 16-node
+  simulated run sending in rounds within one stable view: the
+  steady-state fast path (``repro.core.fastpath``) plus batched link
+  framing, the acceptance metric for throughput PRs.
 
-Results are merged into ``BENCH_E9.json`` at the repository root under a
-named entry (default ``current``), preserving entries written by earlier
-PRs - most importantly ``pre_pr_baseline`` - so the performance
-trajectory stays reviewable across the PR stack:
+Results are merged into the ``--output`` JSON under a *dated* entry
+(default: today, override with ``--entry``), preserving entries written
+by earlier runs so the performance trajectory stays reviewable.  The
+default output is ``benchmarks/BENCH_MICRO.json`` - a PR that wants to
+publish an acceptance artifact names it explicitly::
 
     PYTHONPATH=src python benchmarks/run_micro.py
-    python benchmarks/run_micro.py --entry current --reps 5
+    python benchmarks/run_micro.py --output BENCH_E18.json --entry post_fastpath
+
+``--guard`` compares the fresh rates against an explicit baseline file
+and entry, failing (exit 1) on regression beyond ``--tolerance``::
+
+    python benchmarks/run_micro.py --guard BENCH_E17.json \
+        --guard-entry post_links_refactor --reps 3
 """
 
 from __future__ import annotations
@@ -59,11 +71,41 @@ def sim_deliveries() -> int:
     return sum(len(n.delivered) for n in nodes)
 
 
+def steady_state_deliveries() -> int:
+    """16 nodes, 40 rounds of 8 sends each, all within one stable view.
+
+    After the initial view forms, no membership event ever occurs, so
+    every send and every delivery rides the steady-state fast lane and
+    every same-instant multicast burst shares batched carriers.
+    """
+    world = SimWorld(latency=ConstantLatency(1.0), membership="oracle")
+    nodes = world.add_nodes([f"p{i:02d}" for i in range(16)])
+    world.start()
+    world.run()
+    for round_no in range(40):
+        for node in nodes:
+            for i in range(8):
+                node.send((round_no, i))
+        world.run()
+    return sum(len(n.delivered) for n in nodes)
+
+
 WORKLOADS = [
     ("fair_steps_per_s", fair_steps),
     ("random_steps_per_s", random_steps),
     ("sim_deliveries_per_s", sim_deliveries),
+    ("steady_state_deliveries_per_s", steady_state_deliveries),
 ]
+
+WORKLOAD_DESCRIPTIONS = {
+    "fair_steps_per_s": "fair-scheduler steps/s, 3-process model harness",
+    "random_steps_per_s": "random-scheduler steps/s, 3-process model harness",
+    "sim_deliveries_per_s": "deliveries/s, 8-node simulated multicast",
+    "steady_state_deliveries_per_s": (
+        "deliveries/s, 16-node simulated multicast in one stable view "
+        "(steady-state fast path + batched framing)"
+    ),
+}
 
 
 def measure(fn, reps: int) -> tuple[float, int]:
@@ -83,13 +125,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_E9.json",
-        help="JSON file to merge results into (default: repo-root BENCH_E9.json)",
+        default=REPO_ROOT / "benchmarks" / "BENCH_MICRO.json",
+        help="JSON file to merge results into "
+        "(default: benchmarks/BENCH_MICRO.json)",
     )
     parser.add_argument(
         "--entry",
-        default="current",
-        help="name of the entry to write, e.g. current or pre_pr_baseline",
+        default=time.strftime("%Y-%m-%d"),
+        help="name of the entry to write (default: today's date)",
     )
     parser.add_argument(
         "--reps", type=int, default=5, help="repetitions per workload (median is kept)"
@@ -104,8 +147,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--guard-entry",
-        default="current",
-        help="entry inside the --guard file to compare against (default: current)",
+        default=None,
+        help="entry inside the --guard file to compare against "
+        "(required with --guard)",
     )
     parser.add_argument(
         "--tolerance",
@@ -114,34 +158,24 @@ def main(argv=None) -> int:
         help="allowed fractional slowdown vs the guard baseline (default: 0.10)",
     )
     args = parser.parse_args(argv)
+    if args.guard is not None and args.guard_entry is None:
+        parser.error("--guard requires --guard-entry")
 
     entry = {}
     for name, fn in WORKLOADS:
         rate, count = measure(fn, args.reps)
         entry[name] = round(rate, 1)
         entry[name.replace("_per_s", "_count")] = count
-        print(f"{name:24s} {rate:10.1f}  (work units: {count})")
+        print(f"{name:32s} {rate:10.1f}  (work units: {count})")
 
     doc = {}
     if args.output.exists():
         doc = json.loads(args.output.read_text())
-    doc.setdefault("benchmark", "E9 framework micro-benchmarks")
-    doc.setdefault("workloads", {
-        "fair_steps_per_s": "fair-scheduler steps/s, 3-process model harness",
-        "random_steps_per_s": "random-scheduler steps/s, 3-process model harness",
-        "sim_deliveries_per_s": "deliveries/s, 8-node simulated multicast",
-    })
+    doc.setdefault("benchmark", "framework micro-benchmarks")
+    doc.setdefault("workloads", {})
+    doc["workloads"].update(WORKLOAD_DESCRIPTIONS)
     doc.setdefault("entries", {})
     doc["entries"][args.entry] = entry
-
-    baseline = doc["entries"].get("pre_pr_baseline")
-    current = doc["entries"].get("current")
-    if baseline and current:
-        doc["speedup_vs_baseline"] = {
-            name: round(current[name] / baseline[name], 2)
-            for name, _fn in WORKLOADS
-            if baseline.get(name)
-        }
 
     regressed = []
     if args.guard is not None:
@@ -155,12 +189,12 @@ def main(argv=None) -> int:
         }
         for name, _fn in WORKLOADS:
             if not baseline.get(name):
-                continue
+                continue  # workloads the baseline predates are not guarded
             ratio = round(entry[name] / baseline[name], 3)
             guard["ratios"][name] = ratio
             ok = ratio >= 1.0 - args.tolerance
             print(
-                f"guard {name:24s} {ratio:6.3f}x vs "
+                f"guard {name:32s} {ratio:6.3f}x vs "
                 f"{args.guard.name}:{args.guard_entry} "
                 f"{'ok' if ok else 'REGRESSION'}"
             )

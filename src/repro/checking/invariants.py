@@ -95,7 +95,14 @@ class WorldView:
             queued.extend(transport._retransmit.get(q, ()))
             queued.extend(transport._pending.get(q, ()))
             flight = world.network._in_flight.get((p, q), ())
-            in_flight = [message for event, message in flight if not event.cancelled]
+            # Each in-flight entry is a carrier batching one or more wire
+            # copies; channel order is carrier order then copy order.
+            in_flight = [
+                wire
+                for event, carrier in flight
+                if not event.cancelled
+                for wire in carrier.copies
+            ]
             return in_flight + queued
 
         return cls(

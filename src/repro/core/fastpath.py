@@ -1,0 +1,238 @@
+"""Steady-state direct-dispatch lane for the within-view multicast loop.
+
+Between view changes the algorithm stack is a pure FIFO pipeline: an
+application ``send`` enables exactly one ``co_rfifo.send`` (the
+:class:`~repro.core.messages.AppMsg` to the view peers) followed by
+exactly one self-``deliver``, and an arriving ``AppMsg`` enables exactly
+one ``deliver``.  Running that loop through the general engine - the
+candidate enumeration and enabled-set maintenance of
+:mod:`repro.ioa.automaton` - is wasted work, because in the steady state
+there is no precondition ambiguity to resolve (Section 4-5 of the
+paper; the same observation powers the throughput of production
+virtual-synchrony stacks).
+
+:class:`FastLane` compiles the loop to straight-line Python.  It is a
+*peephole over the same state*: every mutation it performs is exactly
+the effect the corresponding automaton actions would have performed, in
+the same order, so the endpoint's state after a fast-lane operation is
+bit-identical to what the general engine would have produced and the
+safety proofs carry over unchanged.  The general engine remains the
+differential oracle (``tests/core/test_fastpath_differential.py`` runs
+the same seeded scenarios with the lane on and off and compares the
+resulting :class:`~repro.checking.events.GcsTrace` objects).
+
+Eligibility and drain-back
+--------------------------
+
+The lane engages only while the endpoint is provably quiescent in an
+installed, stable view:
+
+* the endpoint is a plain :class:`~repro.core.gcs_endpoint.GcsEndpoint`
+  (no subclass overrides), not crashed, not in strict ownership-checking
+  mode, with a stock forwarding strategy and acknowledgement GC off;
+* no view change is in progress (``start_change is None``, block status
+  ``UNBLOCKED``, ``mbrshp_view == current_view``);
+* the endpoint's own ``view_msg`` for the current view is out and its
+  reliable set covers the membership;
+* the general engine reports **no enabled actions** - the catch-all that
+  makes the previous conditions sufficient rather than merely hopeful.
+
+Engagement is cached against the automaton's monotone
+``state_version``.  Any input that takes the general path (a membership
+notice, a sync or forwarded message, a crash, a test poking state) bumps
+the version, which *is* the drain-back: the next operation revalidates
+from scratch, and until the conditions hold again every input flows
+through the general engine.  There is no lane-private state to flush -
+the lane writes the automaton's own variables, so handing control back
+is free and cannot lose messages.
+
+The lane advances the version itself after each fast operation (through
+:meth:`~repro.ioa.automaton.Automaton.touch` semantics), keeping
+composition enabled-set caches honest if the general engine resumes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Optional
+
+from repro._collections import MessageLog
+from repro.checking.events import DeliverEvent, SendEvent
+from repro.core.forwarding import MinCopiesStrategy, NoForwarding, SimpleStrategy
+from repro.core.gcs_endpoint import GcsEndpoint
+from repro.core.messages import AppMsg
+from repro.spec.client import BlockStatus
+from repro.types import ProcessId, View
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runner import EndpointRunner
+
+#: Strategies known to propose no forwarding while no view change is in
+#: progress (their candidates are gated on the endpoint's own sync
+#: message, which exists only under a ``start_change``).  An unknown,
+#: user-supplied strategy disqualifies the lane: the general engine
+#: serves it, slower but with its invariants enforced.
+_QUIESCENT_STRATEGIES = (NoForwarding, SimpleStrategy, MinCopiesStrategy)
+
+
+def fastpath_default() -> bool:
+    """The process-wide default: on, unless ``REPRO_FASTPATH=0``."""
+    return os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+class FastLane:
+    """Direct dispatch of the steady-state send/deliver loop.
+
+    Owned by one :class:`~repro.core.runner.EndpointRunner`; both
+    ``try_send`` and ``try_receive`` return ``False`` whenever the
+    current state is not (or can no longer be proven) steady, in which
+    case the caller must run the operation through the general engine.
+    """
+
+    __slots__ = (
+        "runner",
+        "endpoint",
+        "pid",
+        "_version",
+        "_view",
+        "_peers",
+        "_own_log",
+        "_src_logs",
+        "_last_rcvd",
+        "_last_dlvrd",
+    )
+
+    def __init__(self, runner: "EndpointRunner") -> None:
+        self.runner = runner
+        self.endpoint = runner.endpoint
+        self.pid: ProcessId = runner.pid
+        # Engagement cache: valid while the endpoint's state_version
+        # still equals _version.  -1 never matches, forcing an initial
+        # revalidation.
+        self._version = -1
+        self._view: Optional[View] = None
+        self._peers: FrozenSet[ProcessId] = frozenset()
+        self._own_log: Optional[MessageLog] = None
+        self._src_logs: Dict[ProcessId, MessageLog] = {}
+        self._last_rcvd: Dict[ProcessId, int] = {}
+        self._last_dlvrd: Dict[ProcessId, int] = {}
+
+    @property
+    def structural_ok(self) -> bool:
+        """Constructor-fixed eligibility: endpoint shape, options, strategy."""
+        ep = self.endpoint
+        return (
+            type(ep) is GcsEndpoint
+            and not ep.strict
+            and ep.ack_gc_interval is None
+            and type(ep.forwarding) in _QUIESCENT_STRATEGIES
+        )
+
+    # ------------------------------------------------------------------
+    # eligibility
+    # ------------------------------------------------------------------
+
+    def _revalidate(self) -> bool:
+        """Re-prove steadiness after a general-path interlude."""
+        ep = self.endpoint
+        if ep.crashed or ep.start_change is not None:
+            return False
+        if ep.block_status is not BlockStatus.UNBLOCKED:
+            return False
+        view = ep.current_view
+        if ep.mbrshp_view != view:
+            return False
+        if ep.view_msg_of(ep.pid) != view:
+            return False
+        if ep.reliable_set != view.members:
+            return False
+        # The catch-all: whatever else might be pending (a sync, an ack,
+        # a forward, an undelivered backlog), the general engine knows.
+        if ep.enabled_actions():
+            return False
+        self._view = view
+        self._peers = frozenset(view.members - {ep.pid})
+        self._own_log = ep.buffer(ep.pid, view)
+        self._src_logs = {}
+        # The dict objects themselves: the general engine only rebinds
+        # them on a view install, which bumps the version and lands us
+        # back here - so caching the references is sound.
+        self._last_rcvd = ep.last_rcvd
+        self._last_dlvrd = ep.last_dlvrd
+        self._version = ep.state_version
+        return True
+
+    # ------------------------------------------------------------------
+    # the two steady-state operations
+    # ------------------------------------------------------------------
+
+    def try_send(self, payload: Any) -> bool:
+        """``send -> co_rfifo.send -> deliver`` as straight-line code.
+
+        Replays, in order, the effects the general drain performs for an
+        application send in the steady state: append to the own buffer
+        (``_eff_send``), advance ``last_sent`` and put the ``AppMsg`` on
+        the wire (``_eff_co_rfifo_send``), then self-deliver
+        (``_eff_deliver``).  Quiescence guarantees ``dlvrd(p) ==
+        last_sent`` on entry, so the new message is always the next (and
+        only) deliverable one.
+        """
+        ep = self.endpoint
+        if ep._state_version != self._version and not self._revalidate():
+            return False
+        runner = self.runner
+        pid = self.pid
+        runner.trace.append(SendEvent(runner._clock(), pid, payload))
+        self._own_log.append(payload)
+        index = ep.last_sent + 1
+        ep.last_sent = index
+        self._last_dlvrd[pid] = index
+        self._version = ep.touch()  # keep enabled-set caches honest
+        runner._send_wire(
+            self._peers,
+            AppMsg(payload, history_view=self._view, history_index=index),
+        )
+        runner.trace.append(DeliverEvent(runner._clock(), pid, pid, payload))
+        if runner._on_deliver is not None:
+            runner._on_deliver(pid, payload)
+        return True
+
+    def try_receive(self, src: ProcessId, message: Any) -> bool:
+        """``co_rfifo.deliver -> deliver`` as straight-line code.
+
+        Handles exactly the steady-state shape: an original ``AppMsg``
+        from a view peer whose ``view_msg`` announces the current view,
+        arriving in FIFO order with no backlog (``rcvd == dlvrd``).
+        Everything else - view/sync/forwarded messages, holes, peers
+        mid-transition - falls back to the general engine.
+        """
+        ep = self.endpoint
+        if ep._state_version != self._version and not self._revalidate():
+            return False
+        if type(message) is not AppMsg or src not in self._peers:
+            return False
+        if ep.view_msg.get(src) != self._view:
+            return False
+        index = self._last_rcvd.get(src, 0) + 1
+        if index != self._last_dlvrd.get(src, 0) + 1:
+            return False  # backlog or hole: not the steady-state shape
+        log = self._src_logs.get(src)
+        if log is None:
+            log = self._src_logs[src] = ep.buffer(src, self._view)
+        payload = message.payload
+        log.put(index, payload)
+        self._last_rcvd[src] = index
+        self._last_dlvrd[src] = index
+        self._version = ep.touch()  # keep enabled-set caches honest
+        runner = self.runner
+        runner.trace.append(DeliverEvent(runner._clock(), self.pid, src, payload))
+        if runner._on_deliver is not None:
+            runner._on_deliver(src, payload)
+        return True
+
+    def __repr__(self) -> str:
+        engaged = self.endpoint.state_version == self._version
+        return f"<FastLane {self.pid} {'engaged' if engaged else 'idle'}>"
+
+
+__all__ = ["FastLane", "fastpath_default"]

@@ -29,6 +29,7 @@ from repro.checking.events import (
     SendEvent,
     ViewEvent,
 )
+from repro.core.fastpath import FastLane, fastpath_default
 from repro.core.gcs_endpoint import GcsEndpoint
 from repro.core.messages import WireMessage
 from repro.errors import ClientMisuseError, CrashedError
@@ -66,6 +67,7 @@ class EndpointRunner:
         auto_block_ok: bool = True,
         clock: Callable[[], float] = lambda: 0.0,
         trace: Optional[GcsTrace] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self.endpoint = endpoint
         self.pid = endpoint.pid
@@ -80,6 +82,15 @@ class EndpointRunner:
         self._clock = clock
         self.trace = trace if trace is not None else GcsTrace()
         self._draining = False
+        # The steady-state direct-dispatch lane (repro.core.fastpath):
+        # None when disabled (fastpath=False, $REPRO_FASTPATH=0) or when
+        # the endpoint's shape disqualifies it (subclass, strict mode,
+        # ack GC, custom forwarding) - then every input takes the
+        # general drain below, which remains the differential oracle.
+        if fastpath is None:
+            fastpath = fastpath_default()
+        lane = FastLane(self) if fastpath else None
+        self.fast_lane = lane if lane is not None and lane.structural_ok else None
 
     # ------------------------------------------------------------------
     # environment inputs
@@ -93,6 +104,9 @@ class EndpointRunner:
             raise ClientMisuseError(
                 f"{self.pid}: application sent while blocked (Figure 12 contract)"
             )
+        lane = self.fast_lane
+        if lane is not None and lane.try_send(payload):
+            return
         self.trace.append(SendEvent(self._clock(), self.pid, payload))
         self.endpoint.apply(Action("send", (self.pid, payload)))
         self.drain()
@@ -105,6 +119,9 @@ class EndpointRunner:
 
     def receive(self, sender: ProcessId, message: WireMessage) -> None:
         """A wire message arrived from ``sender`` via CO_RFIFO."""
+        lane = self.fast_lane
+        if lane is not None and lane.try_receive(sender, message):
+            return
         self.endpoint.apply(Action("co_rfifo.deliver", (sender, self.pid, message)))
         self.drain()
 

@@ -271,10 +271,12 @@ class Automaton:
         self._init_state_chain()
         self._state_version += 1
 
-    def touch(self) -> None:
+    def touch(self) -> int:
         """Declare an out-of-band state change (e.g. a test poking a
-        variable directly), so composition enabled-set caches refresh."""
+        variable directly), so composition enabled-set caches refresh.
+        Returns the new state version."""
         self._state_version += 1
+        return self._state_version
 
     @property
     def state_version(self) -> int:

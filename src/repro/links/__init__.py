@@ -3,10 +3,19 @@
 :class:`LinkCore` owns partition/reachability, fault application,
 receiver-side deduplication, the per-link FIFO clamp, and uniform
 :class:`LinkStats` counters; the simulator, asyncio hub, and TCP
-transport are thin drivers over it.  See ``docs/ARCHITECTURE.md``
-("Link layer") for the contract and how to add a fourth substrate.
+transport are thin drivers over it.  :class:`MessageBatch` is the shared
+batched carrier those drivers coalesce same-link traffic into (see
+:mod:`repro.links.batch`).  See ``docs/ARCHITECTURE.md`` ("Link layer"
+and "Steady-state fast path") for the contract and how to add a fourth
+substrate.
 """
 
+from repro.links.batch import (
+    BATCH_LIMIT,
+    BatchAccumulator,
+    MessageBatch,
+    coalesce_copies,
+)
 from repro.links.core import (
     Link,
     LinkCore,
@@ -17,10 +26,14 @@ from repro.links.core import (
 )
 
 __all__ = [
+    "BATCH_LIMIT",
+    "BatchAccumulator",
     "Link",
     "LinkCore",
     "LinkStats",
+    "MessageBatch",
     "Transmission",
     "WireCopy",
+    "coalesce_copies",
     "kind_of",
 ]

@@ -250,8 +250,11 @@ class LinkCore:
         """
         if not self.connected(src, dst):
             return None
+        if self.faults is None:
+            self.stats.record_sent(src, dst, message)
+            return Transmission(((message, 0.0),))
         decision = None
-        if self.faults is not None and not isinstance(message, DuplicateCopy):
+        if not isinstance(message, DuplicateCopy):
             decision = self.faults.decide(src, dst)
         copies: List[WireCopy] = [(message, decision.extra_delay if decision else 0.0)]
         if decision is not None and decision.duplicate:
@@ -283,6 +286,34 @@ class LinkCore:
                 self.faults.suppressed_duplicate()
             return None
         return message
+
+    def inbound_batch(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        copies: Iterable[Any],
+        *,
+        check_topology: bool = False,
+    ) -> List[Any]:
+        """Filter one arriving batched carrier; the payloads to deliver.
+
+        The batched face of :meth:`inbound`: every copy is accounted and
+        deduplicated individually (counters count messages, not batches),
+        but the topology check is atomic - a carrier that crossed a
+        partition cut dies *whole*, each of its messages recorded as
+        bounced, so a cut can never split a batch into a delivered prefix
+        and a lost suffix.
+        """
+        if check_topology and not self.connected(src, dst):
+            for wire in copies:
+                self.stats.record_bounced(wire)
+            return []
+        payloads = []
+        for wire in copies:
+            payload = self.inbound(src, dst, wire)
+            if payload is not None:
+                payloads.append(payload)
+        return payloads
 
     def bounced(self, src: ProcessId, dst: ProcessId, message: Any) -> Optional[Any]:
         """Account a failed transmission (partition cut the link mid-flight).

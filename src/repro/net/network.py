@@ -26,7 +26,7 @@ from collections import Counter, deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.chaos.faults import FaultInjector
-from repro.links import Link, LinkCore, kind_of
+from repro.links import BATCH_LIMIT, Link, LinkCore, kind_of
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.simclock import EventScheduler, ScheduledEvent
 from repro.types import ProcessId
@@ -35,6 +35,27 @@ from repro.types import ProcessId
 DeliveryHandler = Callable[[ProcessId, Any], None]
 # bounce callback: (dst, message) -> None, invoked on failed transmission
 BounceHandler = Callable[[ProcessId, Any], None]
+
+
+class _Carrier:
+    """One scheduled transmission on one link: a batch of wire copies.
+
+    Same-instant sends on one ordered link whose (FIFO-clamped) arrival
+    coincides share a carrier - one scheduler event for up to
+    ``BATCH_LIMIT`` copies - which is what makes a steady-state multicast
+    burst O(links) events instead of O(messages).  ``closed`` flips when
+    the carrier fires (or bounces): a later send at the same virtual
+    instant must then open a fresh carrier rather than append to one that
+    has already delivered.
+    """
+
+    __slots__ = ("copies", "arrival", "opened_at", "closed")
+
+    def __init__(self, wire: Any, arrival: float, opened_at: float) -> None:
+        self.copies = [wire]
+        self.arrival = arrival
+        self.opened_at = opened_at
+        self.closed = False
 
 
 class SimNetwork:
@@ -52,8 +73,10 @@ class SimNetwork:
         self.core = core if core is not None else LinkCore(faults=faults)
         self._handlers: Dict[ProcessId, DeliveryHandler] = {}
         self._bounce: Dict[ProcessId, BounceHandler] = {}
-        # Messages on the wire, per link, in arrival order.
-        self._in_flight: Dict[Link, Deque[Tuple[ScheduledEvent, Any]]] = {}
+        # Carriers on the wire, per link, in arrival order.
+        self._in_flight: Dict[Link, Deque[Tuple[ScheduledEvent, _Carrier]]] = {}
+        # The newest (possibly still joinable) carrier per link.
+        self._open: Dict[Link, _Carrier] = {}
         # The flush must observe topology changes before any transport
         # pump does, so it is the core's first listener.
         self.core.on_topology_change(self._flush_cut_links)
@@ -98,17 +121,24 @@ class SimNetwork:
         self.core.on_topology_change(listener)
 
     def _flush_cut_links(self) -> None:
-        """Bounce everything in flight on links the new topology cuts."""
+        """Bounce everything in flight on links the new topology cuts.
+
+        A carrier bounces *whole* - each of its copies accounted and
+        handed back in channel order - so a cut never splits a batch into
+        a delivered prefix and a bounced suffix.
+        """
         for (src, dst), flight in self._in_flight.items():
             if self.core.connected(src, dst):
                 continue
             bounce = self._bounce.get(src)
             while flight:
-                event, wire = flight.popleft()
+                event, carrier = flight.popleft()
                 event.cancel()
-                original = self.core.bounced(src, dst, wire)
-                if original is not None and bounce is not None:
-                    bounce(dst, original)
+                carrier.closed = True
+                for wire in carrier.copies:
+                    original = self.core.bounced(src, dst, wire)
+                    if original is not None and bounce is not None:
+                        bounce(dst, original)
 
     # ------------------------------------------------------------------
     # transmission
@@ -129,17 +159,37 @@ class SimNetwork:
 
     def _schedule(self, src: ProcessId, dst: ProcessId, wire: Any, extra: float) -> None:
         link = (src, dst)
+        now = self.clock.now
+        # The FIFO clamp must see every proposed arrival (it is stateful),
+        # so sample and clamp before deciding whether to coalesce.
         arrival = self.core.fifo_arrival(
-            src, dst, self.clock.now + self.latency.sample(src, dst) + extra
+            src, dst, now + self.latency.sample(src, dst) + extra
         )
+        carrier = self._open.get(link)
+        if (
+            carrier is not None
+            and not carrier.closed
+            and extra == 0.0
+            and carrier.opened_at == now
+            and carrier.arrival == arrival
+            and len(carrier.copies) < BATCH_LIMIT
+        ):
+            # Same instant, same (clamped) arrival, same link: the copy
+            # rides the already-scheduled carrier.  Channel order within
+            # the carrier is append order, so per-link FIFO is untouched.
+            carrier.copies.append(wire)
+            return
         flight = self._in_flight.setdefault(link, deque())
+        carrier = _Carrier(wire, arrival, now)
+        self._open[link] = carrier
 
         def deliver() -> None:
-            # Retire exactly this transmission's entry, keyed by the
-            # scheduled event: matching by message identity pops a
-            # different transmission's entry when the same message object
-            # is on the link twice, leaving a live event that a later
-            # partition flush cannot cancel.
+            # Retire exactly this carrier's entry, keyed by the scheduled
+            # event: matching by message identity pops a different
+            # transmission's entry when the same message object is on the
+            # link twice, leaving a live event that a later partition
+            # flush cannot cancel.
+            carrier.closed = True
             if flight and flight[0] is entry:
                 flight.popleft()
             else:
@@ -147,15 +197,13 @@ class SimNetwork:
                     flight.remove(entry)
                 except ValueError:
                     pass
-            payload = self.core.inbound(src, dst, wire)
-            if payload is None:
-                return  # receiver-side dedup: the second copy dies in the core
             handler = self._handlers.get(dst)
-            if handler is not None:
-                handler(src, payload)
+            for payload in self.core.inbound_batch(src, dst, carrier.copies):
+                if handler is not None:
+                    handler(src, payload)
 
         event = self.clock.schedule_at(arrival, deliver)
-        entry = (event, wire)
+        entry = (event, carrier)
         flight.append(entry)
 
     # ------------------------------------------------------------------

@@ -74,6 +74,7 @@ class SimNode:
             auto_block_ok=True,
             clock=lambda: world.clock.now,
             trace=world.trace,
+            fastpath=world.fastpath,
         )
 
     # -- outbound ---------------------------------------------------------
@@ -154,9 +155,14 @@ class SimWorld:
         compact_syncs: bool = False,
         ack_gc_interval: Optional[int] = None,
         faults: Optional[FaultInjector] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self.clock = EventScheduler()
         self.network = SimNetwork(self.clock, latency, faults)
+        # None defers to $REPRO_FASTPATH (default on); False forces every
+        # node through the general engine - the differential tests run
+        # both and compare traces.
+        self.fastpath = fastpath
         self.trace = GcsTrace()
         self.nodes: Dict[ProcessId, SimNode] = {}
         self._endpoint_cls = endpoint_cls

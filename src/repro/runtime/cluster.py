@@ -58,12 +58,14 @@ class AsyncCluster:
         servers: int = 1,
         settle_timeout: Optional[float] = None,
         faults: Optional[FaultInjector] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         del record_trace  # accepted for compatibility; tracing is unconditional
         self.hub = AsyncHub(delay=delay, faults=faults)
         self.nodes: Dict[ProcessId, AsyncGcsNode] = {}
         self.trace: GcsTrace = GcsTrace()
         self._forwarding = forwarding
+        self._fastpath = fastpath
         self._settle_timeout = (
             env_settle_timeout(10.0) if settle_timeout is None else settle_timeout
         )
@@ -100,6 +102,7 @@ class AsyncCluster:
             forwarding=self._forwarding,
             trace=self.trace,
             on_view_installed=self._view_installed,
+            fastpath=self._fastpath,
         )
         self.nodes[pid] = node
         self.tier.add_client(pid)

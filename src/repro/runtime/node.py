@@ -52,6 +52,7 @@ class AsyncGcsNode:
         trace: Optional[GcsTrace] = None,
         queue_views: bool = True,
         on_view_installed: Optional[Callable[["AsyncGcsNode", View], None]] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         self.pid = pid
         self.hub = hub
@@ -76,6 +77,7 @@ class AsyncGcsNode:
             auto_block_ok=True,
             clock=time.monotonic,
             trace=trace,
+            fastpath=fastpath,
         )
         hub.register(pid, self._on_wire)
 

@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.chaos.faults import FaultInjector
 from repro.errors import TransportError
-from repro.links import LinkCore
+from repro.links import BatchAccumulator, LinkCore, MessageBatch
 from repro.types import ProcessId
 
 Handler = Callable[[ProcessId, Any], None]
@@ -44,6 +44,22 @@ def encode_frame(pid: ProcessId, message: Any) -> bytes:
     if len(body) > _MAX_FRAME:
         raise TransportError(f"frame of {len(body)} bytes exceeds limit")
     return _LENGTH.pack(len(body)) + body
+
+
+def encode_batch(pid: ProcessId, copies: Iterable[Any]) -> bytes:
+    """Frame a run of wire copies as one length-prefixed pickle.
+
+    A batch is one frame - one ``pickle.dumps``, one socket write - and
+    therefore atomic on the wire: the receiver either reads the whole
+    run (and unpacks it through
+    :meth:`~repro.links.LinkCore.inbound_batch`) or none of it.  A
+    single-copy run degenerates to the plain :func:`encode_frame`
+    format, so mixed traffic needs no protocol negotiation.
+    """
+    copies = tuple(copies)
+    if len(copies) == 1:
+        return encode_frame(pid, copies[0])
+    return encode_frame(pid, MessageBatch(copies))
 
 
 async def read_frame(reader: asyncio.StreamReader) -> Tuple[ProcessId, Any]:
@@ -128,7 +144,20 @@ class TcpTransport:
     # ------------------------------------------------------------------
 
     async def send(self, targets: Iterable[ProcessId], message: Any) -> None:
-        frame = None
+        await self.send_many(targets, (message,))
+
+    async def send_many(self, targets: Iterable[ProcessId], messages: Iterable[Any]) -> None:
+        """FIFO-multicast a run of messages, batch-framed per destination.
+
+        Every message runs through the core's fault pipeline
+        individually (drops, duplicates, and counters stay per-message),
+        but consecutive zero-delay wire copies towards one destination
+        share one :func:`encode_batch` frame: one pickle, one syscall,
+        whatever the run length.
+        """
+        messages = list(messages)
+        if not messages:
+            return
         for dst in targets:
             # Check the matrix before dialling: a partition cut must not
             # leak real connections across the emulated split.
@@ -137,22 +166,18 @@ class TcpTransport:
             writer = await self._writer_to(dst)
             if writer is None:
                 continue  # unreachable: a suffix is lost, as CO_RFIFO allows
-            transmission = self.core.outbound(self.pid, dst, message)
-            if transmission is None:
-                continue
+            batch = BatchAccumulator(self.core, self.pid)
+            for message in messages:
+                batch.add(dst, message)
             try:
-                for wire, extra in transmission.copies:
+                for wire, extra in batch.flush(dst):
                     if extra:
                         # Loss penalty / jitter: hold the frame back.  TCP's
                         # own FIFO keeps the per-connection order intact.
                         await asyncio.sleep(extra)
-                    if wire is message:
-                        if frame is None:
-                            frame = encode_frame(self.pid, wire)
-                        writer.write(frame)
+                    if isinstance(wire, MessageBatch):
+                        writer.write(encode_batch(self.pid, wire.copies))
                     else:
-                        # A duplicated wire copy; the receiver's core
-                        # dedups it.
                         writer.write(encode_frame(self.pid, wire))
                 await writer.drain()
             except (ConnectionError, OSError):
@@ -190,7 +215,15 @@ class TcpTransport:
                 src, wire = await read_frame(reader)
                 # The core drops frames that crossed a partition cut
                 # (kernel buffers can hold them past the split) and
-                # deduplicates wire copies.
+                # deduplicates wire copies.  A batched frame unpacks
+                # through the core too - per-message accounting, atomic
+                # topology check for the whole batch.
+                if isinstance(wire, MessageBatch):
+                    for payload in self.core.inbound_batch(
+                        src, self.pid, wire.copies, check_topology=True
+                    ):
+                        self.handler(src, payload)
+                    continue
                 payload = self.core.inbound(src, self.pid, wire, check_topology=True)
                 if payload is None:
                     continue

@@ -20,11 +20,30 @@ from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro.chaos.faults import FaultInjector
 from repro.errors import SettleTimeoutError
-from repro.links import LinkCore
+from repro.links import BATCH_LIMIT, LinkCore
 from repro.runtime.settle import settle_timeout as env_settle_timeout
 from repro.types import ProcessId
 
 Handler = Callable[[ProcessId, Any], None]
+
+
+class _InboxEntry:
+    """One inbox-queue entry: a batch of wire copies from one sender.
+
+    While the entry sits unpopped at the tail of a destination's queue
+    (``open``), further zero-delay copies from the same sender coalesce
+    onto it - one pump wakeup then handles the whole run.  The pump
+    closes the entry the moment it pops it, so a copy can never join a
+    batch that is already being delivered.
+    """
+
+    __slots__ = ("src", "copies", "extra", "open")
+
+    def __init__(self, src: ProcessId, wire: Any, extra: float) -> None:
+        self.src = src
+        self.copies = [wire]
+        self.extra = extra
+        self.open = True
 
 
 class AsyncHub:
@@ -41,6 +60,8 @@ class AsyncHub:
         self.core = core if core is not None else LinkCore(faults=faults)
         self._handlers: Dict[ProcessId, Handler] = {}
         self._queues: Dict[ProcessId, asyncio.Queue] = {}
+        # Newest (possibly still open) inbox entry per destination.
+        self._tails: Dict[ProcessId, _InboxEntry] = {}
         self._pumps: Dict[ProcessId, asyncio.Task] = {}
         self._closed = False
         # Messages enqueued but not yet fully handled.  ``_idle`` fires
@@ -95,26 +116,43 @@ class AsyncHub:
             for wire, extra in transmission.copies:
                 # A duplicated wire copy occupies the queue behind the
                 # original; the pump hands it to the core's dedup.
-                self._enqueue(dst, (src, wire, extra))
+                self._enqueue(dst, src, wire, extra)
 
-    def _enqueue(self, dst: ProcessId, entry: Any) -> None:
+    def _enqueue(self, dst: ProcessId, src: ProcessId, wire: Any, extra: float) -> None:
         self._inflight += 1
         self._idle.clear()
+        tail = self._tails.get(dst)
+        if (
+            tail is not None
+            and tail.open
+            and tail.src == src
+            and extra == 0.0
+            and self.delay == 0.0
+            and len(tail.copies) < BATCH_LIMIT
+        ):
+            # Zero-delay copy behind an undelivered run from the same
+            # sender: ride the open tail entry instead of waking the pump
+            # once per message.  Queue order per sender is unchanged, so
+            # per-link FIFO holds across batch boundaries.
+            tail.copies.append(wire)
+            return
+        entry = _InboxEntry(src, wire, extra)
+        self._tails[dst] = entry
         self._queues[dst].put_nowait(entry)
 
     async def _pump(self, pid: ProcessId) -> None:
         queue = self._queues[pid]
         handler = self._handlers[pid]
         while not self._closed:
-            src, wire, extra = await queue.get()
-            if self.delay or extra:
-                await asyncio.sleep(self.delay + extra)
+            entry = await queue.get()
+            entry.open = False
+            if self.delay or entry.extra:
+                await asyncio.sleep(self.delay + entry.extra)
             try:
-                payload = self.core.inbound(src, pid, wire)
-                if payload is not None:
-                    handler(src, payload)
+                for payload in self.core.inbound_batch(entry.src, pid, entry.copies):
+                    handler(entry.src, payload)
             finally:
-                self._inflight -= 1
+                self._inflight -= len(entry.copies)
                 if self._inflight == 0:
                     self._idle.set()
 

@@ -1,10 +1,18 @@
 """The repository's own automata pass the verifier (tier-1 gate)."""
 
-from repro.analysis import RULE_CATALOGUE, analyze
+from repro.analysis import DEFAULT_DET_SCOPE, RULE_CATALOGUE, analyze
+from repro.analysis.runner import _in_scope
 
 
 def test_repo_is_clean(repo_report):
     assert repo_report.ok, "\n".join(f.render() for f in repo_report.active)
+
+
+def test_fastpath_is_in_determinism_scope():
+    # The steady-state fast lane replays automaton effects directly, so
+    # it must stay under the R4 determinism rule like the engine itself.
+    assert _in_scope("repro.core.fastpath", DEFAULT_DET_SCOPE)
+    assert _in_scope("repro.links.batch", DEFAULT_DET_SCOPE)
 
 
 def test_repo_coverage(repo_report):

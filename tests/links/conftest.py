@@ -54,6 +54,16 @@ class ContractDriver:
     async def send(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
         raise NotImplementedError
 
+    async def send_burst(self, src: ProcessId, dst: ProcessId, messages: Iterable[Any]) -> None:
+        """Send a back-to-back run of messages (the batching fast case).
+
+        On the simulator and the hub, consecutive sends coalesce into
+        batched carriers on their own; the TCP driver overrides this to
+        use the transport's explicit batch framing.
+        """
+        for message in messages:
+            await self.send(src, dst, message)
+
     async def drain(self, predicate: Optional[Callable[[], bool]] = None) -> None:
         """Settle the substrate; with ``predicate``, wait until it holds."""
         raise NotImplementedError
@@ -132,6 +142,9 @@ class TcpContractDriver(ContractDriver):
 
     async def send(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
         await self.transports[src].send([dst], message)
+
+    async def send_burst(self, src: ProcessId, dst: ProcessId, messages: Iterable[Any]) -> None:
+        await self.transports[src].send_many([dst], messages)
 
     async def drain(self, predicate: Optional[Callable[[], bool]] = None) -> None:
         loop = asyncio.get_event_loop()
