@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""E19 scale-sweep runner: both scalability axes, recorded as JSON.
+
+Runs the endpoint axis (one group of n members with the two-tier
+overlay, a member crash, sync traffic vs the §9 cost model) and the
+group axis (g groups over shared processes on the sharded membership
+tier, one process crash, locality of the reconfiguration), then merges
+the rows into ``--output`` (default: repo-root ``BENCH_E19.json``).
+
+The full sweep is the acceptance configuration of the scale tier::
+
+    PYTHONPATH=src python benchmarks/bench_e19_scale.py
+
+CI runs the reduced form on every substrate::
+
+    PYTHONPATH=src python benchmarks/bench_e19_scale.py \
+        --n 200 --g 64 --substrates sim,async,tcp --check
+
+``--check`` additionally asserts the acceptance bounds: every endpoint
+row converged with sync volume within 2x of n + L(L-1) + nL, every
+group row settled, and the whole sweep stayed under ``--budget``
+seconds (default 300).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.scale import (  # noqa: E402
+    measure_scale_endpoints,
+    measure_scale_groups,
+)
+
+#: Real substrates drive every node through an event loop (and, for tcp,
+#: a full socket mesh); they run at smoke scale - their row demonstrates
+#: the overlay installs there, not a scaling claim.
+REAL_SUBSTRATE_N = 12
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, nargs="*", default=[32, 200, 1000],
+                        help="endpoint-axis group sizes (default: 32 200 1000)")
+    parser.add_argument("--g", type=int, nargs="*", default=[8, 64, 1000],
+                        help="group-axis group counts (default: 8 64 1000)")
+    parser.add_argument("--processes", type=int, default=1000,
+                        help="process pool for the group axis (default: 1000)")
+    parser.add_argument("--substrates", default="sim",
+                        help="comma-separated substrates for the endpoint "
+                             "axis; non-sim substrates run at smoke scale "
+                             f"(n={REAL_SUBSTRATE_N})")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_E19.json")
+    parser.add_argument("--entry", default=time.strftime("%Y-%m-%d"),
+                        help="name of the entry to write (default: today)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the acceptance bounds (exit 1 on failure)")
+    parser.add_argument("--budget", type=float, default=300.0,
+                        help="wall-clock budget in seconds checked by --check")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    endpoint_rows = []
+    for substrate in args.substrates.split(","):
+        substrate = substrate.strip()
+        sizes = args.n if substrate == "sim" else [REAL_SUBSTRATE_N]
+        for n in sizes:
+            row = measure_scale_endpoints(
+                n=n, substrate=substrate, check=(n <= 64)
+            )
+            endpoint_rows.append(row)
+            print(
+                f"endpoints {substrate:5s} n={row.n:5d} L={row.leaders:3d}  "
+                f"sync={row.sync_messages:7d}  model={row.model_messages:7d}  "
+                f"ratio={row.model_ratio:5.2f}  flat={row.flat_messages:8d}  "
+                f"wall={row.wall_seconds:6.1f}s  converged={row.converged}"
+            )
+    group_rows = []
+    for g in args.g:
+        row = measure_scale_groups(processes=args.processes, groups=g)
+        group_rows.append(row)
+        print(
+            f"groups    sim   g={row.groups:5d} shards={row.shards:2d}  "
+            f"views={row.views_formed:5d}  crash touched "
+            f"{row.crash_groups_touched}/{row.groups} groups  "
+            f"wall={row.wall_seconds:6.1f}s  settled={row.all_settled}"
+        )
+    total = time.perf_counter() - started
+    print(f"total wall: {total:.1f}s")
+
+    doc = {}
+    if args.output.exists():
+        doc = json.loads(args.output.read_text())
+    doc.setdefault("benchmark", "E19 scale sweep (two-tier overlay + sharded membership)")
+    doc.setdefault("entries", {})
+    doc["entries"][args.entry] = {
+        "endpoint_axis": [dataclasses.asdict(r) for r in endpoint_rows],
+        "group_axis": [dataclasses.asdict(r) for r in group_rows],
+        "total_wall_seconds": round(total, 1),
+    }
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"recorded entry {args.entry!r} in {args.output}")
+
+    if args.check:
+        failures = []
+        for row in endpoint_rows:
+            if not row.converged:
+                failures.append(f"endpoint n={row.n} ({row.substrate}) did not converge")
+            if row.model_ratio > 2.0:
+                failures.append(
+                    f"endpoint n={row.n} ({row.substrate}) sync volume "
+                    f"{row.model_ratio:.2f}x the cost model (bound: 2x)"
+                )
+        for row in group_rows:
+            if not row.all_settled:
+                failures.append(f"groups g={row.groups} did not settle")
+        if total > args.budget:
+            failures.append(f"sweep took {total:.1f}s (budget: {args.budget:.0f}s)")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("all acceptance bounds hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -173,7 +173,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 0
 
     if args.episodes == 1:
-        plan = ChaosPlan.generate(args.seed, intensity=args.intensity)
+        plan = ChaosPlan.generate(
+            args.seed,
+            intensity=args.intensity,
+            overlay_leaders=args.overlay_leaders,
+        )
         print(plan.describe())
         episode = ChaosRunner(args.backend).run(plan)
         print(episode.summary())
@@ -184,6 +188,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         episodes=args.episodes,
         seed_base=args.seed,
         intensity=args.intensity,
+        overlay_leaders=args.overlay_leaders,
     )
     injected = {k: v for k, v in result.injected.items() if k != "messages"}
     print(f"[{result.substrate}] {result.episodes} episodes "
@@ -199,7 +204,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         first_bad = int(result.failures[0].split("seed=")[1].split()[0])
         shrunk = shrink_plan(
             ChaosRunner(args.backend),
-            ChaosPlan.generate(first_bad, intensity=args.intensity),
+            ChaosPlan.generate(
+                first_bad,
+                intensity=args.intensity,
+                overlay_leaders=args.overlay_leaders,
+            ),
         )
         if shrunk is not None:
             print(shrunk.summary(), file=sys.stderr)
@@ -213,6 +222,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
     return run_lint(args)
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.experiments.scale import measure_scale_endpoints, measure_scale_groups
+
+    rows = []
+    for n in args.n:
+        result = measure_scale_endpoints(n=n, substrate=args.substrate, check=n <= 64)
+        rows.append((
+            result.n, result.leaders, result.sync_messages, result.model_messages,
+            f"{result.model_ratio:.2f}", result.flat_messages,
+            f"{result.wall_seconds:.1f}s", result.converged,
+        ))
+    print(format_table(
+        ["n", "L", "sync msgs", "model", "ratio", "flat", "wall", "converged"],
+        rows,
+        title=f"E19 endpoint axis ({args.substrate}, member crash with two-tier overlay)",
+    ))
+    print()
+    rows = []
+    for g in args.g:
+        result = measure_scale_groups(processes=args.processes, groups=g)
+        rows.append((
+            result.groups, result.shards, result.views_formed,
+            f"{result.crash_groups_touched}/{result.groups}",
+            f"{result.wall_seconds:.1f}s", result.all_settled,
+        ))
+    print(format_table(
+        ["groups", "shards", "views", "crash touched", "wall", "settled"],
+        rows,
+        title=f"E19 group axis (sim, {args.processes} processes, sharded membership)",
+    ))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -253,9 +295,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of consecutive seeds to run (default 1)")
     chaos.add_argument("--intensity", type=float, default=1.0,
                        help="fault-rate multiplier (0 disables message faults)")
+    chaos.add_argument("--overlay-leaders", type=int, default=0,
+                       help="run episodes under the two-tier scale overlay "
+                            "with this many leaders, enabling leader_crash "
+                            "ops (default 0: no overlay)")
     chaos.add_argument("--self-test", action="store_true",
                        help="inject a known-bad trace mutation and require "
                             "the pipeline to catch and shrink it")
+
+    scale = sub.add_parser(
+        "scale",
+        help="run the E19 scale sweep (two-tier overlay + sharded membership)",
+        description="Measure both scalability axes: sync traffic of a "
+                    "crash reconfiguration at group size n with the "
+                    "two-tier overlay (vs the §9 cost model), and "
+                    "reconfiguration locality with g groups on the "
+                    "group-sharded membership tier.",
+    )
+    scale.add_argument("--n", type=int, nargs="*", default=[32, 200],
+                       help="endpoint-axis group sizes (default: 32 200)")
+    scale.add_argument("--g", type=int, nargs="*", default=[8, 64],
+                       help="group-axis group counts (default: 8 64)")
+    scale.add_argument("--processes", type=int, default=200,
+                       help="process pool for the group axis (default: 200)")
+    scale.add_argument("--substrate", default="sim", choices=["sim", "async", "tcp"],
+                       help="substrate for the endpoint axis (default: sim)")
 
     lint = sub.add_parser(
         "lint",
@@ -278,6 +342,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "simulate": _cmd_simulate,
         "chaos": _cmd_chaos,
+        "scale": _cmd_scale,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

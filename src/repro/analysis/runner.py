@@ -19,6 +19,7 @@ DEFAULT_DET_SCOPE: Tuple[str, ...] = (
     "repro.core",
     "repro.chaos",
     "repro.links",
+    "repro.scale",
 )
 
 

@@ -39,7 +39,19 @@ from repro.chaos.faults import FaultModel
 from repro.types import ProcessId
 
 # Operation kinds, in the vocabulary of repro.deploy.base.Deployment.
-OP_KINDS = ("send", "settle", "partition", "heal", "crash", "recover", "reconfigure")
+# ``leader_crash`` is a crash whose target was an acting overlay leader
+# when the op was generated - it exercises the scale tier's re-election
+# path and only appears in plans with ``overlay_leaders`` set.
+OP_KINDS = (
+    "send",
+    "settle",
+    "partition",
+    "heal",
+    "crash",
+    "leader_crash",
+    "recover",
+    "reconfigure",
+)
 
 
 @dataclass(frozen=True)
@@ -59,7 +71,7 @@ class ChaosOp:
             return f"partition({[list(g) for g in self.groups]})"
         if self.kind == "reconfigure":
             return f"reconfigure({list(self.members)})"
-        if self.kind in ("crash", "recover"):
+        if self.kind in ("crash", "leader_crash", "recover"):
             return f"{self.kind}({self.pid})"
         return f"{self.kind}()"
 
@@ -89,8 +101,9 @@ class ChaosOp:
 class _ScheduleState:
     """The executable-schedule state machine (see the module docstring)."""
 
-    def __init__(self, processes: Sequence[ProcessId]) -> None:
+    def __init__(self, processes: Sequence[ProcessId], leaders: int = 0) -> None:
         self.full: Tuple[ProcessId, ...] = tuple(processes)
+        self.leaders = max(0, min(leaders, len(self.full)))
         self.partitioned = False
         self.crashed: set = set()
         self.configured: Tuple[ProcessId, ...] = self.full
@@ -126,6 +139,30 @@ class _ScheduleState:
             return []
         return sorted(self.crashed)
 
+    def current_leaders(self) -> List[ProcessId]:
+        """The acting overlay leaders under the current crash set.
+
+        Mirrors :meth:`repro.scale.overlay.TwoTierOverlay.leader_for`:
+        contiguous balanced groups over the sorted full process set,
+        each led by its least alive member.  (``leader_crash`` is only
+        enabled outside partitions, so reachability never differs from
+        liveness here.)
+        """
+        if not self.leaders:
+            return []
+        from repro.scale.overlay import balanced_groups
+
+        leaders: List[ProcessId] = []
+        for members in balanced_groups(list(self.full), self.leaders).values():
+            leaders.append(
+                next((p for p in members if p not in self.crashed), members[0])
+            )
+        return leaders
+
+    def leader_crash_candidates(self) -> List[ProcessId]:
+        acting = set(self.current_leaders())
+        return [p for p in self.crash_candidates() if p in acting]
+
     def can_reconfigure(self) -> bool:
         return not self.partitioned and not self.crashed and len(self.full) >= 2
 
@@ -144,6 +181,8 @@ class _ScheduleState:
             return self.can_heal()
         if op.kind == "crash":
             return op.pid in self.crash_candidates()
+        if op.kind == "leader_crash":
+            return op.pid in self.leader_crash_candidates()
         if op.kind == "recover":
             return op.pid in self.recover_candidates()
         if op.kind == "reconfigure":
@@ -160,7 +199,7 @@ class _ScheduleState:
             self.partitioned = True
         elif op.kind == "heal":
             self.partitioned = False
-        elif op.kind == "crash":
+        elif op.kind in ("crash", "leader_crash"):
             self.crashed.add(op.pid)
         elif op.kind == "recover":
             self.crashed.discard(op.pid)
@@ -181,15 +220,20 @@ class _ScheduleState:
 
 
 def sanitise_ops(
-    processes: Sequence[ProcessId], ops: Iterable[ChaosOp]
+    processes: Sequence[ProcessId],
+    ops: Iterable[ChaosOp],
+    *,
+    leaders: int = 0,
 ) -> Tuple[ChaosOp, ...]:
     """Repair an op list into an executable, properly closed schedule.
 
     Walks the state machine, drops every op whose precondition does not
     hold at its position (the fate of ops orphaned by shrinking), and
     appends the closing heal/recover/reconfigure/settle suffix.
+    ``leaders`` is the plan's ``overlay_leaders``; without it every
+    ``leader_crash`` is disabled (no overlay, no leaders to crash).
     """
-    state = _ScheduleState(processes)
+    state = _ScheduleState(processes, leaders)
     kept: List[ChaosOp] = []
     for op in ops:
         if state.enabled(op):
@@ -211,6 +255,10 @@ class ChaosPlan:
     processes: Tuple[ProcessId, ...]
     faults: FaultModel
     ops: Tuple[ChaosOp, ...] = field(default_factory=tuple)
+    # Leader count of the repro.scale two-tier overlay the runner
+    # installs for this episode; 0 (the default, and the value absent
+    # from old serialisations) means no overlay and no leader_crash ops.
+    overlay_leaders: int = 0
 
     # -- generation -------------------------------------------------------
 
@@ -222,11 +270,15 @@ class ChaosPlan:
         processes: Optional[Sequence[ProcessId]] = None,
         length: Optional[int] = None,
         intensity: float = 1.0,
+        overlay_leaders: int = 0,
     ) -> "ChaosPlan":
         """Derive a full plan from ``seed`` alone (plus optional shaping).
 
         ``intensity`` scales the fault rates; 0.0 gives a fault-free
         schedule (the ops still churn membership), 1.0 the default rates.
+        ``overlay_leaders`` > 0 makes the episode run under the two-tier
+        overlay and enables ``leader_crash`` ops against its acting
+        leaders.
         """
         if intensity < 0:
             raise ValueError("intensity must be non-negative")
@@ -247,7 +299,8 @@ class ChaosPlan:
         )
         if length is None:
             length = rng.randint(8, 14)
-        state = _ScheduleState(processes)
+        overlay_leaders = max(0, min(overlay_leaders, len(processes)))
+        state = _ScheduleState(processes, overlay_leaders)
         ops: List[ChaosOp] = []
         sent = 0
         for _ in range(length):
@@ -257,7 +310,13 @@ class ChaosPlan:
             state.apply(op)
             ops.append(op)
         ops.extend(state.closing_ops())
-        return cls(seed=seed, processes=processes, faults=faults, ops=tuple(ops))
+        return cls(
+            seed=seed,
+            processes=processes,
+            faults=faults,
+            ops=tuple(ops),
+            overlay_leaders=overlay_leaders,
+        )
 
     @staticmethod
     def _random_op(rng: random.Random, state: _ScheduleState, sent: int) -> ChaosOp:
@@ -270,6 +329,8 @@ class ChaosPlan:
             choices.append(("heal", 2.5))
         if state.crash_candidates():
             choices.append(("crash", 1.0))
+        if state.leader_crash_candidates():
+            choices.append(("leader_crash", 1.5))
         if state.recover_candidates():
             choices.append(("recover", 2.0))
         if state.can_reconfigure():
@@ -291,6 +352,10 @@ class ChaosPlan:
             return ChaosOp("partition", groups=tuple(parts))
         if kind == "crash":
             return ChaosOp("crash", pid=rng.choice(state.crash_candidates()))
+        if kind == "leader_crash":
+            return ChaosOp(
+                "leader_crash", pid=rng.choice(state.leader_crash_candidates())
+            )
         if kind == "recover":
             return ChaosOp("recover", pid=rng.choice(state.recover_candidates()))
         if kind == "reconfigure":
@@ -303,7 +368,10 @@ class ChaosPlan:
 
     def with_ops(self, ops: Iterable[ChaosOp]) -> "ChaosPlan":
         """This plan with a repaired replacement schedule (same seed)."""
-        return replace(self, ops=sanitise_ops(self.processes, ops))
+        return replace(
+            self,
+            ops=sanitise_ops(self.processes, ops, leaders=self.overlay_leaders),
+        )
 
     def with_faults(self, faults: FaultModel) -> "ChaosPlan":
         return replace(self, faults=faults)
@@ -316,7 +384,7 @@ class ChaosPlan:
         kept_set = set(keep)
         ops: List[ChaosOp] = []
         for op in self.ops:
-            if op.kind in ("send", "crash", "recover"):
+            if op.kind in ("send", "crash", "leader_crash", "recover"):
                 if op.pid not in kept_set:
                     continue
                 ops.append(op)
@@ -333,31 +401,39 @@ class ChaosPlan:
                     ops.append(replace(op, members=members))
             else:
                 ops.append(op)
+        leaders = min(self.overlay_leaders, len(keep))
         return ChaosPlan(
             seed=self.seed,
             processes=keep,
             faults=self.faults,
-            ops=sanitise_ops(keep, ops),
+            ops=sanitise_ops(keep, ops, leaders=leaders),
+            overlay_leaders=leaders,
         )
 
     # -- presentation and serialisation -----------------------------------
 
     def describe(self) -> str:
+        overlay = (
+            f" overlay_leaders={self.overlay_leaders}" if self.overlay_leaders else ""
+        )
         lines = [
             f"seed={self.seed} processes={list(self.processes)} "
-            f"faults=[{self.faults.describe()}]"
+            f"faults=[{self.faults.describe()}]{overlay}"
         ]
         for index, op in enumerate(self.ops):
             lines.append(f"  {index:2d}. {op.describe()}")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "seed": self.seed,
             "processes": list(self.processes),
             "faults": self.faults.to_dict(),
             "ops": [op.to_dict() for op in self.ops],
         }
+        if self.overlay_leaders:
+            data["overlay_leaders"] = self.overlay_leaders
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ChaosPlan":
@@ -366,6 +442,7 @@ class ChaosPlan:
             processes=tuple(data["processes"]),
             faults=FaultModel.from_dict(data["faults"]),
             ops=tuple(ChaosOp.from_dict(op) for op in data["ops"]),
+            overlay_leaders=data.get("overlay_leaders", 0),
         )
 
 

@@ -165,6 +165,10 @@ class ChaosRunner:
         deployment = make_deployment(self.backend, faults=injector)
         try:
             await deployment.setup(list(plan.processes))
+            if plan.overlay_leaders:
+                from repro.scale import install_overlay
+
+                install_overlay(deployment, leaders=plan.overlay_leaders)
             for index, op in enumerate(plan.ops):
                 try:
                     await self._apply(deployment, op)
@@ -187,7 +191,9 @@ class ChaosRunner:
             await deployment.partition([list(g) for g in op.groups])
         elif op.kind == "heal":
             await deployment.heal()
-        elif op.kind == "crash":
+        elif op.kind in ("crash", "leader_crash"):
+            # leader_crash is a crash whose pid was an acting overlay
+            # leader at generation time; the overlay re-elects.
             await deployment.crash(op.pid)
         elif op.kind == "recover":
             await deployment.recover(op.pid)

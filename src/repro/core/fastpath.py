@@ -206,10 +206,17 @@ class FastLane:
         Everything else - view/sync/forwarded messages, holes, peers
         mid-transition - falls back to the general engine.
         """
+        # Type check before revalidation: only an AppMsg can ever take
+        # the lane, and during a reconfiguration the traffic is view and
+        # sync messages - each of which would otherwise pay a full
+        # steadiness re-proof (including the enabled_actions catch-all)
+        # just to be rejected here anyway.
+        if type(message) is not AppMsg:
+            return False
         ep = self.endpoint
         if ep._state_version != self._version and not self._revalidate():
             return False
-        if type(message) is not AppMsg or src not in self._peers:
+        if src not in self._peers:
             return False
         if ep.view_msg.get(src) != self._view:
             return False

@@ -78,14 +78,19 @@ class SimpleStrategy(ForwardingStrategy):
         own = endpoint.own_sync_msg()
         if own is None:
             return
+        # A forward needs own.cut to commit to at least one message, so a
+        # quiet reconfiguration (empty sparse cut) skips the peer scan
+        # entirely, and the inner loop visits only committed origins
+        # rather than every view member.
+        if not own.cut:
+            return
         view = own.view  # == endpoint.current_view (Invariant 6.9)
         for q, q_sync in endpoint.latest_sync_msgs_in_view(view):
             if q == endpoint.pid:
                 continue
             if endpoint.view_msg_of(q).vid > view.vid:
                 continue  # p knows q reached a later view; don't forward
-            for origin in view.members:
-                have = own.cut.get(origin, 0)
+            for origin, have in own.cut.items():
                 missing_from = q_sync.cut.get(origin, 0) + 1
                 for index in range(missing_from, have + 1):
                     if not endpoint.holds_message(origin, view, index):
@@ -115,7 +120,13 @@ class MinCopiesStrategy(ForwardingStrategy):
         if endpoint.pid not in transitional:
             return
         outsiders = view.members - transitional
-        for origin in sorted(outsiders):
+        # Only origins some transitional cut commits to can need a
+        # forwarder; with sparse cuts this prunes the outsider scan to
+        # the actually-active senders.
+        committed_origins = set()
+        for cut in cuts.values():
+            committed_origins.update(cut)
+        for origin in sorted(committed_origins & outsiders):
             committed = max((cuts[u].get(origin, 0) for u in transitional), default=0)
             for index in range(1, committed + 1):
                 holders = sorted(u for u in transitional if cuts[u].get(origin, 0) >= index)

@@ -15,7 +15,7 @@ safety proofs carry over verbatim.
 
 from __future__ import annotations
 
-from typing import Any, Callable, FrozenSet, Iterable, List, Optional
+from typing import Any, Callable, FrozenSet, Iterable, Optional, Tuple
 
 from repro.checking.events import (
     BlockEvent,
@@ -76,6 +76,16 @@ class EndpointRunner:
         self._on_deliver = on_deliver
         self._on_view = on_view
         self._on_block = on_block
+        # Overlay seams (repro.scale): a wire interceptor sees every
+        # outbound co_rfifo.send before the substrate does and may consume
+        # it (return True); a receive interceptor likewise sees every
+        # inbound wire message.  They sit on the runner - not on any one
+        # substrate's node - so the same overlay installs over the
+        # simulator, the asyncio hub, and TCP unchanged.
+        self.wire_interceptor: Optional[
+            Callable[[FrozenSet[ProcessId], WireMessage], bool]
+        ] = None
+        self.receive_interceptor: Optional[Callable[[ProcessId, WireMessage], bool]] = None
         # When True the runner plays a trivially compliant client: it
         # acknowledges every block request immediately.
         self.auto_block_ok = auto_block_ok
@@ -119,10 +129,28 @@ class EndpointRunner:
 
     def receive(self, sender: ProcessId, message: WireMessage) -> None:
         """A wire message arrived from ``sender`` via CO_RFIFO."""
+        interceptor = self.receive_interceptor
+        if interceptor is not None and interceptor(sender, message):
+            return
         lane = self.fast_lane
         if lane is not None and lane.try_receive(sender, message):
             return
         self.endpoint.apply(Action("co_rfifo.deliver", (sender, self.pid, message)))
+        self.drain()
+
+    def receive_batch(self, entries: Iterable[Tuple[ProcessId, WireMessage]]) -> None:
+        """Apply a run of CO_RFIFO deliveries, then drain once.
+
+        The amortised inbound path for aggregated traffic (the two-tier
+        overlay's sync batches): applying all entries before draining
+        makes a reconfiguration's sync phase O(entries) endpoint work
+        instead of one full drain per entry.  Entries bypass the receive
+        interceptor - the overlay itself is the caller.
+        """
+        apply = self.endpoint.apply
+        pid = self.pid
+        for sender, message in entries:
+            apply(Action("co_rfifo.deliver", (sender, pid, message)))
         self.drain()
 
     def membership_start_change(self, cid: StartChangeId, members: Iterable[ProcessId]) -> None:
@@ -185,7 +213,11 @@ class EndpointRunner:
         now = self._clock()
         if name == "co_rfifo.send":
             _p, targets, message = action.params
-            self._send_wire(frozenset(targets), message)
+            targets = frozenset(targets)
+            interceptor = self.wire_interceptor
+            if interceptor is not None and interceptor(targets, message):
+                return
+            self._send_wire(targets, message)
         elif name == "co_rfifo.reliable":
             _p, targets = action.params
             self._set_reliable(frozenset(targets))

@@ -115,8 +115,17 @@ class WvRfifoEndpoint(ProcessAutomaton):
         self.last_dlvrd[q] = self.dlvrd(q) + 1
 
     def _candidates_deliver(self) -> Iterable[Tuple[ProcessId, ProcessId, Any]]:
-        for q in self.current_view.members:
-            log = self.peek_buffer(q, self.current_view)
+        # Iterate the buffer map, not the membership: only senders with a
+        # buffered log can have a deliverable message, so a quiet
+        # thousand-member view costs nothing per drain.  (Order follows
+        # buffer creation, which is deterministic; the naive oracle uses
+        # this same method, so compiled and reflective enumerations agree.)
+        view = self.current_view
+        members = view.members
+        for q, buffers in self.msgs.items():
+            if q not in members:
+                continue
+            log = buffers.get(view)
             if log is None:
                 continue
             index = self.dlvrd(q) + 1
@@ -139,7 +148,11 @@ class WvRfifoEndpoint(ProcessAutomaton):
 
     def _candidates_co_rfifo_reliable(self) -> Iterable[Tuple[ProcessId, FrozenSet[ProcessId]]]:
         desired = self._desired_reliable_set()
-        if desired != self.reliable_set:
+        # Identity first: frozenset equality has no identity shortcut in
+        # CPython, and after the reliable action fires the stored set IS
+        # the object the candidate yielded, so steady-state drains skip
+        # the O(members) comparison.
+        if desired is not self.reliable_set and desired != self.reliable_set:
             yield (self.pid, desired)
 
     # ------------------------------------------------------------------
@@ -180,15 +193,18 @@ class WvRfifoEndpoint(ProcessAutomaton):
     def _candidates_co_rfifo_send(self) -> Iterable[Tuple[ProcessId, FrozenSet[ProcessId], WireMessage]]:
         # Note: in a singleton view ``peers`` is empty, but the (no-op)
         # sends must still happen - sending is what advances ``last_sent``
-        # and thereby enables self-delivery.
-        peers = frozenset(self.current_view.members - {self.pid})
+        # and thereby enables self-delivery.  ``peers`` is built only on
+        # the yielding paths: a quiet drain must not pay an O(members)
+        # set difference just to find nothing to send.
         if self.view_msg_of(self.pid) != self.current_view:
             if self.current_view.members <= self.reliable_set:
+                peers = frozenset(self.current_view.members - {self.pid})
                 yield (self.pid, peers, ViewMsg(self.current_view))
             return
         log = self.peek_buffer(self.pid, self.current_view)
         if log is not None and log.has(self.last_sent + 1):
             payload = log.get(self.last_sent + 1)
+            peers = frozenset(self.current_view.members - {self.pid})
             yield (
                 self.pid,
                 peers,

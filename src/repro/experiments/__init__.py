@@ -34,6 +34,13 @@ from repro.experiments.chaos_sweep import (
     chaos_self_test,
     chaos_sweep,
 )
+from repro.experiments.scale import (
+    ScaleEndpointResult,
+    ScaleGroupsResult,
+    measure_scale_endpoints,
+    measure_scale_groups,
+    scale_sweep,
+)
 from repro.experiments.servers import ServerTierResult, measure_server_tier
 from repro.experiments.substrates import (
     SubstrateResult,
@@ -53,6 +60,8 @@ __all__ = [
     "ObsoleteViewResult",
     "OrderingResult",
     "ReconfigResult",
+    "ScaleEndpointResult",
+    "ScaleGroupsResult",
     "ServerTierResult",
     "SubstrateResult",
     "ThroughputResult",
@@ -68,10 +77,13 @@ __all__ = [
     "measure_obsolete_views",
     "measure_ordering_overhead",
     "measure_reconfiguration",
+    "measure_scale_endpoints",
+    "measure_scale_groups",
     "measure_server_tier",
     "measure_substrate",
     "measure_throughput",
     "measure_two_tier",
     "reconfiguration_sweep",
+    "scale_sweep",
     "substrate_matrix",
 ]

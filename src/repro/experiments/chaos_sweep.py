@@ -51,14 +51,21 @@ def chaos_sweep(
     episodes: int = 25,
     seed_base: int = 0,
     intensity: float = 1.0,
+    overlay_leaders: int = 0,
 ) -> ChaosSweepResult:
-    """Run ``episodes`` seeded chaos episodes on one substrate."""
+    """Run ``episodes`` seeded chaos episodes on one substrate.
+
+    ``overlay_leaders`` > 0 runs every episode under the two-tier scale
+    overlay, with ``leader_crash`` ops targeting its acting leaders.
+    """
     runner = ChaosRunner(substrate)
     ops = 0
     injected: Dict[str, int] = {}
     failures: List[str] = []
     for seed in range(seed_base, seed_base + episodes):
-        episode = runner.run_seed(seed, intensity=intensity)
+        episode = runner.run_seed(
+            seed, intensity=intensity, overlay_leaders=overlay_leaders
+        )
         ops += len(episode.plan.ops)
         for key, count in episode.counters.items():
             injected[key] = injected.get(key, 0) + count

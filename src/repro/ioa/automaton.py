@@ -137,6 +137,11 @@ class Automaton:
         # Monotone counter bumped by every apply/reset/touch; composition
         # enabled-set caches compare it to spot stale entries.
         self._state_version = 0
+        # Callbacks fired on every version bump.  Compositions subscribe
+        # so a dirty component pushes its index into the composition's
+        # dirty set instead of every enabled_actions() call scanning all
+        # component versions (O(system) per call at n=1000).
+        self._version_observers: List[Callable[[], None]] = []
         self._owners: Dict[str, Type[Automaton]] = {}
         # klass -> names of variables owned by its strict ancestors, the
         # set strict mode guards; cached because it is scanned twice per
@@ -270,13 +275,33 @@ class Automaton:
         self._ancestor_attrs.clear()
         self._init_state_chain()
         self._state_version += 1
+        for observer in self._version_observers:
+            observer()
 
     def touch(self) -> int:
         """Declare an out-of-band state change (e.g. a test poking a
         variable directly), so composition enabled-set caches refresh.
         Returns the new state version."""
         self._state_version += 1
+        for observer in self._version_observers:
+            observer()
         return self._state_version
+
+    def subscribe_version(self, observer: Callable[[], None]) -> None:
+        """Register a callback fired after every state-version bump.
+
+        Used by :class:`~repro.ioa.composition.Composition` for push-based
+        dirty tracking; observers must be cheap and must not step the
+        automaton.
+        """
+        self._version_observers.append(observer)
+
+    def unsubscribe_version(self, observer: Callable[[], None]) -> None:
+        """Remove a previously registered version observer (idempotent)."""
+        try:
+            self._version_observers.remove(observer)
+        except ValueError:
+            pass
 
     @property
     def state_version(self) -> int:
@@ -413,6 +438,8 @@ class Automaton:
             raise ActionNotEnabled(f"{self.name}: {action!r} is not enabled")
         self._run_effects(action)
         self._state_version += 1
+        for observer in self._version_observers:
+            observer()
 
     # ------------------------------------------------------------------
     # candidate enumeration

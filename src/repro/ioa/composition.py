@@ -9,12 +9,17 @@ operator re-classifies outputs as internal.
 
 The execution machinery is incremental: the composition keeps one cached
 enabled-set per component, keyed by the component's ``state_version``
-counter.  A composed step can only change the state of the acting owner
-and the components that accept the action as an input - exactly the
-automata whose version counters move - so a scheduler step re-enumerates
-candidates for O(dirty components) instead of O(system).
-:meth:`naive_enabled_actions` recomputes everything reflectively and is
-the oracle differential tests compare the cache against.
+counter, and subscribes to each component's version bumps so dirtiness is
+*pushed* into a dirty-index set rather than discovered by scanning every
+component's version on every call.  A composed step can only change the
+state of the acting owner and the components that accept the action as an
+input - exactly the automata whose version counters move - so a scheduler
+step re-enumerates candidates for O(dirty components) instead of
+O(system), and a call with nothing dirty returns the cached flat list
+without touching the components at all (the property that keeps a
+thousand-component system from paying a thousand version reads per
+event).  :meth:`naive_enabled_actions` recomputes everything reflectively
+and is the oracle differential tests compare the cache against.
 """
 
 from __future__ import annotations
@@ -63,6 +68,21 @@ class Composition:
         }
         self._enabled_cache: List[Optional[List[Action]]] = [None] * len(self.components)
         self._enabled_versions: List[int] = [-1] * len(self.components)
+        # Push-based dirty tracking: every component version bump lands
+        # its index here; enabled_actions() re-enumerates only these and
+        # serves the concatenated flat list from cache otherwise.
+        self._dirty: Set[int] = set(range(len(self.components)))
+        self._flat_cache: Optional[List[Tuple[Automaton, Action]]] = None
+        for index, component in enumerate(self.components):
+            component.subscribe_version(self._dirty_marker(index))
+
+    def _dirty_marker(self, index: int):
+        dirty = self._dirty
+
+        def mark() -> None:
+            dirty.add(index)
+
+        return mark
 
     def _validate_signatures(self) -> None:
         # An action name may be an output of several *per-process* automata
@@ -134,22 +154,38 @@ class Composition:
             cached = component.enabled_actions()
             self._enabled_cache[index] = cached
             self._enabled_versions[index] = version
+            self._flat_cache = None
         return cached
 
     def enabled_actions(self, refresh: bool = False) -> List[Tuple[Automaton, Action]]:
         """All enabled locally controlled actions across components.
 
         Served from the per-component cache; only components whose state
-        version moved since the last call are re-enumerated.  Pass
-        ``refresh=True`` to force a full recomputation (needed after
-        mutating component state directly without ``apply``/``touch``).
-        Ordering is identical to :meth:`naive_enabled_actions`.
+        version moved since the last call (pushed into the dirty set by
+        their version observers) are re-enumerated, and when nothing is
+        dirty the concatenated list itself is served from cache without
+        visiting any component.  Pass ``refresh=True`` to force a full
+        recomputation (needed after mutating component state directly
+        without ``apply``/``touch``).  Ordering is identical to
+        :meth:`naive_enabled_actions`.
         """
+        if not refresh and not self._dirty and self._flat_cache is not None:
+            return list(self._flat_cache)
+        if refresh:
+            for index, component in enumerate(self.components):
+                self._refreshed_enabled(index, component, True)
+        else:
+            for index in self._dirty:
+                self._refreshed_enabled(index, self.components[index], False)
+        self._dirty.clear()
         enabled: List[Tuple[Automaton, Action]] = []
         for index, component in enumerate(self.components):
-            for action in self._refreshed_enabled(index, component, refresh):
-                enabled.append((component, action))
-        return enabled
+            cached = self._enabled_cache[index]
+            if cached:
+                for action in cached:
+                    enabled.append((component, action))
+        self._flat_cache = enabled
+        return list(enabled)
 
     def enabled_for(self, component: Automaton, refresh: bool = False) -> List[Action]:
         """The cached enabled set of one component (do not mutate)."""

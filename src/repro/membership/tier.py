@@ -47,6 +47,11 @@ class TierLink(Protocol):
     real transports may need to open sockets); ``post`` is a
     fire-and-forget send from a server to any process - another server
     (proposals) or a client (start_change / view notices).
+
+    A link whose attach needs no awaiting (the asyncio hub, the
+    simulator) may additionally expose ``attach_sync`` with the same
+    signature; the tier then grows its own capacity on demand inside
+    synchronous entry points like :meth:`MembershipTier.plan_partition`.
     """
 
     async def attach(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
@@ -104,7 +109,7 @@ class MembershipTier:
     # construction
     # ------------------------------------------------------------------
 
-    async def _add_server(self) -> MembershipServer:
+    def _make_server(self) -> MembershipServer:
         sid = server_id(str(len(self.servers)))
         server = MembershipServer(
             sid,
@@ -113,13 +118,32 @@ class MembershipTier:
             initial_counter=self.watermark(),
         )
         self.servers[sid] = server
-        await self.link.attach(sid, server.on_message)
+        return server
+
+    async def _add_server(self) -> MembershipServer:
+        server = self._make_server()
+        await self.link.attach(server.sid, server.on_message)
         return server
 
     async def ensure_capacity(self, count: int) -> None:
         """Create servers (with transport endpoints) up to ``count``."""
         while len(self.servers) < count:
             await self._add_server()
+
+    def _grow_sync(self, count: int) -> bool:
+        """Grow to ``count`` servers without awaiting, if the link allows.
+
+        Returns False when it cannot (the link has no ``attach_sync`` -
+        e.g. real sockets); callers then fall back to requiring an
+        explicit prior :meth:`ensure_capacity`.
+        """
+        attach_sync = getattr(self.link, "attach_sync", None)
+        if attach_sync is None:
+            return False
+        while len(self.servers) < count:
+            server = self._make_server()
+            attach_sync(server.sid, server.on_message)
+        return True
 
     def watermark(self) -> int:
         """The highest view counter any server of the tier has issued."""
@@ -222,10 +246,15 @@ class MembershipTier:
     def plan_partition(self, groups: Iterable[Iterable[ProcessId]]) -> PartitionPlan:
         """Assign one server per group; compute the transport components.
 
-        Call :meth:`ensure_capacity` for ``len(groups)`` first.  Clients
-        in no group are cut off entirely (singleton components).
+        When the tier is short of servers it grows itself, provided the
+        link supports synchronous attachment (``attach_sync``); over
+        links that must await socket setup (TCP), call
+        :meth:`ensure_capacity` for ``len(groups)`` first.  Clients in
+        no group are cut off entirely (singleton components).
         """
         group_sets = [frozenset(g) for g in groups]
+        if len(self.servers) < len(group_sets):
+            self._grow_sync(len(group_sets))
         sids = sorted(self.servers)
         if len(sids) < len(group_sets):
             raise ValueError("not enough servers; call ensure_capacity first")

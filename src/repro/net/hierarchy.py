@@ -1,194 +1,41 @@
-"""Two-tier synchronization-message aggregation (the paper's Section 9).
+"""Compatibility shim: the two-tier overlay moved to :mod:`repro.scale`.
 
-    "In order to increase the scalability, we intend to explore ways to
-    incorporate a two-tier hierarchy into our algorithm [...] messages
-    will be sent by each process to its designated leader, which will in
-    turn, aggregate the cut messages into a single message and forward it
-    to the other leaders."
-
-``TwoTierOverlay`` implements exactly that, as a transparent transport
-overlay over :class:`~repro.net.world.SimWorld`: synchronization messages
-ride member -> leader -> other leaders -> members, with each leader
-*batching* its group's syncs into one aggregate per exchange.  The GCS
-algorithm is untouched - the paper notes it "is presented at an abstract
-level that would allow incorporating such extensions without violating
-its correctness", and the overlay preserves the only property syncs rely
-on: every synchronization message eventually reaches every intended
-recipient with its original sender attribution.
-
-Cost model (n members, L leaders, groups of g = n/L): a reconfiguration's
-sync traffic drops from n(n-1) point-to-point messages to roughly
-n (up) + L(L-1) (aggregates) + nL (down) - a large saving when L << n.
-The price is up to two extra hops plus the leader's batching delay.
-
-Scope: leaders are assumed stable (like the membership servers).  A
-fallback timer flushes incomplete batches, so a silent member delays but
-never blocks a reconfiguration.
+The §9 sync-aggregation overlay used to be simulator-only; it is now
+substrate-agnostic (it installs on the
+:class:`~repro.core.runner.EndpointRunner` interceptor seams instead of
+on :class:`~repro.net.world.SimNode`).  This module keeps the historical
+entry point - ``TwoTierOverlay(world, groups)`` over a
+:class:`~repro.net.world.SimWorld` - and re-exports the wire types, so
+existing experiments and tests run unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable
 
-from repro.core.messages import SyncMsg
-from repro.net.world import SimNode, SimWorld
+from repro.net.world import SimWorld
+from repro.scale.overlay import (  # noqa: F401  (re-exports)
+    AggregatedSync,
+    UpSync,
+    auto_leaders,
+    balanced_groups,
+)
+from repro.scale.overlay import TwoTierOverlay as _ScaleOverlay
 from repro.types import ProcessId
 
 
-@dataclass(frozen=True)
-class UpSync:
-    """Member -> leader: one synchronization message to aggregate."""
-
-    origin: ProcessId
-    sync: SyncMsg
-
-
-@dataclass(frozen=True)
-class AggregatedSync:
-    """Leader -> leader / leader -> member: a batch of (origin, sync)."""
-
-    entries: Tuple[Tuple[ProcessId, SyncMsg], ...]
-    final: bool  # True on the leader->member leg (do not re-forward)
-
-
-class TwoTierOverlay:
-    """Install sync aggregation on a simulated world."""
-
-    def __init__(
-        self,
-        world: SimWorld,
-        groups: Dict[ProcessId, Iterable[ProcessId]],
-        *,
-        flush_delay: float = 1.0,
-    ) -> None:
-        """``groups`` maps each leader to its members (leader included)."""
-        self.world = world
-        self.flush_delay = flush_delay
-        self.leader_of: Dict[ProcessId, ProcessId] = {}
-        self.group_of: Dict[ProcessId, FrozenSet[ProcessId]] = {}
-        for leader, members in groups.items():
-            member_set = frozenset(members) | {leader}
-            for pid in member_set:
-                self.leader_of[pid] = leader
-                self.group_of[pid] = member_set
-        self.leaders = frozenset(groups)
-        # per-leader batch under construction: origin -> sync
-        self._pending: Dict[ProcessId, Dict[ProcessId, SyncMsg]] = {
-            leader: {} for leader in self.leaders
-        }
-        self._flush_scheduled: Dict[ProcessId, bool] = {leader: False for leader in self.leaders}
-        self.aggregates_sent = 0
-        self._install()
-
-    # ------------------------------------------------------------------
-    # wiring
-    # ------------------------------------------------------------------
-
-    def _install(self) -> None:
-        for pid, node in self.world.nodes.items():
-            if pid not in self.leader_of:
-                continue  # nodes outside the hierarchy keep direct syncs
-            node.wire_interceptor = self._make_send_interceptor(node)
-            node.receive_interceptor = self._make_receive_interceptor(node)
-
-    def _make_send_interceptor(self, node: SimNode):
-        def intercept(targets: FrozenSet[ProcessId], message: Any) -> bool:
-            if not isinstance(message, SyncMsg):
-                return False
-            leader = self.leader_of[node.pid]
-            if node.pid == leader:
-                self._accept_up(leader, node.pid, message)
-            else:
-                node.transport.send({leader}, UpSync(node.pid, message))
-            return True
-
-        return intercept
-
-    def _make_receive_interceptor(self, node: SimNode):
-        def intercept(src: ProcessId, message: Any) -> bool:
-            if isinstance(message, UpSync):
-                self._accept_up(node.pid, message.origin, message.sync)
-                return True
-            if isinstance(message, AggregatedSync):
-                self._accept_aggregate(node, message)
-                return True
-            return False
-
-        return intercept
-
-    # ------------------------------------------------------------------
-    # leader logic
-    # ------------------------------------------------------------------
-
-    def _accept_up(self, leader: ProcessId, origin: ProcessId, sync: SyncMsg) -> None:
-        pending = self._pending[leader]
-        pending[origin] = sync
-        if self._batch_complete(leader):
-            self._flush(leader)
-        elif not self._flush_scheduled[leader]:
-            self._flush_scheduled[leader] = True
-            self.world.clock.schedule(self.flush_delay, lambda: self._timer_flush(leader))
-
-    def _batch_complete(self, leader: ProcessId) -> bool:
-        """All group members the leader expects to hear from have spoken.
-
-        The expectation is read off the leader's own endpoint: the members
-        of its current start_change that belong to this group.
-        """
-        endpoint = self.world.nodes[leader].endpoint
-        change = getattr(endpoint, "start_change", None)
-        if change is None:
-            return True  # nothing in progress: flush whatever arrived
-        expected = change.members & self.group_of[leader]
-        return expected <= set(self._pending[leader])
-
-    def _timer_flush(self, leader: ProcessId) -> None:
-        self._flush_scheduled[leader] = False
-        if self._pending[leader]:
-            self._flush(leader)
-
-    def _flush(self, leader: ProcessId) -> None:
-        pending = self._pending[leader]
-        if not pending:
-            return
-        entries = tuple(sorted(pending.items()))
-        self._pending[leader] = {}
-        node = self.world.nodes[leader]
-        remote_leaders = self.leaders - {leader}
-        if remote_leaders:
-            node.transport.send(remote_leaders, AggregatedSync(entries, final=False))
-            self.aggregates_sent += len(remote_leaders)
-        self._distribute(node, entries)
-
-    def _accept_aggregate(self, node: SimNode, aggregate: AggregatedSync) -> None:
-        if node.pid in self.leaders and not aggregate.final:
-            self._distribute(node, aggregate.entries)
-        else:
-            self._deliver_entries(node, aggregate.entries)
-
-    def _distribute(self, leader_node: SimNode, entries) -> None:
-        """Leader -> local members (and itself)."""
-        locals_ = self.group_of[leader_node.pid] - {leader_node.pid}
-        if locals_:
-            leader_node.transport.send(locals_, AggregatedSync(entries, final=True))
-        self._deliver_entries(leader_node, entries)
-
-    @staticmethod
-    def _deliver_entries(node: SimNode, entries) -> None:
-        for origin, sync in entries:
-            if origin != node.pid:
-                node.runner.receive(origin, sync)
-
-
-def balanced_groups(pids: List[ProcessId], leaders: int) -> Dict[ProcessId, List[ProcessId]]:
-    """Split ``pids`` into ``leaders`` contiguous groups; first of each leads."""
-    pids = sorted(pids)
-    if leaders < 1 or leaders > len(pids):
-        raise ValueError("need 1 <= leaders <= len(pids)")
-    size = (len(pids) + leaders - 1) // leaders
-    groups = {}
-    for start in range(0, len(pids), size):
-        chunk = pids[start:start + size]
-        groups[chunk[0]] = chunk
-    return groups
+def TwoTierOverlay(
+    world: SimWorld,
+    groups: Dict[ProcessId, Iterable[ProcessId]],
+    *,
+    flush_delay: float = 1.0,
+) -> _ScaleOverlay:
+    """Install sync aggregation on a simulated world (legacy signature)."""
+    runners = {pid: node.runner for pid, node in world.nodes.items()}
+    return _ScaleOverlay(
+        runners,
+        world.clock.schedule,
+        groups,
+        flush_delay=flush_delay,
+        connected=world.network.connected,
+    )

@@ -20,6 +20,7 @@ All externally observable behaviour lands in a single time-stamped
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Type
 
 from repro.chaos.faults import FaultInjector
@@ -175,6 +176,11 @@ class SimWorld:
             self._endpoint_kwargs["ack_gc_interval"] = ack_gc_interval
         self.membership_mode = membership
         self.servers: Dict[ProcessId, MembershipServer] = {}
+        # sorted(self.servers) cache behind a version counter: client
+        # placement consults the server list per add_node, which at
+        # n=1000 clients must not re-sort per call.
+        self._servers_version = 0
+        self._sorted_servers: Tuple[int, List[ProcessId]] = (-1, [])
         self.oracle: Optional[OracleMembership] = None
         self.failure_detector: Optional[TopologyFailureDetector] = None
         if membership == "oracle":
@@ -199,10 +205,19 @@ class SimWorld:
     def _add_server(self, sid: ProcessId) -> MembershipServer:
         server = MembershipServer(sid, send=self._server_send(sid))
         self.servers[sid] = server
+        self._servers_version += 1
         self.network.register(sid, lambda src, msg, s=server: s.on_message(src, msg))
         assert self.failure_detector is not None
         self.failure_detector.attach(server)
         return server
+
+    def sorted_servers(self) -> List[ProcessId]:
+        """The server ids in sorted order (cached; do not mutate)."""
+        version, cached = self._sorted_servers
+        if version != self._servers_version:
+            cached = sorted(self.servers)
+            self._sorted_servers = (self._servers_version, cached)
+        return cached
 
     def _server_send(self, sid: ProcessId) -> Callable[[ProcessId, Any], None]:
         def send(dst: ProcessId, message: Any) -> None:
@@ -224,10 +239,14 @@ class SimWorld:
                 on_view=node.runner.membership_view,
             )
         else:
-            sids = sorted(self.servers)
+            sids = self.sorted_servers()
             if not sids:
                 raise TransportError("no membership servers configured")
-            home = server or sids[hash(pid) % len(sids)]
+            # crc32, not hash(): client placement must be stable across
+            # interpreter runs (PYTHONHASHSEED varies) for deterministic
+            # replay.
+            digest = zlib.crc32(str(pid).encode("utf-8"))
+            home = server or sids[digest % len(sids)]
             self.servers[home].add_client(pid)
             node.home_server = home  # type: ignore[attr-defined]
         return node

@@ -40,6 +40,11 @@ class HubTierLink:
         self.hub = hub
 
     async def attach(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+        self.attach_sync(sid, handler)
+
+    def attach_sync(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+        # Hub registration needs no awaiting, so the tier may grow its
+        # own capacity mid-plan (MembershipTier._grow_sync).
         self.hub.register(sid, handler)
 
     def post(self, src: ProcessId, dst: ProcessId, message: Any) -> None:

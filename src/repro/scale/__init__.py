@@ -1,0 +1,108 @@
+"""The scale tier: running the algorithm at n=1000 x g=1000.
+
+This package collects the pieces that make the reproduction *scale*
+rather than change what it computes:
+
+* :mod:`repro.scale.overlay` - the §9 two-tier synchronization overlay,
+  substrate-agnostic (installs on the
+  :class:`~repro.core.runner.EndpointRunner` interceptor seams of any
+  deployment), with computed leadership that survives leader crashes;
+* :func:`install_overlay` - one call to put the overlay on a
+  :class:`~repro.deploy.base.Deployment`, whatever the substrate;
+* :mod:`repro.scale.sharding` - group-sharded membership for the
+  many-groups regime (see :class:`ShardedMembershipTier`).
+
+See ``docs/ARCHITECTURE.md`` ("Scale tier") for the cost model and the
+seams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.runner import EndpointRunner
+from repro.deploy.base import Deployment
+from repro.scale.overlay import (
+    AggregatedSync,
+    GroupsLike,
+    TwoTierOverlay,
+    UpSync,
+    auto_leaders,
+    balanced_groups,
+)
+from repro.types import ProcessId
+
+# Real-time substrates (asyncio hub, TCP) run the overlay's batching
+# timer on the event loop; one simulated time unit maps to this many
+# wall-clock seconds (matching repro.chaos.runner's TIME_SCALES).
+REALTIME_SCALE = 0.003
+
+
+def _overlay_seams(
+    deployment: Deployment,
+) -> Tuple[
+    Dict[ProcessId, EndpointRunner],
+    Callable[[float, Callable[[], None]], object],
+    Callable[[ProcessId, ProcessId], bool],
+]:
+    """(runners, timer, connectivity) of a deployment, any substrate.
+
+    The simulator schedules flushes on its virtual clock; the asyncio
+    and TCP backends use ``loop.call_later`` scaled by
+    :data:`REALTIME_SCALE`.  Connectivity always comes from the
+    deployment's unified :class:`~repro.links.LinkCore`.
+    """
+    world = getattr(deployment, "world", None)
+    if world is not None:
+        runners = {pid: node.runner for pid, node in world.nodes.items()}
+        return runners, world.clock.schedule, deployment.links.connected
+    cluster = getattr(deployment, "cluster", None)
+    if cluster is not None:
+        runners = {pid: node.runner for pid, node in cluster.nodes.items()}
+
+        def schedule(delay: float, callback: Callable[[], None]) -> object:
+            return asyncio.get_event_loop().call_later(
+                delay * REALTIME_SCALE, callback
+            )
+
+        return runners, schedule, deployment.links.connected
+    raise TypeError(
+        f"cannot find overlay seams on {type(deployment).__name__}; "
+        "expected a .world (sim) or .cluster (async/tcp) attribute"
+    )
+
+
+def install_overlay(
+    deployment: Deployment,
+    *,
+    leaders: Optional[int] = None,
+    groups: Optional[GroupsLike] = None,
+    flush_delay: float = 1.0,
+) -> TwoTierOverlay:
+    """Install the two-tier sync overlay on any deployment.
+
+    Call after ``setup()`` (the runners must exist).  With neither
+    ``leaders`` nor ``groups`` given, the leader count defaults to
+    :func:`auto_leaders` (~sqrt(n)) over all processes, split into
+    contiguous balanced groups.
+    """
+    runners, schedule, connected = _overlay_seams(deployment)
+    if groups is None:
+        pids = sorted(runners)
+        count = leaders if leaders is not None else auto_leaders(len(pids))
+        groups = balanced_groups(pids, max(1, min(count, len(pids))))
+    return TwoTierOverlay(
+        runners, schedule, groups, flush_delay=flush_delay, connected=connected
+    )
+
+
+__all__ = [
+    "AggregatedSync",
+    "REALTIME_SCALE",
+    "TwoTierOverlay",
+    "UpSync",
+    "auto_leaders",
+    "balanced_groups",
+    "install_overlay",
+]

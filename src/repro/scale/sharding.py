@@ -1,0 +1,432 @@
+"""Group-sharded membership for the many-groups regime (§1, §9).
+
+The paper motivates the client-server architecture with scalability "in
+the number of groups": a small tier of membership servers tracks many
+multicast groups.  :mod:`repro.groups` realises the client side (one
+end-point per joined group over a shared transport) but gave every group
+its own private oracle - O(groups) independent services.  This module
+supplies the server side at scale:
+
+* :class:`GroupShardMap` - a consistent group -> shard mapping
+  (highest-random-weight over ``crc32``, so it is a pure deterministic
+  function of the group name and the shard count, stable under resizes);
+* :class:`MembershipShard` - one membership server serving many groups,
+  with the oracle's Figure 2 discipline (fresh increasing cids, a
+  start_change before every view, cancellation of superseded notices)
+  and *seedable* counters;
+* :class:`ShardedMembershipTier` - the tier: routes every group
+  operation to the owning shard only, fans a process crash out to
+  exactly the shards owning one of its groups, and - when the tier is
+  resized - moves each relocated group with its counter *watermarks*, so
+  the successor shard issues cids and view counters strictly above
+  anything the predecessor did and Local Monotonicity (Property 3.1)
+  survives the move.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro._collections import frozendict
+from repro.types import ProcessId, StartChangeId, View, ViewId
+
+GroupName = str
+
+# Client-side hooks, per (group, process): (cid, members) and (view).
+StartChangeSink = Callable[[StartChangeId, FrozenSet[ProcessId]], None]
+ViewSink = Callable[[View], None]
+
+
+class GroupShardMap:
+    """Consistent group -> shard mapping by highest random weight.
+
+    Every (group, shard) pair gets a deterministic weight; a group lives
+    on its highest-weight shard.  Growing the tier from k to k+1 shards
+    therefore relocates only the groups whose new shard outweighs all
+    old ones - about 1/(k+1) of them - and the mapping needs no stored
+    state at all.  Weights are ``crc32`` of the group name (stable
+    across interpreter runs, unlike salted ``hash()``) mixed with the
+    shard index through a murmur-style finalizer: CRC alone is linear,
+    so ``crc32(g|i)`` and ``crc32(g|j)`` differ by a *constant* for all
+    same-length names and the resulting placement is badly skewed.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+
+    @staticmethod
+    def _weight(group_hash: int, index: int) -> int:
+        x = (group_hash ^ (index * 0x9E3779B9)) & 0xFFFFFFFF
+        x = (x * 0x85EBCA6B) & 0xFFFFFFFF
+        x ^= x >> 13
+        x = (x * 0xC2B2AE35) & 0xFFFFFFFF
+        x ^= x >> 16
+        return x
+
+    def shard_of(self, group: GroupName) -> int:
+        group_hash = zlib.crc32(group.encode("utf-8"))
+        return max(
+            range(self.shards),
+            key=lambda index: (self._weight(group_hash, index), -index),
+        )
+
+    def placement(self, groups: Iterable[GroupName]) -> Dict[GroupName, int]:
+        return {group: self.shard_of(group) for group in groups}
+
+
+class _SeededCounter:
+    """A monotone counter whose floor can be raised (watermark seeding)."""
+
+    __slots__ = ("next_value",)
+
+    def __init__(self, start: int = 1) -> None:
+        self.next_value = start
+
+    def __next__(self) -> int:
+        value = self.next_value
+        self.next_value = value + 1
+        return value
+
+    def seed(self, floor: int) -> None:
+        """Ensure every future value exceeds ``floor``."""
+        if floor >= self.next_value:
+            self.next_value = floor + 1
+
+    @property
+    def last(self) -> int:
+        return self.next_value - 1
+
+
+class MembershipShard:
+    """One membership server of a sharded tier, serving many groups.
+
+    Scheduling mirrors :class:`~repro.membership.oracle.OracleMembership`
+    (start_change after ``detection_delay``, view after a further
+    ``round_duration``, superseded notices cancelled), but all registries
+    are keyed per ``(group, pid)`` end-point and both counters are
+    :class:`_SeededCounter` instances, so a group arriving from another
+    shard can raise the floors above its old watermarks.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        clock,
+        crashed: Set[ProcessId],
+        *,
+        detection_delay: float = 0.0,
+        round_duration: float = 1.0,
+    ) -> None:
+        self.index = index
+        self.clock = clock
+        self.detection_delay = detection_delay
+        self.round_duration = round_duration
+        # Shared with the tier: a crash is a process-level fact, visible
+        # to every shard serving one of the process's groups.
+        self._crashed = crashed
+        self._cid = _SeededCounter()
+        self._counter = _SeededCounter()
+        self.groups: Set[GroupName] = set()
+        self._sinks: Dict[Tuple[GroupName, ProcessId], Tuple[StartChangeSink, ViewSink]] = {}
+        self._pending: Dict[Tuple[GroupName, ProcessId], List] = {}
+        self._group_views: Dict[GroupName, View] = {}
+        self.views_formed: List[View] = []
+
+    # ------------------------------------------------------------------
+    # group ownership
+    # ------------------------------------------------------------------
+
+    def adopt(self, group: GroupName, *, cid_floor: int = 0, counter_floor: int = 0) -> None:
+        """Take ownership of ``group``, with its predecessor's watermarks."""
+        self.groups.add(group)
+        self._cid.seed(cid_floor)
+        self._counter.seed(counter_floor)
+
+    def release(self, group: GroupName) -> Tuple[int, int]:
+        """Drop ``group``; return the ``(cid, counter)`` watermarks.
+
+        Pending notices for the group are cancelled - a shard must never
+        speak for a group it no longer owns.
+        """
+        self.groups.discard(group)
+        for key in [key for key in self._pending if key[0] == group]:
+            for event in self._pending.pop(key, []):
+                event.cancel()
+        for key in [key for key in self._sinks if key[0] == group]:
+            del self._sinks[key]
+        self._group_views.pop(group, None)
+        return (self._cid.last, self._counter.last)
+
+    def watermarks(self) -> Tuple[int, int]:
+        return (self._cid.last, self._counter.last)
+
+    # ------------------------------------------------------------------
+    # clients and reconfiguration
+    # ------------------------------------------------------------------
+
+    def attach_client(
+        self,
+        group: GroupName,
+        pid: ProcessId,
+        on_start_change: StartChangeSink,
+        on_view: ViewSink,
+    ) -> None:
+        self._sinks[(group, pid)] = (on_start_change, on_view)
+
+    def group_view(self, group: GroupName) -> Optional[View]:
+        return self._group_views.get(group)
+
+    def reconfigure(self, group: GroupName, members: Iterable[ProcessId]) -> Optional[View]:
+        """Form the next view of ``group``; notices are scheduled."""
+        if group not in self.groups:
+            raise ValueError(f"shard {self.index} does not own group {group!r}")
+        member_set = frozenset(members) - self._crashed
+        if not member_set:
+            return None
+        detect = self.detection_delay
+        round_end = detect + self.round_duration
+        for pid in member_set:
+            self._cancel_pending(group, pid)
+        cids: Dict[ProcessId, StartChangeId] = {}
+        for pid in sorted(member_set):
+            cids[pid] = next(self._cid)
+        # The origin component records provenance; ordering is carried by
+        # the counter alone (watermark seeding keeps it strictly
+        # increasing per group, even across shard moves).
+        view = View(
+            ViewId(next(self._counter), f"s{self.index}"),
+            member_set,
+            frozendict(cids),
+        )
+        self._group_views[group] = view
+        self.views_formed.append(view)
+        for pid in sorted(member_set):
+            self._schedule_start_change(group, pid, detect, cids[pid], member_set)
+            self._schedule_view(group, pid, round_end, view)
+        return view
+
+    # ------------------------------------------------------------------
+    # scheduling (the oracle's cancellable-notice discipline)
+    # ------------------------------------------------------------------
+
+    def _cancel_pending(self, group: GroupName, pid: ProcessId) -> None:
+        for event in self._pending.pop((group, pid), []):
+            event.cancel()
+
+    def _schedule_start_change(
+        self,
+        group: GroupName,
+        pid: ProcessId,
+        delay: float,
+        cid: StartChangeId,
+        members: FrozenSet[ProcessId],
+    ) -> None:
+        def fire() -> None:
+            if pid in self._crashed:
+                return
+            sink = self._sinks.get((group, pid))
+            if sink is not None:
+                sink[0](cid, members)
+
+        event = self.clock.schedule(delay, fire)
+        self._pending.setdefault((group, pid), []).append(event)
+
+    def _schedule_view(self, group: GroupName, pid: ProcessId, delay: float, view: View) -> None:
+        def fire() -> None:
+            if pid in self._crashed:
+                return
+            sink = self._sinks.get((group, pid))
+            if sink is not None:
+                sink[1](view)
+
+        event = self.clock.schedule(delay, fire)
+        self._pending.setdefault((group, pid), []).append(event)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MembershipShard {self.index} groups={len(self.groups)} "
+            f"watermarks={self.watermarks()}>"
+        )
+
+
+class ShardedMembershipTier:
+    """Many groups, few membership servers: state sharded by group.
+
+    Every group operation touches exactly one shard (the owner); a
+    process-level event (crash, recovery) fans out to exactly the shards
+    owning one of the process's groups - never the whole tier.
+    """
+
+    def __init__(
+        self,
+        clock,
+        *,
+        shards: int = 1,
+        detection_delay: float = 0.0,
+        round_duration: float = 1.0,
+    ) -> None:
+        self.clock = clock
+        self.detection_delay = detection_delay
+        self.round_duration = round_duration
+        self._crashed: Set[ProcessId] = set()
+        self.map = GroupShardMap(shards)
+        self.shards: List[MembershipShard] = [
+            self._make_shard(index) for index in range(shards)
+        ]
+        self._members: Dict[GroupName, Set[ProcessId]] = {}
+        self._groups_of: Dict[ProcessId, Set[GroupName]] = {}
+        # Master sink registry, so a relocated group can be re-attached
+        # at its successor shard.
+        self._sinks: Dict[Tuple[GroupName, ProcessId], Tuple[StartChangeSink, ViewSink]] = {}
+
+    def _make_shard(self, index: int) -> MembershipShard:
+        return MembershipShard(
+            index,
+            self.clock,
+            self._crashed,
+            detection_delay=self.detection_delay,
+            round_duration=self.round_duration,
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, group: GroupName) -> MembershipShard:
+        shard = self.shards[self.map.shard_of(group)]
+        if group not in shard.groups:
+            shard.adopt(group)
+        return shard
+
+    def members(self, group: GroupName) -> FrozenSet[ProcessId]:
+        return frozenset(self._members.get(group, set()))
+
+    def group_view(self, group: GroupName) -> Optional[View]:
+        return self.shard_of(group).group_view(group)
+
+    def views_formed(self) -> int:
+        """Total views formed across all shards."""
+        return sum(len(shard.views_formed) for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # group membership
+    # ------------------------------------------------------------------
+
+    def attach_client(
+        self,
+        group: GroupName,
+        pid: ProcessId,
+        on_start_change: StartChangeSink,
+        on_view: ViewSink,
+    ) -> None:
+        self._sinks[(group, pid)] = (on_start_change, on_view)
+        self.shard_of(group).attach_client(group, pid, on_start_change, on_view)
+
+    def join(self, group: GroupName, pid: ProcessId) -> Optional[View]:
+        """Add ``pid`` to ``group``; reconfigure that group (one shard)."""
+        self._members.setdefault(group, set()).add(pid)
+        self._groups_of.setdefault(pid, set()).add(group)
+        return self.shard_of(group).reconfigure(group, self._members[group])
+
+    def set_group(self, group: GroupName, members: Iterable[ProcessId]) -> Optional[View]:
+        """Drive ``group`` to exactly ``members`` with a single round.
+
+        The bulk counterpart of :meth:`join`/:meth:`leave`: one
+        reconfiguration however many members change - what E19 uses to
+        populate a thousand groups without a thousand rounds each.
+        """
+        member_set = set(members)
+        old = self._members.get(group, set())
+        for pid in old - member_set:
+            self._groups_of.get(pid, set()).discard(group)
+        for pid in member_set - old:
+            self._groups_of.setdefault(pid, set()).add(group)
+        self._members[group] = member_set
+        if not member_set:
+            return None
+        return self.shard_of(group).reconfigure(group, member_set)
+
+    def leave(self, group: GroupName, pid: ProcessId) -> Optional[View]:
+        members = self._members.get(group, set())
+        members.discard(pid)
+        self._groups_of.get(pid, set()).discard(group)
+        if not members:
+            return None
+        return self.shard_of(group).reconfigure(group, members)
+
+    def reconfigure_group(self, group: GroupName) -> Optional[View]:
+        """Re-form ``group``'s view from its current (non-crashed) members."""
+        members = self._members.get(group)
+        if not members:
+            return None
+        return self.shard_of(group).reconfigure(group, members)
+
+    # ------------------------------------------------------------------
+    # process-level events (fan out to owning shards only)
+    # ------------------------------------------------------------------
+
+    def client_crashed(self, pid: ProcessId, *, reconfigure: bool = True) -> List[View]:
+        """Mark ``pid`` crashed; reconfigure exactly its groups' shards."""
+        self._crashed.add(pid)
+        views: List[View] = []
+        if reconfigure:
+            for group in sorted(self._groups_of.get(pid, ())):
+                view = self.reconfigure_group(group)
+                if view is not None:
+                    views.append(view)
+        return views
+
+    def client_recovered(self, pid: ProcessId, *, reconfigure: bool = True) -> List[View]:
+        self._crashed.discard(pid)
+        views: List[View] = []
+        if reconfigure:
+            for group in sorted(self._groups_of.get(pid, ())):
+                view = self.reconfigure_group(group)
+                if view is not None:
+                    views.append(view)
+        return views
+
+    # ------------------------------------------------------------------
+    # resizing (watermark-seeded moves)
+    # ------------------------------------------------------------------
+
+    def resize(self, shards: int) -> Dict[GroupName, Tuple[int, int]]:
+        """Grow (or shrink) the tier; relocate only the groups that move.
+
+        Each relocated group leaves its old shard with that shard's
+        counter watermarks and seeds them into its new owner, so the
+        first cid and view counter issued after the move are strictly
+        greater than anything the group's members have seen - Local
+        Monotonicity holds across the move.  Returns the moved groups
+        with the watermarks they carried.
+        """
+        old_map = self.map
+        new_map = GroupShardMap(shards)
+        while len(self.shards) < shards:
+            self.shards.append(self._make_shard(len(self.shards)))
+        moved: Dict[GroupName, Tuple[int, int]] = {}
+        for group in sorted(self._members):
+            old_index = old_map.shard_of(group)
+            new_index = new_map.shard_of(group)
+            if old_index == new_index:
+                continue
+            watermarks = self.shards[old_index].release(group)
+            successor = self.shards[new_index]
+            successor.adopt(
+                group, cid_floor=watermarks[0], counter_floor=watermarks[1]
+            )
+            for (sink_group, pid), sinks in self._sinks.items():
+                if sink_group == group:
+                    successor.attach_client(group, pid, *sinks)
+            moved[group] = watermarks
+        self.map = new_map
+        return moved
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedMembershipTier shards={len(self.shards)} "
+            f"groups={len(self._members)} views={self.views_formed()}>"
+        )

@@ -1,0 +1,147 @@
+"""Many groups x many processes on the simulator, sharded membership.
+
+:class:`ScaleWorld` is the group-axis counterpart of
+:class:`~repro.net.world.SimWorld`: client processes are
+:class:`~repro.groups.MultiGroupProcess` instances (one GCS end-point
+per joined group over one shared transport, exactly as in
+:mod:`repro.groups`), but membership comes from one
+:class:`~repro.scale.sharding.ShardedMembershipTier` instead of a
+private oracle per group.  That is the configuration the paper's
+client-server architecture is *for*: a small membership tier serving a
+number of groups far exceeding its own size, where a process crash
+reconfigures only the shards owning one of the crashed process's groups.
+
+E19's group-axis sweep drives this world at g=1000 concurrent groups
+over n=1000 processes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.checking.events import GcsTrace
+from repro.groups import GroupName, MultiGroupProcess
+from repro.net.latency import LatencyModel
+from repro.net.network import SimNetwork
+from repro.net.simclock import EventScheduler
+from repro.scale.sharding import ShardedMembershipTier
+from repro.types import ProcessId, View
+
+
+def auto_shards(groups: int) -> int:
+    """Default shard count for ``groups`` groups: ~sqrt(g), capped at 32."""
+    return max(1, min(32, round(math.sqrt(max(groups, 1)))))
+
+
+class ScaleWorld:
+    """A simulated deployment hosting many groups over a sharded tier."""
+
+    def __init__(
+        self,
+        *,
+        latency: Optional[LatencyModel] = None,
+        round_duration: float = 1.0,
+        shards: int = 1,
+    ) -> None:
+        self.clock = EventScheduler()
+        self.network = SimNetwork(self.clock, latency)
+        self.trace = GcsTrace()
+        self.round_duration = round_duration
+        self.tier = ShardedMembershipTier(
+            self.clock, shards=shards, round_duration=round_duration
+        )
+        self.processes: Dict[ProcessId, MultiGroupProcess] = {}
+        self._attached: Set[Tuple[GroupName, ProcessId]] = set()
+
+    # ------------------------------------------------------------------
+    # construction and membership
+    # ------------------------------------------------------------------
+
+    def add_process(self, pid: ProcessId) -> MultiGroupProcess:
+        if pid in self.processes:
+            raise ValueError(f"duplicate process {pid!r}")
+        process = MultiGroupProcess(pid, self)
+        self.processes[pid] = process
+        return process
+
+    def add_processes(self, pids: Iterable[ProcessId]) -> List[MultiGroupProcess]:
+        return [self.add_process(pid) for pid in pids]
+
+    def _attach(self, group: GroupName, pid: ProcessId) -> None:
+        if (group, pid) in self._attached:
+            return
+        process = self.processes[pid]
+        process._runner_for(group)
+        self.tier.attach_client(
+            group,
+            pid,
+            on_start_change=lambda cid, members, g=group, pr=process:
+                pr._membership_start_change(g, cid, members),
+            on_view=lambda view, g=group, pr=process:
+                pr._membership_view(g, view),
+        )
+        self._attached.add((group, pid))
+
+    def join(self, pid: ProcessId, group: GroupName) -> None:
+        """Add ``pid`` to ``group``; reconfigures that group only."""
+        self._attach(group, pid)
+        self.tier.join(group, pid)
+
+    def leave(self, pid: ProcessId, group: GroupName) -> None:
+        self.tier.leave(group, pid)
+
+    def set_group(self, group: GroupName, members: Iterable[ProcessId]) -> Optional[View]:
+        """Drive ``group`` to exactly ``members`` with a single round."""
+        members = list(members)
+        for pid in members:
+            self._attach(group, pid)
+        return self.tier.set_group(group, members)
+
+    def members(self, group: GroupName) -> FrozenSet[ProcessId]:
+        return self.tier.members(group)
+
+    def group_view(self, group: GroupName) -> Optional[View]:
+        return self.tier.group_view(group)
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+
+    def crash(self, pid: ProcessId) -> int:
+        """Crash ``pid`` in every group it joined.
+
+        Returns the number of groups reconfigured - by construction only
+        the crashed process's own groups, on only the shards owning
+        them.
+        """
+        process = self.processes[pid]
+        for runner in process._runners.values():
+            if not runner.endpoint.crashed:
+                runner.crash()
+        return len(self.tier.client_crashed(pid))
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        return self.clock.run(max_events)
+
+    def now(self) -> float:
+        return self.clock.now
+
+    def settled(self, group: GroupName) -> bool:
+        """Every member of ``group``'s latest view has installed it."""
+        view = self.group_view(group)
+        if view is None:
+            return False
+        return all(
+            self.processes[pid].current_view(group) == view for pid in view.members
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScaleWorld processes={len(self.processes)} "
+            f"tier={self.tier!r}>"
+        )

@@ -1,0 +1,112 @@
+"""The ``leader_crash`` chaos op and overlay-backed episodes (ISSUE 7, S6)."""
+
+import pytest
+
+from repro.chaos import ChaosPlan, ChaosRunner, sanitise_ops
+from repro.chaos.plan import ChaosOp, _ScheduleState
+
+
+class TestScheduleState:
+    def test_leaders_computed_like_the_overlay(self):
+        # 4 processes, 2 leaders: contiguous groups [a, b] and [c, d],
+        # each led by its least alive member.
+        state = _ScheduleState(("a", "b", "c", "d"), leaders=2)
+        assert state.current_leaders() == ["a", "c"]
+        state.apply(ChaosOp("leader_crash", pid="a"))
+        assert state.current_leaders() == ["b", "c"]  # re-election
+
+    def test_disabled_without_overlay(self):
+        state = _ScheduleState(("a", "b", "c", "d"))
+        assert state.leader_crash_candidates() == []
+        assert not state.enabled(ChaosOp("leader_crash", pid="a"))
+
+    def test_only_acting_leaders_qualify(self):
+        state = _ScheduleState(("a", "b", "c", "d"), leaders=2)
+        assert state.enabled(ChaosOp("leader_crash", pid="a"))
+        assert not state.enabled(ChaosOp("leader_crash", pid="b"))
+
+    def test_same_preconditions_as_crash(self):
+        state = _ScheduleState(("a", "b", "c", "d"), leaders=2)
+        state.apply(ChaosOp("partition", groups=(("a", "b"), ("c", "d"))))
+        assert not state.enabled(ChaosOp("leader_crash", pid="a"))
+
+
+class TestPlans:
+    def test_generation_emits_leader_crashes(self):
+        kinds = set()
+        for seed in range(40):
+            plan = ChaosPlan.generate(seed, overlay_leaders=2)
+            assert plan.overlay_leaders == 2
+            kinds.update(op.kind for op in plan.ops)
+        assert "leader_crash" in kinds
+
+    def test_plain_plans_never_emit_them(self):
+        for seed in range(40):
+            assert all(
+                op.kind != "leader_crash"
+                for op in ChaosPlan.generate(seed).ops
+            )
+
+    def test_serialisation_round_trip(self):
+        plan = ChaosPlan.generate(3, overlay_leaders=2)
+        data = plan.to_dict()
+        assert data["overlay_leaders"] == 2
+        assert ChaosPlan.from_dict(data) == plan
+        # Old serialisations (no overlay_leaders key) still load.
+        legacy = ChaosPlan.generate(3).to_dict()
+        assert "overlay_leaders" not in legacy
+        assert ChaosPlan.from_dict(legacy).overlay_leaders == 0
+
+    def test_sanitise_drops_leader_crash_without_leaders(self):
+        ops = [ChaosOp("leader_crash", pid="a"), ChaosOp("settle")]
+        assert all(
+            op.kind != "leader_crash"
+            for op in sanitise_ops(("a", "b", "c"), ops)
+        )
+        kept = sanitise_ops(("a", "b", "c"), ops, leaders=1)
+        assert any(op.kind == "leader_crash" for op in kept)
+        # ...and the closing suffix recovers the crashed leader.
+        assert any(
+            op.kind == "recover" and op.pid == "a" for op in kept
+        )
+
+    def test_with_processes_keeps_overlay(self):
+        plan = ChaosPlan.generate(3, processes=("a", "b", "c", "d"), overlay_leaders=2)
+        shrunk = plan.with_processes(("a", "b", "c"))
+        assert shrunk.overlay_leaders == 2
+
+
+class TestEpisodes:
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_sim_overlay_episode_passes(self, seed):
+        plan = ChaosPlan.generate(seed, overlay_leaders=2)
+        episode = ChaosRunner("sim").run(plan)
+        assert episode.ok, episode.summary()
+
+    def test_overlay_traffic_is_aggregated(self):
+        # A fault-free episode that actually crashes a leader: the
+        # overlay must have carried syncs (UpSync/AggregatedSync on the
+        # wire) through the re-election.
+        plan = next(
+            p
+            for s in range(40)
+            for p in [ChaosPlan.generate(s, overlay_leaders=2, intensity=0.0)]
+            if any(op.kind == "leader_crash" for op in p.ops)
+        )
+        episode = ChaosRunner("sim").run(plan)
+        assert episode.ok, episode.summary()
+        assert episode.link_totals.get("UpSync", 0) > 0
+        assert episode.link_totals.get("AggregatedSync", 0) > 0
+
+
+@pytest.mark.slow
+class TestOverlaySweeps:
+    def test_async_overlay_episode_passes(self):
+        plan = ChaosPlan.generate(310, overlay_leaders=2)
+        episode = ChaosRunner("async").run(plan)
+        assert episode.ok, episode.summary()
+
+    def test_tcp_overlay_episode_passes(self):
+        plan = ChaosPlan.generate(320, overlay_leaders=2)
+        episode = ChaosRunner("tcp").run(plan)
+        assert episode.ok, episode.summary()
