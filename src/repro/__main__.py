@@ -10,7 +10,14 @@ Commands:
   numbers (see ``--help`` for knobs);
 * ``chaos`` - run seeded adversarial episodes (E16) on any substrate,
   with ``--self-test`` to prove the checkers catch an injected bug and
-  shrink it to a replayable minimal schedule.
+  shrink it to a replayable minimal schedule;
+* ``verdict`` - run the verdict engine over a scenario, a seeded chaos
+  episode, or a saved plan: every registered rule in one pass, earliest
+  violating event index per violated rule, stable ``VS-*``/``MBRSHP-*``
+  codes, canonical (byte-stable) JSON output.  ``--record-golden`` /
+  ``--golden`` record a trace skeleton on one substrate and assert it on
+  another; ``--mutate CODE`` applies the registered forgery for a code;
+  ``--shrink`` minimises a failing plan while preserving its finding.
 """
 
 from __future__ import annotations
@@ -169,7 +176,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("minimal replayable schedule (replay with "
               f"ChaosPlan.from_dict on backend {args.backend!r}):")
         print(result.plan.describe())
-        print(json.dumps(result.plan.to_dict()))
+        print("finding (seed, code, witness_index, minimal_schedule):")
+        print(result.finding_json())
         return 0
 
     if args.episodes == 1:
@@ -181,7 +189,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(plan.describe())
         episode = ChaosRunner(args.backend).run(plan)
         print(episode.summary())
-        return 0 if episode.ok else 1
+        if episode.ok:
+            return 0
+        from repro.chaos import shrink_plan
+
+        shrunk = shrink_plan(ChaosRunner(args.backend), plan)
+        if shrunk is not None:
+            print(shrunk.summary(), file=sys.stderr)
+            print(shrunk.finding_json(), file=sys.stderr)
+        return 1
 
     result = chaos_sweep(
         args.backend,
@@ -213,9 +229,125 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if shrunk is not None:
             print(shrunk.summary(), file=sys.stderr)
             print(shrunk.plan.describe(), file=sys.stderr)
-            print(json.dumps(shrunk.plan.to_dict()), file=sys.stderr)
+            print(shrunk.finding_json(), file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_verdict(args: argparse.Namespace) -> int:
+    from repro.checking.codes import REGISTRY
+    from repro.checking.forge import FORGERIES, as_mutator
+    from repro.checking.refinement import TraceSkeleton, extract_skeleton
+    from repro.checking.verdict import SOUNDNESS, run_verdict
+
+    if args.codes:
+        registry = {code: info.to_dict() for code, info in sorted(REGISTRY.items())}
+        print(json.dumps(registry, sort_keys=True, indent=2))
+        return 0
+
+    sources = [s for s in (args.scenario, args.plan, args.seed) if s is not None]
+    if len(sources) != 1:
+        print("verdict: give exactly one of --scenario, --plan, --seed "
+              "(or --codes)", file=sys.stderr)
+        return 2
+
+    forgery = None
+    if args.mutate is not None:
+        forgery = FORGERIES.get(args.mutate)
+        if forgery is None:
+            print(f"verdict: no forgery for code {args.mutate!r}; "
+                  f"choose from {sorted(FORGERIES)}", file=sys.stderr)
+            return 2
+
+    # -- obtain the trace ------------------------------------------------
+    source: dict = {"backend": args.backend}
+    episode = None
+    if args.scenario is not None:
+        from repro.deploy import SCENARIOS, run_scenario
+
+        if args.scenario not in SCENARIOS:
+            print(f"verdict: unknown scenario {args.scenario!r}; "
+                  f"choose from {sorted(SCENARIOS)}", file=sys.stderr)
+            return 2
+        source.update(kind="scenario", name=args.scenario)
+        deployment = run_scenario(args.backend, SCENARIOS[args.scenario])
+        trace, procs = deployment.trace, deployment.processes()
+    else:
+        if args.plan is not None:
+            with open(args.plan) as handle:
+                plan = ChaosPlan.from_dict(json.load(handle))
+            source.update(kind="plan", seed=plan.seed, path=args.plan)
+        else:
+            plan = ChaosPlan.generate(args.seed, intensity=args.intensity)
+            source.update(kind="seed", seed=args.seed, intensity=args.intensity)
+        episode = ChaosRunner(args.backend).run(plan)
+        if episode.trace is None:  # stalled: no trace to audit
+            output = {
+                "source": source,
+                "verdict": {
+                    "status": "FAIL",
+                    "events": episode.events,
+                    "rules": [],
+                    "soundness": SOUNDNESS,
+                    "violations": [{
+                        "code": "RUN-STALL",
+                        "witness_index": None,
+                        "message": episode.violation,
+                    }],
+                },
+            }
+            _emit_verdict(output, args.output)
+            return 1
+        trace, procs = episode.trace, list(plan.processes)
+
+    # -- optional forgery / golden handling ------------------------------
+    golden = None
+    final_view = None
+    if args.record_golden is not None:
+        with open(args.record_golden, "w") as handle:
+            handle.write(extract_skeleton(trace).to_json())
+        source["recorded_golden"] = args.record_golden
+    if args.golden is not None:
+        with open(args.golden) as handle:
+            golden = TraceSkeleton.from_json(handle.read())
+        source["golden"] = args.golden
+    if forgery is not None:
+        if forgery.needs_golden and golden is None:
+            golden = extract_skeleton(trace)
+        forged = forgery.apply(trace)
+        if forged is None:
+            print(f"verdict: the trace has no material for --mutate "
+                  f"{args.mutate} ({forgery.description})", file=sys.stderr)
+            return 2
+        trace = forged.trace
+        final_view = forged.final_view
+        source.update(mutate=args.mutate, expected_index=forged.expected_index)
+
+    verdict = run_verdict(trace, procs, final_view=final_view, golden=golden)
+    output = {"source": source, "verdict": verdict.to_dict()}
+
+    # -- optional finding-preserving shrink ------------------------------
+    if args.shrink and not verdict.ok and episode is not None:
+        from repro.chaos import shrink_plan
+
+        mutator = as_mutator(forgery) if forgery is not None else None
+        shrunk = shrink_plan(
+            ChaosRunner(args.backend, mutate_trace=mutator), episode.plan
+        )
+        if shrunk is not None:
+            output["finding"] = shrunk.finding()
+
+    _emit_verdict(output, args.output)
+    return 0 if verdict.ok else 1
+
+
+def _emit_verdict(output: dict, path: Optional[str]) -> None:
+    """Canonical JSON: key-sorted, time-free, byte-stable per trace."""
+    text = json.dumps(output, sort_keys=True, indent=2)
+    print(text)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -321,6 +453,40 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--substrate", default="sim", choices=["sim", "async", "tcp"],
                        help="substrate for the endpoint axis (default: sim)")
 
+    verdict = sub.add_parser(
+        "verdict",
+        help="run the verdict engine: every trace rule, earliest witness",
+        description="Run every registered trace rule over one run's trace "
+                    "in a single pass and print the structured verdict: "
+                    "PASS, or FAIL with the earliest violating event index "
+                    "per violated rule under stable VS-*/MBRSHP-* codes. "
+                    "Output JSON is canonical (key-sorted, time-free): two "
+                    "runs over the same trace are byte-identical.",
+    )
+    verdict.add_argument("--scenario", default=None,
+                         help="audit a named E15 scenario run")
+    verdict.add_argument("--plan", default=None, metavar="FILE",
+                         help="audit a saved chaos plan (JSON from a finding)")
+    verdict.add_argument("--seed", type=int, default=None,
+                         help="audit the chaos episode generated from a seed")
+    verdict.add_argument("--backend", default="sim", choices=["sim", "async", "tcp"])
+    verdict.add_argument("--intensity", type=float, default=1.0,
+                         help="fault-rate multiplier for --seed (default 1.0)")
+    verdict.add_argument("--mutate", default=None, metavar="CODE",
+                         help="apply the registered forgery for a violation "
+                              "code before checking (negative self-test)")
+    verdict.add_argument("--golden", default=None, metavar="FILE",
+                         help="assert the run against a recorded skeleton")
+    verdict.add_argument("--record-golden", default=None, metavar="FILE",
+                         help="record this run's trace skeleton to FILE")
+    verdict.add_argument("--shrink", action="store_true",
+                         help="on a failing plan/seed source, shrink to a "
+                              "minimal schedule preserving code and witness")
+    verdict.add_argument("--codes", action="store_true",
+                         help="print the violation-code registry and exit")
+    verdict.add_argument("--output", default=None, metavar="FILE",
+                         help="also write the verdict JSON to FILE (CI artifact)")
+
     lint = sub.add_parser(
         "lint",
         help="statically verify automaton definitions (R1-R4)",
@@ -343,6 +509,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "chaos": _cmd_chaos,
         "scale": _cmd_scale,
+        "verdict": _cmd_verdict,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -32,6 +32,7 @@ from repro.chaos.faults import (
 )
 from repro.chaos.plan import OP_KINDS, ChaosOp, ChaosPlan, sanitise_ops
 from repro.chaos.runner import (
+    STALL_CODE,
     TIME_SCALES,
     ChaosRunner,
     Episode,
@@ -41,6 +42,7 @@ from repro.chaos.shrink import ShrinkResult, shrink_plan
 
 __all__ = [
     "OP_KINDS",
+    "STALL_CODE",
     "TIME_SCALES",
     "ChaosOp",
     "ChaosPlan",

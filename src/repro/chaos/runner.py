@@ -29,8 +29,12 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.chaos.faults import FaultInjector
 from repro.chaos.plan import ChaosOp, ChaosPlan
 from repro.checking.events import GcsTrace, ViewEvent
-from repro.checking.properties import check_deployment_trace
-from repro.errors import SettleTimeoutError, SpecificationViolation
+from repro.checking.verdict import Verdict, run_verdict
+from repro.errors import SettleTimeoutError
+
+#: The violation code of a stalled episode (settle timeout) - a runtime
+#: finding, not a trace rule; see :data:`repro.checking.codes.REGISTRY`.
+STALL_CODE = "RUN-STALL"
 
 # One latency unit of the fault model, in each substrate's own time.
 # The simulator's virtual clock ticks in model units; the asyncio and TCP
@@ -68,10 +72,27 @@ class Episode:
     events: int = 0  # trace length
     trace: Optional[GcsTrace] = None
     link_totals: Dict[str, int] = field(default_factory=dict)  # per-kind wire counters
+    verdict: Optional[Verdict] = None  # absent when the episode stalled
 
     @property
     def ok(self) -> bool:
         return self.violation is None
+
+    @property
+    def code(self) -> Optional[str]:
+        """The stable violation code of the primary finding, if any."""
+        if self.violation is None:
+            return None
+        if self.verdict is not None and not self.verdict.ok:
+            return self.verdict.primary.code
+        return STALL_CODE
+
+    @property
+    def witness_index(self) -> Optional[int]:
+        """Earliest violating event index; None for ok or stalled runs."""
+        if self.verdict is not None and not self.verdict.ok:
+            return self.verdict.primary.witness_index
+        return None
 
     def summary(self) -> str:
         status = "ok" if self.ok else f"VIOLATION: {self.violation}"
@@ -119,11 +140,13 @@ class ChaosRunner:
         trace = deployment.trace
         if self.mutate_trace is not None:
             trace = self.mutate_trace(trace)
+        verdict = run_verdict(trace, list(plan.processes))
         violation: Optional[str] = None
-        try:
-            check_deployment_trace(trace, list(plan.processes))
-        except SpecificationViolation as exc:
-            violation = str(exc)
+        if not verdict.ok:
+            primary = verdict.primary
+            violation = (
+                f"{primary.code} @ event {primary.witness_index}: {primary.message}"
+            )
         return Episode(
             plan=plan,
             backend=self.backend,
@@ -132,6 +155,7 @@ class ChaosRunner:
             events=len(trace),
             trace=trace,
             link_totals=deployment.link_totals(),
+            verdict=verdict,
         )
 
     def run_seed(self, seed: int, *, intensity: float = 1.0, **generate_kwargs: Any) -> Episode:
@@ -213,6 +237,7 @@ class ChaosRunner:
 
 
 __all__ = [
+    "STALL_CODE",
     "TIME_SCALES",
     "ChaosRunner",
     "Episode",

@@ -6,11 +6,20 @@ minimises along the three axes a :class:`~repro.chaos.plan.ChaosPlan`
 has - **ops** (delta-debugging-style chunk removal, halving granularity),
 **fault rates** (switching whole fault classes off), and **processes**
 (dropping group members) - re-running the episode after each candidate
-edit and keeping it only if the violation persists.  Candidate schedules
-go through :func:`~repro.chaos.plan.sanitise_ops`, so every attempt is
-an executable, properly closed schedule; the result keeps the original
-seed and serialises via ``plan.to_dict()``, so the minimal failing
-schedule replays byte-for-byte from what a CI log prints.
+edit and keeping it only if *the same finding* persists: a candidate is
+adopted only when it reproduces the original violation **code** at the
+same or an earlier **witness index** (for stalls, which have no trace
+witness, the code alone must match).  Shrinking therefore never trades
+the reported bug for a different, perhaps shallower one, and the final
+schedule still exhibits the original defect no later than the original
+run did.
+
+Candidate schedules go through
+:func:`~repro.chaos.plan.sanitise_ops`, so every attempt is an
+executable, properly closed schedule; the result keeps the original
+seed and ships as a ``(seed, code, witness_index, minimal_schedule)``
+finding (:meth:`ShrinkResult.finding`) whose JSON replays byte-for-byte
+from what a CI log prints.
 
 Every re-run costs a full episode, so the search is bounded by
 ``max_runs`` - shrinking is best-effort minimisation, not a proof of
@@ -19,8 +28,9 @@ minimality.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.chaos.plan import ChaosPlan
 from repro.chaos.runner import ChaosRunner, Episode
@@ -34,6 +44,21 @@ class ShrinkResult:
     violation: str  # the violation it produces
     original: ChaosPlan  # what we started from
     runs: int  # episodes executed, confirmation included
+    code: str = ""  # stable violation code (preserved while shrinking)
+    witness_index: Optional[int] = None  # earliest violating event index
+
+    def finding(self) -> Dict[str, Any]:
+        """The replayable finding: seed, code, witness, minimal schedule."""
+        return {
+            "seed": self.plan.seed,
+            "code": self.code,
+            "witness_index": self.witness_index,
+            "minimal_schedule": self.plan.to_dict(),
+        }
+
+    def finding_json(self) -> str:
+        """Canonical JSON of :meth:`finding` (byte-stable, replayable)."""
+        return json.dumps(self.finding(), sort_keys=True, separators=(",", ":"))
 
     def summary(self) -> str:
         return (
@@ -42,6 +67,7 @@ class ShrinkResult:
             f"{len(self.original.processes)} -> {len(self.plan.processes)} processes, "
             f"faults [{self.original.faults.describe()}] -> "
             f"[{self.plan.faults.describe()}] in {self.runs} runs; "
+            f"code={self.code} witness={self.witness_index}; "
             f"violation: {self.violation}"
         )
 
@@ -65,6 +91,8 @@ def shrink_plan(
         violation=state.violation,
         original=plan,
         runs=state.runs,
+        code=state.code,
+        witness_index=state.witness,
     )
 
 
@@ -75,6 +103,8 @@ class _Shrinker:
         self.runs = 0
         self.best: ChaosPlan = None  # type: ignore[assignment]
         self.violation: str = ""
+        self.code: str = ""
+        self.witness: Optional[int] = None
 
     def attempt(self, candidate: ChaosPlan) -> Optional[Episode]:
         if self.runs >= self.max_runs:
@@ -85,14 +115,28 @@ class _Shrinker:
     def adopt(self, plan: ChaosPlan, episode: Episode) -> None:
         self.best = plan
         self.violation = episode.violation or ""
+        self.code = episode.code or ""
+        self.witness = episode.witness_index
 
     def try_candidate(self, candidate: ChaosPlan) -> bool:
-        """Run ``candidate``; adopt it if the failure persists."""
+        """Run ``candidate``; adopt it only if the *same finding* persists.
+
+        Same finding == same violation code, witnessed no later than the
+        best run so far.  A candidate that fails differently (another
+        code, or the same code only deeper into the trace) is rejected -
+        shrinking minimises the original bug, it does not go bug-hunting.
+        """
         episode = self.attempt(candidate)
-        if episode is not None and not episode.ok:
-            self.adopt(candidate, episode)
-            return True
-        return False
+        if episode is None or episode.ok:
+            return False
+        if episode.code != self.code:
+            return False
+        if self.witness is not None and (
+            episode.witness_index is None or episode.witness_index > self.witness
+        ):
+            return False
+        self.adopt(candidate, episode)
+        return True
 
     # -- axes ------------------------------------------------------------
 

@@ -28,9 +28,17 @@ from repro.checking.invariants import (
     check_invariants,
     invariant_hook,
 )
+from repro.checking.codes import (
+    CLASS_ORDER,
+    DEFAULT_CODES,
+    REGISTRY,
+    SAFETY_CODES,
+    CodeInfo,
+)
 from repro.checking.properties import (
     check_all_safety,
     check_deployment_trace,
+    check_golden_skeleton,
     check_liveness,
     check_local_monotonicity,
     check_mbrshp_conformance,
@@ -43,29 +51,47 @@ from repro.checking.properties import (
 )
 from repro.checking.refinement import (
     SafetyRefinementChecker,
+    TraceSkeleton,
     TransSetRefinementChecker,
     attach_refinement_checkers,
+    extract_skeleton,
+)
+from repro.checking.verdict import (
+    SOUNDNESS,
+    Verdict,
+    Violation,
+    run_verdict,
 )
 
 __all__ = [
     "ALL_INVARIANTS",
     "BlockEvent",
     "BlockOkEvent",
+    "CLASS_ORDER",
+    "CodeInfo",
     "CrashEvent",
+    "DEFAULT_CODES",
     "DeliverEvent",
     "GcsEvent",
     "GcsTrace",
     "MbrshpStartChangeEvent",
     "MbrshpViewEvent",
+    "REGISTRY",
     "RecoverEvent",
+    "SAFETY_CODES",
+    "SOUNDNESS",
     "SafetyRefinementChecker",
     "SendEvent",
+    "TraceSkeleton",
     "TransSetRefinementChecker",
+    "Verdict",
     "ViewEvent",
+    "Violation",
     "WorldView",
     "attach_refinement_checkers",
     "check_all_safety",
     "check_deployment_trace",
+    "check_golden_skeleton",
     "check_invariants",
     "check_liveness",
     "check_local_monotonicity",
@@ -75,6 +101,8 @@ __all__ = [
     "check_self_inclusion",
     "check_transitional_sets",
     "check_virtual_synchrony",
+    "extract_skeleton",
     "invariant_hook",
     "replay_into_spec",
+    "run_verdict",
 ]

@@ -2,8 +2,20 @@
 
 Each checker consumes a :class:`~repro.checking.events.GcsTrace` (the
 externally observable behaviour of a run, from any execution substrate)
-and raises :class:`~repro.errors.SpecificationViolation` on the first
-violation.  ``check_all_safety`` bundles the full battery.
+and raises :class:`~repro.errors.SpecificationViolation` on the
+**earliest** violation.  Since the verdict engine
+(:mod:`repro.checking.verdict`) these functions are thin wrappers over
+its incremental rules: each rule consumes the trace in event order and
+retires at its first violation, so the reported witness is the minimal
+index whose prefix already violates the property.  (The previous
+batch-mode transitional-set checker grouped deliveries by view and could
+report a later event than the earliest violation; the rule form fixes
+that.)
+
+``check_all_safety`` bundles the safety battery and
+``check_deployment_trace`` the full audit; both return the primary
+(earliest, deterministically tie-broken) violation of a single
+engine pass.
 
 The within-view / virtual-synchrony / self-delivery checks work by
 *replaying* the trace through the executable specification automata of
@@ -15,30 +27,56 @@ refinement's action correspondence (Lemma 6.2).
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Iterable, Optional
 
-from repro._collections import frozendict
+from repro.checking.codes import DEFAULT_CODES, SAFETY_CODES
 from repro.checking.events import (
-    CrashEvent,
     DeliverEvent,
     GcsTrace,
-    MbrshpStartChangeEvent,
-    MbrshpViewEvent,
     RecoverEvent,
     SendEvent,
     ViewEvent,
 )
+from repro.checking.refinement import TraceSkeleton
+from repro.checking.verdict import (
+    GoldenSkeletonRule,
+    LivenessRule,
+    MbrshpConformanceRule,
+    MonotonicityRule,
+    SelfDeliveryRule,
+    SelfInclusionRule,
+    SpecRefinementRule,
+    TraceRule,
+    TransSetRule,
+    Verdict,
+    VirtualSynchronyRule,
+    first_violation,
+    infer_set_cut,
+    mbrshp_processes,
+    reset_recovered_process,
+    run_verdict,
+)
 from repro.errors import ActionNotEnabled, SpecificationViolation
 from repro.ioa import Action
-from repro.spec.mbrshp import MbrshpSpec
 from repro.spec.vs_rfifo import FullSafetySpec
 from repro.spec.wv_rfifo import WvRfifoSpec
-from repro.types import ProcessId, View, initial_view
+from repro.types import ProcessId, View
+
+# Back-compat aliases: these helpers started here and moved to the
+# verdict module so the engine and the wrappers share one copy.
+_infer_set_cut = infer_set_cut
+_reset_recovered_process = reset_recovered_process
 
 
-def _fail(message: str) -> None:
-    raise SpecificationViolation(message)
+def _check_rule(trace: GcsTrace, rule: TraceRule) -> None:
+    violation = first_violation(trace, rule)
+    if violation is not None:
+        raise SpecificationViolation(violation.message)
+
+
+def _raise_primary(verdict: Verdict) -> None:
+    if not verdict.ok:
+        raise SpecificationViolation(verdict.primary.message)
 
 
 # ----------------------------------------------------------------------
@@ -48,23 +86,12 @@ def _fail(message: str) -> None:
 
 def check_self_inclusion(trace: GcsTrace) -> None:
     """Every view delivered to p includes p (Section 3.1)."""
-    for event in trace.of_type(ViewEvent, MbrshpViewEvent):
-        if event.proc not in event.view.members:
-            _fail(f"Self Inclusion: {event.proc} received {event.view} without itself")
+    _check_rule(trace, SelfInclusionRule())
 
 
 def check_local_monotonicity(trace: GcsTrace) -> None:
     """View identifiers delivered to each p strictly increase (Section 3.1)."""
-    last: Dict[Tuple[ProcessId, type], View] = {}
-    for event in trace.of_type(ViewEvent, MbrshpViewEvent):
-        key = (event.proc, type(event))
-        previous = last.get(key)
-        if previous is not None and not previous.vid < event.view.vid:
-            _fail(
-                f"Local Monotonicity: {event.proc} got {event.view.vid!r} "
-                f"after {previous.vid!r}"
-            )
-        last[key] = event.view
+    _check_rule(trace, MonotonicityRule())
 
 
 def check_mbrshp_conformance(
@@ -80,32 +107,7 @@ def check_mbrshp_conformance(
     whose views come from real membership servers (asyncio, TCP) are held
     to the same standard as the simulator's.
     """
-    if processes is None:
-        procs = set(trace.processes())
-        for event in trace.of_type(ViewEvent, MbrshpViewEvent):
-            procs |= set(event.view.members)
-    else:
-        procs = set(processes)
-    if not procs:
-        return
-    spec = MbrshpSpec(sorted(procs))
-    for event in trace:
-        try:
-            if isinstance(event, MbrshpStartChangeEvent):
-                spec.apply(
-                    Action(
-                        "mbrshp.start_change",
-                        (event.proc, event.cid, frozenset(event.members)),
-                    )
-                )
-            elif isinstance(event, MbrshpViewEvent):
-                spec.apply(Action("mbrshp.view", (event.proc, event.view)))
-            elif isinstance(event, CrashEvent):
-                spec.apply(Action("crash", (event.proc,)))
-            elif isinstance(event, RecoverEvent):
-                spec.apply(Action("recover", (event.proc,)))
-        except ActionNotEnabled as exc:
-            _fail(f"MBRSHP conformance (Figure 2): {exc}")
+    _check_rule(trace, MbrshpConformanceRule(mbrshp_processes(trace, processes)))
 
 
 # ----------------------------------------------------------------------
@@ -128,49 +130,20 @@ def replay_into_spec(trace: GcsTrace, spec: WvRfifoSpec) -> None:
                 spec.apply(Action("deliver", (event.proc, event.sender, event.payload)))
             elif isinstance(event, ViewEvent):
                 if infer_cuts:
-                    _infer_set_cut(spec, event)
+                    infer_set_cut(spec, event)
                 spec.apply(Action("view", (event.proc, event.view, event.transitional)))
             elif isinstance(event, RecoverEvent):
-                _reset_recovered_process(spec, event.proc)
+                reset_recovered_process(spec, event.proc)
         except ActionNotEnabled as exc:
-            _fail(f"trace not accepted by {type(spec).__name__}: {exc}")
-
-
-def _reset_recovered_process(spec: WvRfifoSpec, proc: ProcessId) -> None:
-    """Section 8: a recovered end-point restarts from its initial state.
-
-    The spec mirrors the algorithm's reset (current view, delivery
-    indices, the initial-view send queue).  Local Monotonicity of the
-    views the recovered process subsequently *delivers* is checked
-    separately by :func:`check_local_monotonicity`, which deliberately
-    does not reset - the membership watermarks survive crashes.
-    """
-    spec.current_view[proc] = initial_view(proc)
-    for q in spec.processes:
-        spec.last_dlvrd[(q, proc)] = 0
-    spec.msgs[proc].pop(initial_view(proc), None)
-
-
-def _infer_set_cut(spec: Any, event: ViewEvent) -> None:
-    """Choose the unique enabling ``set_cut`` for a pending view step.
-
-    The first process to move from view v to view v' fixes the cut to the
-    last-delivered vector it realised; every later mover must match it
-    (Corollary 6.1 made operational).
-    """
-    old = spec.current_view[event.proc]
-    if (old, event.view) in spec.cut:
-        return
-    vector = frozendict(
-        {q: spec.last_dlvrd[(q, event.proc)] for q in spec.processes}
-    )
-    spec.apply(Action("set_cut", (old, event.view, vector)))
+            raise SpecificationViolation(
+                f"trace not accepted by {type(spec).__name__}: {exc}"
+            ) from exc
 
 
 def check_safety_spec(trace: GcsTrace, processes: Optional[Iterable[ProcessId]] = None) -> None:
     """Trace inclusion in WV_RFIFO + VS_RFIFO + SELF (Figures 4, 5, 7)."""
     procs = tuple(processes) if processes is not None else tuple(sorted(trace.processes()))
-    replay_into_spec(trace, FullSafetySpec(procs))
+    _check_rule(trace, SpecRefinementRule(procs))
 
 
 # ----------------------------------------------------------------------
@@ -185,33 +158,7 @@ def check_virtual_synchrony(trace: GcsTrace) -> None:
     With gap-free FIFO per sender, "the same set" reduces to the same
     per-sender delivery counts at the moment of leaving v.
     """
-    agreed: Dict[Tuple[View, View], Tuple[Dict[ProcessId, int], ProcessId]] = {}
-    counts: Dict[ProcessId, Dict[ProcessId, int]] = defaultdict(lambda: defaultdict(int))
-    current: Dict[ProcessId, View] = {}
-    for event in trace:
-        if isinstance(event, RecoverEvent):
-            # Section 8: the recovered end-point restarts in its initial
-            # view with empty delivery history.
-            counts[event.proc] = defaultdict(int)
-            current[event.proc] = initial_view(event.proc)
-        elif isinstance(event, DeliverEvent):
-            counts[event.proc][event.sender] += 1
-        elif isinstance(event, ViewEvent):
-            p = event.proc
-            old = current.get(p, initial_view(p))
-            vector = dict(counts[p])
-            key = (old, event.view)
-            if key in agreed:
-                expected, witness = agreed[key]
-                if expected != vector:
-                    _fail(
-                        f"Virtual Synchrony: {p} left {old} for {event.view} having "
-                        f"delivered {vector}, but {witness} delivered {expected}"
-                    )
-            else:
-                agreed[key] = (vector, p)
-            counts[p] = defaultdict(int)
-            current[p] = event.view
+    _check_rule(trace, VirtualSynchronyRule())
 
 
 # ----------------------------------------------------------------------
@@ -227,51 +174,7 @@ def check_transitional_sets(trace: GcsTrace) -> None:
     delivers v' (from view u), then q is in T_p iff u == v; (d) two
     deliverers of v' from the same previous view report identical T.
     """
-    deliveries: Dict[View, List[ViewEvent]] = defaultdict(list)
-    previous: Dict[Tuple[ProcessId, View], View] = {}
-    current: Dict[ProcessId, View] = {}
-    for event in trace.of_type(ViewEvent, RecoverEvent):
-        if isinstance(event, RecoverEvent):
-            current[event.proc] = initial_view(event.proc)  # Section 8
-            continue
-        old = current.get(event.proc, initial_view(event.proc))
-        previous[(event.proc, event.view)] = old
-        deliveries[event.view].append(event)
-        current[event.proc] = event.view
-
-    for new_view, events in deliveries.items():
-        for event in events:
-            p = event.proc
-            old = previous[(p, new_view)]
-            T = event.transitional
-            if p not in T:
-                _fail(f"Transitional Set: {p} not in its own T for {new_view}")
-            if not T <= (old.members & new_view.members):
-                _fail(
-                    f"Transitional Set: T of {p} for {new_view} is not within "
-                    f"{old} intersect {new_view}"
-                )
-            for other in events:
-                q = other.proc
-                if q == p or q not in (old.members & new_view.members):
-                    continue
-                moved_with = previous[(q, new_view)] == old
-                if moved_with != (q in T):
-                    _fail(
-                        f"Transitional Set: {q} moved to {new_view} from "
-                        f"{previous[(q, new_view)]} but {p} (from {old}) "
-                        f"{'included' if q in T else 'excluded'} it"
-                    )
-        # (d) agreement among same-previous-view deliverers
-        by_prev: Dict[View, FrozenSet[ProcessId]] = {}
-        for event in events:
-            old = previous[(event.proc, new_view)]
-            if old in by_prev and by_prev[old] != event.transitional:
-                _fail(
-                    f"Transitional Set: deliverers of {new_view} from {old} "
-                    f"disagree: {sorted(by_prev[old])} vs {sorted(event.transitional)}"
-                )
-            by_prev.setdefault(old, event.transitional)
+    _check_rule(trace, TransSetRule())
 
 
 # ----------------------------------------------------------------------
@@ -281,26 +184,7 @@ def check_transitional_sets(trace: GcsTrace) -> None:
 
 def check_self_delivery(trace: GcsTrace) -> None:
     """Before each view change, p delivered everything it sent (Figure 7)."""
-    sent: Dict[ProcessId, int] = defaultdict(int)
-    self_delivered: Dict[ProcessId, int] = defaultdict(int)
-    for event in trace:
-        if isinstance(event, CrashEvent):
-            # messages lost to the crash are exempt (Section 8)
-            sent[event.proc] = 0
-            self_delivered[event.proc] = 0
-        elif isinstance(event, SendEvent):
-            sent[event.proc] += 1
-        elif isinstance(event, DeliverEvent) and event.sender == event.proc:
-            self_delivered[event.proc] += 1
-        elif isinstance(event, ViewEvent):
-            p = event.proc
-            if sent[p] != self_delivered[p]:
-                _fail(
-                    f"Self Delivery: {p} moved to {event.view} with "
-                    f"{sent[p]} sent but {self_delivered[p]} self-delivered"
-                )
-            sent[p] = 0
-            self_delivered[p] = 0
+    _check_rule(trace, SelfDeliveryRule())
 
 
 # ----------------------------------------------------------------------
@@ -316,20 +200,17 @@ def check_liveness(trace: GcsTrace, final_view: View) -> None:
     that every member delivered ``final_view`` through the GCS and that
     every message sent in it was delivered by every member.
     """
-    members = final_view.members
-    for p in members:
-        views = [e.view for e in trace.views_at(p)]
-        if final_view not in views:
-            _fail(f"Liveness: {p} never delivered the stable view {final_view}")
-    for p in members:
-        payloads = trace.sends_in_view(p, final_view)
-        for q in members:
-            got = [m for _s, m in trace.deliveries_in_view(q, final_view, sender=p)]
-            if got != payloads:
-                _fail(
-                    f"Liveness: {q} delivered {got} from {p} in {final_view}, "
-                    f"expected {payloads}"
-                )
+    _check_rule(trace, LivenessRule(final_view))
+
+
+# ----------------------------------------------------------------------
+# Golden skeletons (cross-substrate execution equivalence)
+# ----------------------------------------------------------------------
+
+
+def check_golden_skeleton(trace: GcsTrace, golden: TraceSkeleton) -> None:
+    """The trace's skeleton equals the recorded golden skeleton."""
+    _check_rule(trace, GoldenSkeletonRule(golden))
 
 
 # ----------------------------------------------------------------------
@@ -338,13 +219,8 @@ def check_liveness(trace: GcsTrace, final_view: View) -> None:
 
 
 def check_all_safety(trace: GcsTrace, processes: Optional[Iterable[ProcessId]] = None) -> None:
-    """Run every safety checker above on ``trace``."""
-    check_self_inclusion(trace)
-    check_local_monotonicity(trace)
-    check_safety_spec(trace, processes)
-    check_virtual_synchrony(trace)
-    check_transitional_sets(trace)
-    check_self_delivery(trace)
+    """Run every safety checker above on ``trace`` (one engine pass)."""
+    _raise_primary(run_verdict(trace, processes, include=SAFETY_CODES))
 
 
 def check_deployment_trace(
@@ -352,14 +228,21 @@ def check_deployment_trace(
     processes: Optional[Iterable[ProcessId]] = None,
     *,
     final_view: Optional[View] = None,
+    golden: Optional[TraceSkeleton] = None,
 ) -> None:
     """The post-hoc audit for any deployment's trace, on any substrate.
 
     Runs the full safety battery plus MBRSHP conformance of the
     membership notices; when the caller knows the run stabilised in
-    ``final_view``, also checks liveness (Property 4.2) against it.
+    ``final_view``, also checks liveness (Property 4.2) against it, and
+    with a recorded ``golden`` skeleton the run must also refine it.
     """
-    check_all_safety(trace, processes)
-    check_mbrshp_conformance(trace, processes)
-    if final_view is not None:
-        check_liveness(trace, final_view)
+    _raise_primary(
+        run_verdict(
+            trace,
+            processes,
+            final_view=final_view,
+            golden=golden,
+            include=DEFAULT_CODES,
+        )
+    )

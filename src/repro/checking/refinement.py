@@ -33,9 +33,20 @@ prophecy variable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro._collections import frozendict
+from repro.checking.events import (
+    CrashEvent,
+    DeliverEvent,
+    GcsEvent,
+    GcsTrace,
+    RecoverEvent,
+    SendEvent,
+    ViewEvent,
+)
 from repro.checking.invariants import WorldView
 from repro.core.vs_endpoint import VsRfifoTsEndpoint
 from repro.errors import ActionNotEnabled, RefinementViolation
@@ -209,6 +220,274 @@ class TransSetRefinementChecker:
                     f"TS: current_view[{p}] is {self.spec.current_view[p]} in the "
                     f"spec but {ep.current_view} at the end-point"
                 )
+
+
+# ----------------------------------------------------------------------
+# Trace skeletons: cross-substrate execution equivalence
+# ----------------------------------------------------------------------
+#
+# A *skeleton* is the time-free, view-identifier-free abstraction of a
+# trace: per process, the sequence of view segments it passed through,
+# and inside each segment the ordered sends and the per-sender ordered
+# deliveries.  Everything substrate-specific is erased - wall-clock
+# times, view identifiers (whose origin/counter depend on which
+# membership server acted), the relative interleaving of *different*
+# processes' events, Block/BlockOk handshakes and the membership-service
+# notices (whose timing is an implementation detail of each substrate).
+# What remains is exactly the application-observable structure the paper
+# specifies, so a scenario recorded on one substrate can be asserted
+# against the other two: the observed skeleton must equal the recorded
+# ("golden") one, and any divergence is witnessed at the earliest trace
+# index where the observed run demonstrably departs from the recording.
+
+
+@dataclass
+class _SkeletonSegment:
+    """One per-process view segment as observed, with witness indices."""
+
+    kind: str  # "initial" | "view" | "recover"
+    opened_at: int  # index of the event that opened the segment
+    members: Optional[Tuple[ProcessId, ...]] = None  # sorted; view segments only
+    transitional: Optional[Tuple[ProcessId, ...]] = None
+    sends: List[Tuple[Any, int]] = field(default_factory=list)  # (payload, index)
+    deliveries: Dict[ProcessId, List[Tuple[Any, int]]] = field(default_factory=dict)
+    crashed_at: Optional[int] = None
+    closed_at: Optional[int] = None  # index of the event opening the next segment
+
+    def abstract(self) -> Dict[str, Any]:
+        """The time-free form stored in a golden skeleton."""
+        return {
+            "kind": self.kind,
+            "members": list(self.members) if self.members is not None else None,
+            "transitional": (
+                list(self.transitional) if self.transitional is not None else None
+            ),
+            "sends": [payload for payload, _index in self.sends],
+            "deliveries": {
+                sender: [payload for payload, _index in items]
+                for sender, items in sorted(self.deliveries.items())
+            },
+            "crashed": self.crashed_at is not None,
+        }
+
+
+class SkeletonBuilder:
+    """Incrementally fold a trace into per-process skeleton segments."""
+
+    def __init__(self) -> None:
+        self.segments: Dict[ProcessId, List[_SkeletonSegment]] = {}
+
+    def feed(self, index: int, event: GcsEvent) -> None:
+        if not isinstance(
+            event, (SendEvent, DeliverEvent, ViewEvent, CrashEvent, RecoverEvent)
+        ):
+            return  # Block handshakes and membership notices are erased
+        segments = self.segments.get(event.proc)
+        if segments is None:
+            segments = self.segments[event.proc] = [_SkeletonSegment("initial", index)]
+        segment = segments[-1]
+        if isinstance(event, ViewEvent):
+            segment.closed_at = index
+            segments.append(
+                _SkeletonSegment(
+                    "view",
+                    index,
+                    members=tuple(sorted(event.view.members)),
+                    transitional=tuple(sorted(event.transitional)),
+                )
+            )
+        elif isinstance(event, RecoverEvent):
+            segment.closed_at = index
+            segments.append(_SkeletonSegment("recover", index))
+        elif isinstance(event, SendEvent):
+            segment.sends.append((event.payload, index))
+        elif isinstance(event, DeliverEvent):
+            segment.deliveries.setdefault(event.sender, []).append(
+                (event.payload, index)
+            )
+        elif segment.crashed_at is None:  # CrashEvent
+            segment.crashed_at = index
+
+
+class TraceSkeleton:
+    """The recorded (golden) form: per-process abstract segments."""
+
+    def __init__(self, procs: Dict[ProcessId, List[Dict[str, Any]]]) -> None:
+        self.procs = procs
+
+    @classmethod
+    def from_builder(cls, builder: SkeletonBuilder) -> "TraceSkeleton":
+        return cls(
+            {
+                proc: [segment.abstract() for segment in segments]
+                for proc, segments in sorted(builder.segments.items())
+            }
+        )
+
+    @classmethod
+    def from_trace(cls, trace: GcsTrace) -> "TraceSkeleton":
+        builder = SkeletonBuilder()
+        for index, event in enumerate(trace):
+            builder.feed(index, event)
+        return cls.from_builder(builder)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"procs": self.procs}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceSkeleton":
+        return cls(dict(data["procs"]))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceSkeleton":
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TraceSkeleton) and self.procs == other.procs
+
+
+def extract_skeleton(trace: GcsTrace) -> TraceSkeleton:
+    """The golden-trace abstraction of ``trace`` (see module notes)."""
+    return TraceSkeleton.from_trace(trace)
+
+
+def skeleton_divergence(
+    golden: TraceSkeleton, builder: SkeletonBuilder, length: int
+) -> Optional[Tuple[int, str]]:
+    """Earliest divergence of the observed run from ``golden``, or None.
+
+    The witness is the smallest trace index at which the divergence is
+    demonstrable: an *extra* observed element is witnessed where it
+    occurred; a *missing* element is witnessed where its absence becomes
+    definite (the segment's close, or ``length`` for the final segment).
+    """
+    candidates: List[Tuple[int, str]] = []
+    observed = builder.segments
+    for proc in sorted(set(golden.procs) | set(observed)):
+        golden_segments = golden.procs.get(proc)
+        observed_segments = observed.get(proc)
+        if golden_segments is None:
+            candidates.append(
+                (
+                    observed_segments[0].opened_at,
+                    f"unexpected process {proc} in the observed run",
+                )
+            )
+            continue
+        if observed_segments is None:
+            candidates.append(
+                (length, f"process {proc} from the golden skeleton never acted")
+            )
+            continue
+        found = _proc_divergence(proc, golden_segments, observed_segments, length)
+        if found is not None:
+            candidates.append(found)
+    return min(candidates) if candidates else None
+
+
+def _proc_divergence(
+    proc: ProcessId,
+    golden_segments: List[Dict[str, Any]],
+    observed_segments: List[_SkeletonSegment],
+    length: int,
+) -> Optional[Tuple[int, str]]:
+    """First divergent segment of one process; later segments are moot."""
+    for k in range(max(len(golden_segments), len(observed_segments))):
+        if k >= len(golden_segments):
+            segment = observed_segments[k]
+            return (
+                segment.opened_at,
+                f"{proc}: unexpected extra segment #{k} ({segment.kind})",
+            )
+        if k >= len(observed_segments):
+            kind = golden_segments[k]["kind"]
+            return (length, f"{proc}: golden segment #{k} ({kind}) never opened")
+        found = _segment_divergence(
+            proc, k, golden_segments[k], observed_segments[k], length
+        )
+        if found is not None:
+            return found
+    return None
+
+
+def _segment_divergence(
+    proc: ProcessId,
+    k: int,
+    golden: Dict[str, Any],
+    observed: _SkeletonSegment,
+    length: int,
+) -> Optional[Tuple[int, str]]:
+    end = observed.closed_at if observed.closed_at is not None else length
+    if golden["kind"] != observed.kind:
+        return (
+            observed.opened_at,
+            f"{proc}: segment #{k} is {observed.kind}, golden says {golden['kind']}",
+        )
+    members = list(observed.members) if observed.members is not None else None
+    if golden.get("members") != members:
+        return (
+            observed.opened_at,
+            f"{proc}: segment #{k} members {members} != golden {golden.get('members')}",
+        )
+    transitional = (
+        list(observed.transitional) if observed.transitional is not None else None
+    )
+    if golden.get("transitional") != transitional:
+        return (
+            observed.opened_at,
+            f"{proc}: segment #{k} transitional {transitional} != golden "
+            f"{golden.get('transitional')}",
+        )
+    candidates: List[Tuple[int, str]] = []
+    found = _sequence_divergence(
+        golden.get("sends", []),
+        observed.sends,
+        end,
+        f"{proc}: segment #{k} send",
+    )
+    if found is not None:
+        candidates.append(found)
+    golden_deliveries = golden.get("deliveries", {})
+    for sender in sorted(set(golden_deliveries) | set(observed.deliveries)):
+        found = _sequence_divergence(
+            golden_deliveries.get(sender, []),
+            observed.deliveries.get(sender, []),
+            end,
+            f"{proc}: segment #{k} delivery from {sender}",
+        )
+        if found is not None:
+            candidates.append(found)
+    observed_crashed = observed.crashed_at is not None
+    if bool(golden.get("crashed", False)) != observed_crashed:
+        if observed_crashed:
+            candidates.append(
+                (observed.crashed_at, f"{proc}: unexpected crash in segment #{k}")
+            )
+        else:
+            candidates.append(
+                (end, f"{proc}: golden crash in segment #{k} never happened")
+            )
+    return min(candidates) if candidates else None
+
+
+def _sequence_divergence(
+    golden: List[Any],
+    observed: List[Tuple[Any, int]],
+    end: int,
+    what: str,
+) -> Optional[Tuple[int, str]]:
+    for i in range(max(len(golden), len(observed))):
+        if i >= len(observed):
+            return (end, f"{what} #{i} ({golden[i]!r}) missing")
+        payload, index = observed[i]
+        if i >= len(golden):
+            return (index, f"{what} #{i} ({payload!r}) unexpected")
+        if golden[i] != payload:
+            return (index, f"{what} #{i} is {payload!r}, golden says {golden[i]!r}")
+    return None
 
 
 def attach_refinement_checkers(

@@ -22,6 +22,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.checking.events import GcsTrace
 from repro.checking.properties import check_deployment_trace
+from repro.checking.refinement import TraceSkeleton, extract_skeleton
+from repro.checking.verdict import Verdict, run_verdict
 from repro.links import LinkCore
 from repro.types import ProcessId, View
 
@@ -128,13 +130,37 @@ class Deployment(ABC):
     # verification
     # ------------------------------------------------------------------
 
-    def check(self, *, final_view: Optional[View] = None) -> None:
+    def check(
+        self,
+        *,
+        final_view: Optional[View] = None,
+        golden: Optional[TraceSkeleton] = None,
+    ) -> None:
         """Audit the trace: full safety battery + MBRSHP conformance.
 
         With ``final_view`` given (a stabilised run), liveness
-        (Property 4.2) is checked against it too.
+        (Property 4.2) is checked against it too; with a ``golden``
+        skeleton (recorded on another substrate via :meth:`skeleton`),
+        the run must also reproduce that execution structure.
         """
-        check_deployment_trace(self.trace, self.processes(), final_view=final_view)
+        check_deployment_trace(
+            self.trace, self.processes(), final_view=final_view, golden=golden
+        )
+
+    def verdict(
+        self,
+        *,
+        final_view: Optional[View] = None,
+        golden: Optional[TraceSkeleton] = None,
+    ) -> Verdict:
+        """The same audit as :meth:`check`, as a structured verdict."""
+        return run_verdict(
+            self.trace, self.processes(), final_view=final_view, golden=golden
+        )
+
+    def skeleton(self) -> TraceSkeleton:
+        """The golden-trace abstraction of this run (cross-substrate form)."""
+        return extract_skeleton(self.trace)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name} nodes={self.processes()}>"

@@ -25,6 +25,22 @@ class ActionKind(enum.Enum):
     INTERNAL = "internal"
 
 
+def _param_repr(value: Any) -> str:
+    """``repr``, but with sets rendered in sorted order.
+
+    Set reprs follow hash order, which varies with the interpreter's
+    hash seed; action reprs end up in violation messages that must be
+    byte-stable across processes (verdict JSON, shrunk chaos findings).
+    """
+    if isinstance(value, (set, frozenset)):
+        name = type(value).__name__
+        if not value:
+            return f"{name}()"
+        inner = ", ".join(repr(v) for v in sorted(value, key=repr))
+        return f"{name}({{{inner}}})"
+    return repr(value)
+
+
 @dataclass(frozen=True)
 class Action:
     """A named action instance with bound parameters."""
@@ -33,7 +49,7 @@ class Action:
     params: Tuple[Any, ...] = ()
 
     def __repr__(self) -> str:
-        inner = ", ".join(repr(p) for p in self.params)
+        inner = ", ".join(_param_repr(p) for p in self.params)
         return f"{self.name}({inner})"
 
 

@@ -51,10 +51,16 @@ class SimTransport:
     # ------------------------------------------------------------------
 
     def send(self, targets: Iterable[ProcessId], message: Any) -> None:
-        """FIFO multicast ``message`` to every process in ``targets``."""
+        """FIFO multicast ``message`` to every process in ``targets``.
+
+        Fan-out is in sorted order: ``targets`` is usually a frozenset,
+        and iterating it directly would make same-instant delivery order
+        depend on the interpreter's hash seed (traces must replay
+        byte-for-byte across processes).
+        """
         if self.crashed:
             return
-        for dst in targets:
+        for dst in sorted(targets):
             if dst == self.pid:
                 continue
             if self._queues_empty(dst) and self.network.send(self.pid, dst, message):

@@ -158,7 +158,9 @@ class TcpTransport:
         messages = list(messages)
         if not messages:
             return
-        for dst in targets:
+        # Sorted fan-out: hash-order frozenset iteration must not decide
+        # same-instant delivery order (traces replay byte-for-byte).
+        for dst in sorted(targets):
             # Check the matrix before dialling: a partition cut must not
             # leak real connections across the emulated split.
             if dst == self.pid or not self.core.connected(self.pid, dst):

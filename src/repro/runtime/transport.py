@@ -107,7 +107,10 @@ class AsyncHub:
     # ------------------------------------------------------------------
 
     def send(self, src: ProcessId, targets: Iterable[ProcessId], message: Any) -> None:
-        for dst in targets:
+        # Sorted fan-out: targets is usually a frozenset, and hash-order
+        # iteration would leak the interpreter's hash seed into
+        # same-instant delivery order (traces must replay byte-for-byte).
+        for dst in sorted(targets):
             if dst == src or dst not in self._queues:
                 continue
             transmission = self.core.outbound(src, dst, message)

@@ -5,6 +5,14 @@ red.  Each test takes a known-good trace (recorded from a deterministic
 simulator episode), applies one targeted corruption, and asserts the
 matching checker raises :class:`SpecificationViolation`.  This is the
 unit-level counterpart of the chaos engine's ``--self-test``.
+
+The second half is the systematic per-code battery: for every
+registered trace rule, the forgery in
+:data:`repro.checking.forge.FORGERIES` corrupts the good trace so that
+exactly that code is the verdict's primary violation, at a witness index
+the forgery computed in advance.  A completeness meta-test pins the
+battery to the registry, so adding a code without a negative trace
+fails the suite.
 """
 
 from dataclasses import replace
@@ -13,6 +21,7 @@ import pytest
 
 from repro.chaos import ChaosOp, ChaosPlan, ChaosRunner, FaultModel
 from repro.checking import (
+    REGISTRY,
     DeliverEvent,
     GcsTrace,
     MbrshpViewEvent,
@@ -23,7 +32,10 @@ from repro.checking import (
     check_safety_spec,
     check_self_delivery,
     check_self_inclusion,
+    extract_skeleton,
+    run_verdict,
 )
+from repro.checking.forge import FORGERIES
 from repro.errors import SpecificationViolation
 
 PROCS = ("a", "b", "c")
@@ -113,3 +125,49 @@ def test_duplicated_membership_notice_is_caught(good_trace):
     mutated.append(good_trace.of_type(MbrshpViewEvent)[-1])
     with pytest.raises(SpecificationViolation, match="MBRSHP conformance"):
         check_mbrshp_conformance(mutated, PROCS)
+
+
+# ----------------------------------------------------------------------
+# The per-code battery: one forgery per registered trace rule
+# ----------------------------------------------------------------------
+
+
+def test_battery_covers_every_registered_trace_rule():
+    """Completeness meta-test: a code without a forgery fails the suite."""
+    trace_rules = {code for code, info in REGISTRY.items() if info.trace_rule}
+    assert set(FORGERIES) == trace_rules
+
+
+@pytest.mark.parametrize("code", sorted(FORGERIES))
+def test_forgery_produces_its_code_as_primary(code, good_trace):
+    """Each forged trace fails with exactly its target code, at the
+    witness index the forgery computed in advance."""
+    forgery = FORGERIES[code]
+    golden = extract_skeleton(good_trace) if forgery.needs_golden else None
+    forged = forgery.apply(good_trace)
+    assert forged is not None, f"{code}: good trace lacks the raw material"
+    assert forged.code == code
+    verdict = run_verdict(
+        forged.trace,
+        list(PROCS),
+        final_view=forged.final_view if forgery.needs_final_view else None,
+        golden=golden,
+    )
+    assert not verdict.ok
+    assert verdict.primary.code == code, verdict.to_json(indent=2)
+    assert verdict.primary.witness_index == forged.expected_index
+
+
+@pytest.mark.parametrize("code", sorted(FORGERIES))
+def test_forged_verdicts_are_byte_identical_across_runs(code, good_trace):
+    forgery = FORGERIES[code]
+    golden = extract_skeleton(good_trace) if forgery.needs_golden else None
+    forged = forgery.apply(good_trace)
+    final_view = forged.final_view if forgery.needs_final_view else None
+    runs = [
+        run_verdict(
+            forged.trace, list(PROCS), final_view=final_view, golden=golden
+        ).to_json()
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
