@@ -208,7 +208,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     injected = {k: v for k, v in result.injected.items() if k != "messages"}
     print(f"[{result.substrate}] {result.episodes} episodes "
-          f"(seeds {args.seed}..{args.seed + args.episodes - 1}), "
+          f"(seeds {args.seed}..{args.seed + args.episodes - 1}, "
+          f"{result.por_skipped} POR-skipped), "
           f"{result.ops} ops, injected faults {injected}: "
           f"{result.violations} violation(s)")
     if result.failures:

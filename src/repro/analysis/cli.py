@@ -38,6 +38,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
              "ownership against the runtime tables (R2.parity)",
     )
     parser.add_argument(
+        "--interference",
+        action="store_true",
+        help="also build the per-automaton commutativity table from the "
+             "footprint engine and print it (canonical JSON; the chaos "
+             "shrinker's POR input)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="with --interference: write the commutativity table to PATH "
+             "(byte-stable) instead of printing it",
+    )
+    parser.add_argument(
         "--no-suppress",
         action="store_true",
         help="report findings even where a '# repro: allow[...]' comment "
@@ -72,6 +86,8 @@ def run_lint(args: argparse.Namespace) -> int:
             respect_suppressions=not args.no_suppress,
             strict_parity=args.strict_parity,
         )
+        if args.interference:
+            _emit_interference(args)
     except AnalysisError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -92,6 +108,23 @@ def run_lint(args: argparse.Namespace) -> int:
             f"{report.modules} modules ({report.elapsed:.2f}s)"
         )
     return 0 if report.ok else 1
+
+
+def _emit_interference(args: argparse.Namespace) -> None:
+    """Build and emit the commutativity table for the lint targets."""
+    from repro.analysis.discovery import load_targets
+    from repro.analysis.interference import interference_table, table_json
+    from repro.analysis.runner import make_class_index
+
+    targets = load_targets(tuple(args.targets))
+    index = make_class_index(targets)
+    payload = table_json(interference_table(targets.classes, index))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as handle:
+            handle.write(payload)
+        print(f"lint: interference table written to {args.output}")
+    else:
+        sys.stdout.write(payload)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,428 @@
+"""Rule R6 - fast-lane replay conformance.
+
+The :class:`~repro.core.fastpath.FastLane` replays compiled transition
+chains as straight-line Python.  Its safety argument is "every mutation
+is exactly an effect the general engine would have performed" - which
+this checker turns from prose into a lint: each replay body
+(``try_send``/``try_receive``) may write only endpoint state that the
+union of the write-sets of the automaton actions it claims to replay
+(:data:`~repro.core.fastpath.REPLAYED_ACTIONS`) can write, the version
+counter included.  A write outside that union is **fastpath drift** -
+the class of bug the differential suite catches at test time - reported
+as ``R6.spurious-write`` at lint time.
+
+The checker resolves the lane's aliasing discipline statically:
+
+* attribute loads ending in ``.endpoint`` (and locals bound from them,
+  the ``ep = self.endpoint`` idiom) are *endpoint handles*;
+* lane attributes assigned endpoint-rooted values are **aliases**
+  (``self._last_rcvd = ep.last_rcvd`` - mutating the object mutates
+  endpoint state), while lane containers that receive endpoint-rooted
+  *elements* (``self._src_logs[src] = ep.buffer(...)``) alias through
+  their values only - storing into the container is lane-private, but
+  anything read out of it roots at the endpoint;
+* calls to endpoint helpers resolve to the state attribute their return
+  value aliases (``ep.buffer(...)`` returns a log inside ``msgs``), and
+  their own transitive writes are folded in.
+
+Only the replay bodies are checked: ``_revalidate`` and friends are
+eligibility proofs, not replays (they must not mutate endpoint state
+beyond what on-demand helpers like ``buffer`` create, which the replayed
+chains write anyway).  ``R6.unknown-replay`` enforces the bookkeeping
+itself: every ``try_*`` method needs a ``REPLAYED_ACTIONS`` entry, every
+entry must name a real method, and every claimed action must resolve to
+an ``_eff_`` definition on the endpoint class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.discovery import ModuleTarget
+from repro.analysis.findings import Finding, Location, Severity
+from repro.analysis.writes import (
+    ACCESSOR_METHODS,
+    FRAMEWORK_MUTATORS,
+    MUTATOR_METHODS,
+    VERSION_ATTR,
+    ClassIndex,
+    methods_of,
+)
+
+_LANE_CLASS = "FastLane"
+
+#: lane-attribute alias kinds (see module docstring)
+_ALIAS = "alias"
+_CONTAINER = "container"
+
+
+def _finding(
+    check: str,
+    path: str,
+    module: str,
+    line: int,
+    obj: str,
+    explanation: str,
+    anchors: Sequence[int],
+) -> Finding:
+    return Finding(
+        rule="R6",
+        check=check,
+        severity=Severity.ERROR,
+        location=Location(file=path, line=line, module=module, obj=obj),
+        explanation=explanation,
+        anchors=tuple(dict.fromkeys(anchors)),
+    )
+
+
+def _helper_return_root(cls: type, name: str, index: ClassIndex) -> Optional[str]:
+    """The endpoint state attribute ``cls.name(...)``'s return aliases."""
+    for klass in cls.__mro__:
+        fn = index.methods(klass).get(name)
+        if fn is None:
+            continue
+        roots: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Return) and node.value is not None:
+                root = _self_root(node.value)
+                if root is None:
+                    return None  # a non-state return path: no alias claim
+                roots.add(root)
+        return roots.pop() if len(roots) == 1 else None
+    return None
+
+
+def _self_root(node: ast.expr) -> Optional[str]:
+    """``_root_attr`` against a literal ``self`` receiver, accessor-aware."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in ACCESSOR_METHODS:
+                node = func.value
+            else:
+                return None
+        else:
+            return None
+
+
+class _LaneMethodScan(ast.NodeVisitor):
+    """One ordered pass over a lane method.
+
+    Tracks endpoint-handle locals and endpoint-rooted local aliases, and
+    (when ``collect`` is set) records the endpoint state attributes the
+    body writes.
+    """
+
+    def __init__(
+        self,
+        lane_map: Dict[str, Tuple[str, str]],
+        endpoint_cls: type,
+        index: ClassIndex,
+        collect: bool,
+        build_map: bool = False,
+    ) -> None:
+        self.lane_map = lane_map
+        self.endpoint_cls = endpoint_cls
+        self.index = index
+        self.collect = collect
+        self.build_map = build_map
+        self.ep_locals: Set[str] = set()
+        self.local_roots: Dict[str, Optional[str]] = {}
+        self.writes: List[Tuple[str, int, str]] = []  # (attr, line, reason)
+
+    # -- endpoint-rooted expression resolution ---------------------------
+
+    def _is_endpoint(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "endpoint":
+            return True
+        return isinstance(node, ast.Name) and node.id in self.ep_locals
+
+    def _lane_attr(self, node: ast.expr) -> Optional[str]:
+        """``self.X`` -> ``X`` (lane attribute name), else None."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _endpoint_root(self, node: ast.expr) -> Optional[str]:
+        """The endpoint state attribute an expression's value aliases."""
+        while True:
+            if self._is_endpoint(node):
+                return None  # the endpoint itself, not one of its attrs
+            if isinstance(node, ast.Attribute):
+                if self._is_endpoint(node.value):
+                    return node.attr  # ep.last_rcvd
+                lane = self._lane_attr(node)
+                if lane is not None:
+                    kind_attr = self.lane_map.get(lane)
+                    return kind_attr[1] if kind_attr is not None else None
+                node = node.value
+            elif isinstance(node, ast.Subscript):
+                node = node.value  # container element aliases what it holds
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    return None
+                if self._is_endpoint(func.value):
+                    # ep.buffer(...) - what does the helper return?
+                    return _helper_return_root(
+                        self.endpoint_cls, func.attr, self.index
+                    )
+                if func.attr in ACCESSOR_METHODS:
+                    node = func.value  # self._src_logs.get(src)
+                else:
+                    return None
+            elif isinstance(node, ast.Name):
+                return self.local_roots.get(node.id)
+            else:
+                return None
+
+    # -- write recording -------------------------------------------------
+
+    def _record(self, attr: Optional[str], line: int, reason: str) -> None:
+        if attr is not None and self.collect:
+            self.writes.append((attr, line, reason))
+
+    def _handle_store(self, target: ast.expr, line: int, reason: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._handle_store(element, line, reason)
+            return
+        if isinstance(target, ast.Attribute):
+            if self._is_endpoint(target.value):
+                self._record(target.attr, line, reason)  # ep.last_sent = ...
+            elif self._lane_attr(target) is None:
+                # foo.bar = ... through an endpoint-rooted local
+                self._record(self._endpoint_root(target.value), line, reason)
+            # self.X = ... rebinds the lane cache: not an endpoint write
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            lane = self._lane_attr(base)
+            if lane is not None:
+                kind_attr = self.lane_map.get(lane)
+                if kind_attr is not None and kind_attr[0] == _ALIAS:
+                    # self._last_dlvrd[pid] = ... writes the aliased dict
+                    self._record(kind_attr[1], line, reason)
+                # container stores (self._src_logs[src] = ...) are lane-private
+            else:
+                self._record(self._endpoint_root(base), line, reason)
+        elif isinstance(target, ast.Name):
+            self.local_roots[target.id] = None  # rebound below, in _bind
+
+    def _bind(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if self._is_endpoint(value):
+                self.ep_locals.add(target.id)
+                self.local_roots.pop(target.id, None)
+            else:
+                self.ep_locals.discard(target.id)
+                self.local_roots[target.id] = self._endpoint_root(value)
+        elif isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+            value, (ast.Tuple, ast.List)
+        ) and len(target.elts) == len(value.elts):
+            for element, element_value in zip(target.elts, value.elts):
+                self._bind(element, element_value)
+
+    # -- visitors --------------------------------------------------------
+
+    def _harvest(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
+        """Record lane-attribute aliasing this assignment establishes."""
+        root = self._endpoint_root(value)
+        if root is None:
+            return
+        for target in targets:
+            lane = self._lane_attr(target)
+            if lane is not None and lane != "endpoint":
+                self.lane_map[lane] = (_ALIAS, root)
+            elif isinstance(target, ast.Subscript):
+                lane = self._lane_attr(target.value)
+                if lane is not None:
+                    self.lane_map.setdefault(lane, (_CONTAINER, root))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._handle_store(target, node.lineno, "assignment")
+        for target in node.targets:
+            self._bind(target, node.value)
+        if self.build_map:
+            self._harvest(node.targets, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+            self._handle_store(node.target, node.lineno, "assignment")
+            self._bind(node.target, node.value)
+            if self.build_map:
+                self._harvest([node.target], node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        self._handle_store(node.target, node.lineno, "augmented assignment")
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._handle_store(target, node.lineno, "del")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if self._is_endpoint(receiver):
+                if func.attr in FRAMEWORK_MUTATORS:
+                    self._record(
+                        VERSION_ATTR, node.lineno, f"call to endpoint.{func.attr}()"
+                    )
+                elif func.attr not in ACCESSOR_METHODS:
+                    # an endpoint helper: fold its transitive writes
+                    _klass, effects = self.index.resolve(
+                        self.endpoint_cls, func.attr
+                    )
+                    if effects is not None and self.collect:
+                        closure_writes, _eff = self.index.closure(
+                            self.endpoint_cls, func.attr
+                        )
+                        for write in closure_writes:
+                            self._record(
+                                write.attr,
+                                node.lineno,
+                                f"via endpoint helper {func.attr}()",
+                            )
+            elif func.attr in MUTATOR_METHODS:
+                self._record(
+                    self._endpoint_root(receiver),
+                    node.lineno,
+                    f"call to mutator .{func.attr}()",
+                )
+        self.generic_visit(node)
+
+
+def _build_lane_map(
+    class_node: ast.ClassDef, endpoint_cls: type, index: ClassIndex
+) -> Dict[str, Tuple[str, str]]:
+    """lane attribute -> (alias kind, endpoint state attribute)."""
+    lane_map: Dict[str, Tuple[str, str]] = {}
+    methods = methods_of(class_node)
+    # Two passes: a lane attribute may be consumed in a method parsed
+    # before the one that establishes its aliasing.
+    for _pass in range(2):
+        for fn in methods.values():
+            scan = _LaneMethodScan(
+                lane_map, endpoint_cls, index, collect=False, build_map=True
+            )
+            for statement in fn.body:
+                scan.visit(statement)
+    return lane_map
+
+
+def check_r6(
+    index: ClassIndex,
+    *,
+    module_name: str,
+    path: str,
+    class_node: ast.ClassDef,
+    replays: Mapping[str, Tuple[str, ...]],
+    endpoint_cls: type,
+) -> List[Finding]:
+    """Check one fast-lane class body against its replay claims."""
+    findings: List[Finding] = []
+    methods = methods_of(class_node)
+    qualname = class_node.name
+
+    def emit(check: str, line: int, obj: str, explanation: str, *extra: int) -> None:
+        findings.append(_finding(
+            check, path, module_name, line,
+            f"{qualname}.{obj}" if obj else qualname,
+            explanation, [line, *extra, class_node.lineno],
+        ))
+
+    # bookkeeping completeness: the replay table and the class agree
+    for method_name in sorted(replays):
+        if method_name not in methods:
+            emit(
+                "unknown-replay", class_node.lineno, method_name,
+                f"REPLAYED_ACTIONS claims {method_name!r} but {qualname} "
+                "defines no such method",
+            )
+        for action in replays[method_name]:
+            suffix = action.replace(".", "_")
+            if getattr(endpoint_cls, f"_eff_{suffix}", None) is None:
+                line = methods[method_name].lineno if method_name in methods \
+                    else class_node.lineno
+                emit(
+                    "unknown-replay", line, method_name,
+                    f"{method_name} claims to replay {action!r} but "
+                    f"{endpoint_cls.__name__} has no _eff_{suffix}; the "
+                    "claimed chain cannot be resolved",
+                )
+    for method_name, fn in sorted(methods.items()):
+        if method_name.startswith("try_") and method_name not in replays:
+            emit(
+                "unknown-replay", fn.lineno, method_name,
+                f"fast-lane operation {method_name} has no REPLAYED_ACTIONS "
+                "entry; R6 cannot check it against any transition chain",
+            )
+
+    lane_map = _build_lane_map(class_node, endpoint_cls, index)
+
+    for method_name in sorted(replays):
+        fn = methods.get(method_name)
+        if fn is None:
+            continue
+        allowed: Set[str] = {VERSION_ATTR}
+        for action in replays[method_name]:
+            suffix = action.replace(".", "_")
+            chain_writes, _reads = index.chain_footprint(
+                endpoint_cls, f"_eff_{suffix}"
+            )
+            allowed.update(write.attr for write in chain_writes)
+        scan = _LaneMethodScan(lane_map, endpoint_cls, index, collect=True)
+        for statement in fn.body:
+            scan.visit(statement)
+        reported: Set[Tuple[str, int]] = set()
+        claimed = ", ".join(repr(a) for a in replays[method_name])
+        for attr, line, reason in scan.writes:
+            if attr in allowed or (attr, line) in reported:
+                continue
+            reported.add((attr, line))
+            emit(
+                "spurious-write", line, method_name,
+                f"replay body {method_name} writes endpoint state "
+                f"{attr!r} ({reason}), which none of the transition "
+                f"chains it claims to replay ({claimed}) writes - "
+                "fastpath drift",
+                fn.lineno,
+            )
+    return findings
+
+
+def check_fastpath(module: ModuleTarget, index: ClassIndex) -> List[Finding]:
+    """The production entry: check ``repro.core.fastpath``'s lane."""
+    from repro.core.fastpath import REPLAYED_ACTIONS
+    from repro.core.gcs_endpoint import GcsEndpoint
+
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == _LANE_CLASS:
+            return check_r6(
+                index,
+                module_name=module.name,
+                path=module.path,
+                class_node=node,
+                replays=REPLAYED_ACTIONS,
+                endpoint_cls=GcsEndpoint,
+            )
+    return []
+
+
+__all__ = ["check_fastpath", "check_r6"]

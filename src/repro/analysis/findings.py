@@ -23,6 +23,22 @@ Each rule encodes one clause of the paper's structural discipline:
     determinism hygiene: chaos schedules (PR 3) must replay byte for
     byte, so the model and chaos packages may not consult wall clocks,
     unseeded module-level randomness, or hash-order set iteration.
+
+``R5``
+    interference: two concurrently-enabled locally controlled actions of
+    one automaton whose static footprints (repro.analysis.interference)
+    conflict must have a documented ordering barrier - the class
+    ``ORDERING`` tuple the runner's drain consumes - or an explicit
+    ``allow[R5]`` waiver for genuine spec nondeterminism.
+
+``R6``
+    fast-lane conformance: the straight-line replay bodies of
+    ``repro.core.fastpath.FastLane`` may write only endpoint state the
+    transition chains they claim to replay (``REPLAYED_ACTIONS``) write.
+
+``SUP``
+    suppression hygiene: every ``# repro: allow[...]`` must name rules
+    the catalogue knows, or the waiver is silently dead.
 """
 
 from __future__ import annotations
@@ -150,5 +166,30 @@ RULE_CATALOGUE: Dict[str, Tuple[str, str]] = {
     "R4.set-iteration": (
         "iteration over a set expression (hash order) in model code",
         "chaos replay: orders feeding schedules must be deterministic",
+    ),
+    "R5.conflict": (
+        "concurrently-enabled actions with interfering footprints and "
+        "no ordering barrier",
+        "Section 2: unordered interfering transitions are a race unless "
+        "the schedule serialises them",
+    ),
+    "R5.read-parity": (
+        "a precondition's runtime reads exceed its static read-set",
+        "the footprint engine and the live automaton must agree on what "
+        "guards depend on",
+    ),
+    "R6.spurious-write": (
+        "a fast-lane replay body writes state its claimed transition "
+        "chains never write",
+        "Section 4-5: the lane is a peephole over the same state - every "
+        "mutation must be an effect the general engine performs",
+    ),
+    "R6.unknown-replay": (
+        "REPLAYED_ACTIONS and the fast-lane class body disagree",
+        "fastpath conformance is only as good as its replay bookkeeping",
+    ),
+    "SUP.unknown-rule": (
+        "a '# repro: allow[...]' names a rule id the catalogue does not",
+        "a dead waiver hides nothing and will surprise someone later",
     ),
 }

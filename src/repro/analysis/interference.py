@@ -1,0 +1,201 @@
+"""Action footprints, the static interference relation, and rule R5.
+
+Built on the read/write-set engine of :mod:`repro.analysis.writes`: an
+action's **footprint** is the union of the (key-sensitive) reads and
+writes of its ``_pre_``/``_candidates_``/``_eff_`` methods, folded over
+the full effect chain (every MRO definition plus the helpers each
+reaches).  Two actions **commute** iff their footprints are disjoint up
+to at least one write - no attribute is written by one and read or
+written by the other under possibly-aliasing subscript keys.  The
+framework's monotone version counter (``_state_version``) is excluded:
+every action bumps it, so including it would make nothing commute.
+
+``R5.conflict`` flags pairs of *concurrently enabled* candidate actions
+of one automaton whose footprints conflict without a documented ordering
+barrier.  A barrier is the class's ``ORDERING`` tuple (consumed by the
+runner's drain priority, see ``repro.core.runner``); pairs whose two
+actions both appear there are scheduled deterministically and exempt.
+Genuinely nondeterministic spec races (e.g. the deliver/lose choice of
+the Figure 3 channel) are waived with ``# repro: allow[R5]``.
+
+:func:`interference_table` exports the relation as a canonical,
+byte-stable JSON document (``python -m repro lint --interference
+--output ...``) consumed by ``repro.chaos`` for partial-order reduction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.ioa.action import ActionKind
+
+from repro.analysis.discovery import ClassTarget
+from repro.analysis.findings import Finding
+from repro.analysis.writes import VERSION_ATTR, ClassIndex, keys_may_alias
+
+#: One footprint entry: (root attribute, subscript-key classification).
+Entry = Tuple[str, Optional[str]]
+
+_PHASES = ("_pre_", "_candidates_", "_eff_")
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The statically visible read/write footprint of one action."""
+
+    reads: FrozenSet[Entry]
+    writes: FrozenSet[Entry]
+
+    def conflicts_with(self, other: "Footprint") -> List[str]:
+        """Sorted attrs witnessing a write/read-or-write overlap."""
+        witnesses = set()
+        for mine, theirs in ((self.writes, other.reads | other.writes),
+                             (other.writes, self.reads | self.writes)):
+            for attr, key in mine:
+                if attr == VERSION_ATTR:
+                    continue
+                for other_attr, other_key in theirs:
+                    if attr == other_attr and keys_may_alias(key, other_key):
+                        witnesses.add(attr)
+        return sorted(witnesses)
+
+    def commutes_with(self, other: "Footprint") -> bool:
+        return not self.conflicts_with(other)
+
+
+def action_footprint(cls: type, action: str, index: ClassIndex) -> Footprint:
+    """Footprint of ``action`` on ``cls``: pre + candidates + eff chains."""
+    suffix = action.replace(".", "_")
+    reads = set()
+    writes = set()
+    for phase in _PHASES:
+        chain_writes, chain_reads = index.chain_footprint(cls, phase + suffix)
+        writes.update((w.attr, w.key) for w in chain_writes)
+        reads.update((r.attr, r.key) for r in chain_reads)
+    return Footprint(reads=frozenset(reads), writes=frozenset(writes))
+
+
+def _render_entry(entry: Entry) -> str:
+    attr, key = entry
+    return attr if key is None else f"{attr}[{key}]"
+
+
+def _render_entries(entries: FrozenSet[Entry]) -> List[str]:
+    return sorted(_render_entry(e) for e in entries)
+
+
+def _candidate_actions(cls: type, vocabulary: Dict[str, ActionKind]) -> List[str]:
+    """The locally controlled actions the scheduler can concurrently enable."""
+    return sorted(
+        action
+        for action, kind in vocabulary.items()
+        if kind in (ActionKind.OUTPUT, ActionKind.INTERNAL)
+        and getattr(cls, "_candidates_" + action.replace(".", "_"), None) is not None
+    )
+
+
+def check_r5(ctx) -> List[Finding]:
+    """R5.conflict on one :class:`~repro.analysis.rules.ClassContext`."""
+    cls = ctx.cls
+    actions = _candidate_actions(cls, ctx.vocabulary)
+    if len(actions) < 2:
+        return []
+    ordering = set(getattr(cls, "ORDERING", ()) or ())
+    footprints = {a: action_footprint(cls, a, ctx.index) for a in actions}
+    findings: List[Finding] = []
+    for i, first in enumerate(actions):
+        for second in actions[i + 1:]:
+            if first in ordering and second in ordering:
+                continue  # drain priority serialises this pair
+            witnesses = footprints[first].conflicts_with(footprints[second])
+            if not witnesses:
+                continue
+            attrs = ", ".join(repr(w) for w in witnesses)
+            findings.append(ctx.finding(
+                "R5.conflict",
+                ctx.entry_line("SIGNATURE", first),
+                f"concurrently enabled actions {first!r} and {second!r} "
+                f"have interfering footprints on {attrs} with no ordering "
+                "barrier; add both to the class ORDERING tuple (drain "
+                "priority) or waive genuine spec nondeterminism with "
+                "'# repro: allow[R5]'",
+                extra_anchors=(ctx.entry_line("SIGNATURE", second),),
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# the exported commutativity table
+# ---------------------------------------------------------------------------
+
+
+def interference_table(
+    targets: Sequence[ClassTarget], index: ClassIndex
+) -> Dict[str, object]:
+    """The canonical interference relation over every analyzed automaton.
+
+    Layout (all keys sorted, rendering byte-stable)::
+
+        {"version": 1,
+         "automata": {
+           "<module>.<qualname>": {
+             "actions": {"<name>": {"kind", "reads", "writes"}},
+             "commutes": [["a", "b"], ...],   # commuting candidate pairs
+             "conflicts": [{"pair": ["a","b"], "attrs": [...]}, ...],
+             "ordering": [...]}}}
+    """
+    automata: Dict[str, object] = {}
+    for target in sorted(
+        targets, key=lambda t: (t.module.name, t.cls.__qualname__)
+    ):
+        cls = target.cls
+        vocabulary: Dict[str, ActionKind] = {}
+        for klass in reversed(cls.__mro__):
+            for attr in ("SIGNATURE", "OPTIONAL_SIGNATURE"):
+                value = klass.__dict__.get(attr)
+                if isinstance(value, dict):
+                    vocabulary.update(value)
+        names = sorted(k for k, v in vocabulary.items() if isinstance(v, ActionKind))
+        if not names:
+            continue
+        footprints = {name: action_footprint(cls, name, index) for name in names}
+        candidates = _candidate_actions(cls, vocabulary)
+        commutes: List[List[str]] = []
+        conflicts: List[Dict[str, object]] = []
+        for i, first in enumerate(candidates):
+            for second in candidates[i + 1:]:
+                witnesses = footprints[first].conflicts_with(footprints[second])
+                if witnesses:
+                    conflicts.append({"pair": [first, second], "attrs": witnesses})
+                else:
+                    commutes.append([first, second])
+        automata[f"{target.module.name}.{cls.__qualname__}"] = {
+            "actions": {
+                name: {
+                    "kind": vocabulary[name].name.lower(),
+                    "reads": _render_entries(footprints[name].reads),
+                    "writes": _render_entries(footprints[name].writes),
+                }
+                for name in names
+            },
+            "commutes": commutes,
+            "conflicts": conflicts,
+            "ordering": list(getattr(cls, "ORDERING", ()) or ()),
+        }
+    return {"version": 1, "automata": automata}
+
+
+def table_json(table: Dict[str, object]) -> str:
+    """Byte-stable serialisation of :func:`interference_table`."""
+    return json.dumps(table, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+__all__ = [
+    "Footprint",
+    "action_footprint",
+    "check_r5",
+    "interference_table",
+    "table_json",
+]

@@ -1,19 +1,27 @@
-"""--strict-parity: cross-check static ownership against the runtime.
+"""--strict-parity: cross-check static analysis against the runtime.
 
-The verifier and the runtime strict mode are two enforcers of the same
-clause of [26]: child effects never touch parent-owned state.  They can
-only drift apart if the static write-set analysis mis-reads a ``_state``
-body (or a ``_state`` body does something genuinely dynamic).  This
-check composes one real :class:`SimWorld` with ``strict=True``, reads
-the ownership table the runtime recorded (``endpoint._owners``), and
-diffs it against the owners the analyzer predicted for the same class.
-Any disagreement is an ``R2.parity`` finding against the class.
+Two probes, same philosophy - the analyzer and the live automaton are
+parallel enforcers and must not drift apart:
+
+* **ownership parity** (``R2.parity``): composes one real
+  :class:`SimWorld` with ``strict=True``, reads the ownership table the
+  runtime recorded (``endpoint._owners``), and diffs it against the
+  owners the analyzer predicted for the same class.
+
+* **read parity** (``R5.read-parity``): instruments an automaton with a
+  recording ``__getattribute__``, evaluates each enabled action's
+  precondition through ``is_enabled``, and diffs the state attributes
+  the guard *actually* touched against the static read-set the footprint
+  engine extracted for its ``_pre_`` chain.  A runtime read the analyzer
+  cannot see (``getattr`` indirection, exec-style dynamism) means the
+  interference relation under-approximates and R5's verdicts cannot be
+  trusted for that automaton.
 """
 
 from __future__ import annotations
 
 import inspect
-from typing import Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Set, Tuple, Type
 
 from repro.analysis.findings import Finding, Location, Severity
 from repro.analysis.writes import ClassIndex
@@ -79,6 +87,88 @@ def diff_ownership(
     return findings
 
 
+def _make_read_probe(cls: type) -> type:
+    """A subclass whose instances log attribute reads while armed."""
+
+    class _ReadProbe(cls):  # type: ignore[misc, valid-type]
+        def __getattribute__(self, name: str):
+            log = object.__getattribute__(self, "__dict__").get("_probe_read_log")
+            if log is not None and not name.startswith("__"):
+                log.add(name)
+            return super().__getattribute__(name)
+
+    _ReadProbe.__name__ = f"{cls.__name__}ReadProbe"
+    _ReadProbe.__qualname__ = _ReadProbe.__name__
+    return _ReadProbe
+
+
+def diff_read_fingerprints(
+    cls: type,
+    index: ClassIndex,
+    factory: Optional[Callable[[type], object]] = None,
+    steps: int = 8,
+) -> List[Finding]:
+    """R5.read-parity findings for preconditions with invisible reads.
+
+    Instantiates a recording probe of ``cls`` (by default as
+    ``cls("read-probe")``) and walks up to ``steps`` locally controlled
+    transitions, re-evaluating every enabled action's guard under
+    instrumentation before each step.  Only reads of *state attributes*
+    (those ``_state`` bodies create) count; the comparison is one-sided -
+    runtime reads missing from the static set are drift, static
+    over-approximation is harmless for soundness of the interference
+    relation.
+    """
+    probe_cls = _make_read_probe(cls)
+    instance = factory(probe_cls) if factory is not None else probe_cls("read-probe")
+    state_attrs = set(predicted_owners(cls, index))
+    location = _class_location(cls)
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, Tuple[str, ...]]] = set()
+
+    def check_guard(action) -> None:
+        suffix = action.name.replace(".", "_")
+        _writes, static_reads = index.chain_footprint(cls, f"_pre_{suffix}")
+        static_attrs = {read.attr for read in static_reads}
+        log: Set[str] = set()
+        instance.__dict__["_probe_read_log"] = log
+        try:
+            instance.is_enabled(action)
+        finally:
+            del instance.__dict__["_probe_read_log"]
+        hidden = tuple(sorted((log & state_attrs) - static_attrs))
+        if not hidden or (action.name, hidden) in reported:
+            return
+        reported.add((action.name, hidden))
+        attrs = ", ".join(repr(a) for a in hidden)
+        findings.append(Finding(
+            rule="R5",
+            check="read-parity",
+            severity=Severity.ERROR,
+            location=location,
+            explanation=(
+                f"evaluating the guard of {action.name!r} read state "
+                f"variable(s) {attrs} that the static read-set of its "
+                f"_pre_{suffix} chain does not contain; the footprint "
+                "engine under-approximates this automaton (getattr "
+                "indirection or dynamism it cannot parse), so R5's "
+                "interference verdicts cannot be trusted here"
+            ),
+            anchors=(location.line,),
+        ))
+
+    # Drive a short run so guards are evaluated in non-initial states
+    # too: fingerprint every enabled action, take one step, repeat.
+    for _step in range(steps):
+        actions = instance.enabled_actions()
+        for action in actions:
+            check_guard(action)
+        if not actions:
+            break
+        instance.apply(actions[0])
+    return findings
+
+
 def run_strict_parity(
     index: ClassIndex, endpoint_cls: Optional[type] = None
 ) -> List[Finding]:
@@ -105,4 +195,22 @@ def run_strict_parity(
     node = world.add_node("parity-probe")
     endpoint = node.endpoint
     runtime_owners: Dict[str, Type] = dict(endpoint._owners)
-    return diff_ownership(type(endpoint), runtime_owners, index)
+    findings = diff_ownership(type(endpoint), runtime_owners, index)
+    findings.extend(
+        diff_read_fingerprints(type(endpoint), index, factory=_seeded_endpoint)
+    )
+    return findings
+
+
+def _seeded_endpoint(probe_cls: type):
+    """A probe endpoint with one application send applied.
+
+    A freshly constructed endpoint is quiescent (nothing enabled, so
+    nothing to fingerprint); one buffered message walks it through the
+    send -> co_rfifo.send -> deliver loop, evaluating the real guards.
+    """
+    from repro.ioa import Action
+
+    probe = probe_cls("read-probe")
+    probe.apply(Action("send", (probe.pid, "probe-m1")))
+    return probe

@@ -492,11 +492,17 @@ def check_r4(target: ModuleTarget) -> List[Finding]:
 def check_class_target(
     target: ClassTarget, targets: TargetSet, index: ClassIndex
 ) -> List[Finding]:
+    # R5 lives in repro.analysis.interference, which imports the footprint
+    # engine this module also builds on; import lazily to keep the rule
+    # modules cycle-free.
+    from repro.analysis.interference import check_r5
+
     ctx = ClassContext(target, index)
     findings: List[Finding] = []
     findings.extend(check_r1(ctx))
     findings.extend(check_r2(ctx))
     findings.extend(check_r3(ctx))
+    findings.extend(check_r5(ctx))
     return findings
 
 

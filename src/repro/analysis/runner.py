@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -20,7 +21,12 @@ DEFAULT_DET_SCOPE: Tuple[str, ...] = (
     "repro.chaos",
     "repro.links",
     "repro.scale",
+    "repro.apps",
+    "repro.checking.verdict",
 )
+
+# The fast-lane module rule R6 pins against its replay claims.
+_FASTPATH_MODULE = "repro.core.fastpath"
 
 
 @dataclass
@@ -122,6 +128,9 @@ def analyze(
     for module in targets.modules:
         if _in_scope(module.name, scope):
             findings.extend(check_r4(module))
+        if module.name == _FASTPATH_MODULE:
+            findings.extend(_run_fastpath(module, index))
+        findings.extend(_check_suppression_hygiene(module))
     if strict_parity:
         findings.extend(_run_parity(index))
 
@@ -141,3 +150,50 @@ def _run_parity(index: ClassIndex) -> List[Finding]:
     from repro.analysis.parity import run_strict_parity
 
     return run_strict_parity(index)
+
+
+def _run_fastpath(module, index: ClassIndex) -> List[Finding]:
+    from repro.analysis.fastlane import check_fastpath
+
+    return check_fastpath(module, index)
+
+
+def _known_suppression_ids() -> set:
+    from repro.analysis.findings import RULE_CATALOGUE
+
+    coarse = {rule_id.split(".", 1)[0] for rule_id in RULE_CATALOGUE}
+    return set(RULE_CATALOGUE) | coarse
+
+
+_RULE_ID_SHAPE = re.compile(r"^[A-Za-z][A-Za-z0-9]*(\.[A-Za-z0-9_-]+)?$")
+
+
+def _check_suppression_hygiene(module) -> List[Finding]:
+    """SUP.unknown-rule: every declared allow id must exist in the catalogue.
+
+    Only tokens shaped like rule ids are validated: prose placeholders in
+    docstrings (``allow[...]``) are not waivers and are left alone.
+    """
+    from repro.analysis.findings import Location, Severity
+
+    known = _known_suppression_ids()
+    findings: List[Finding] = []
+    for lineno in sorted(module.suppressions.declared):
+        for rule_id in sorted(module.suppressions.declared[lineno]):
+            if rule_id in known or not _RULE_ID_SHAPE.match(rule_id):
+                continue
+            findings.append(Finding(
+                rule="SUP",
+                check="unknown-rule",
+                severity=Severity.ERROR,
+                location=Location(
+                    file=module.path, line=lineno, module=module.name
+                ),
+                explanation=(
+                    f"'# repro: allow[{rule_id}]' names no rule in the "
+                    "catalogue; the waiver is dead and suppresses nothing "
+                    "(see --list-rules for valid ids)"
+                ),
+                anchors=(lineno,),
+            ))
+    return findings

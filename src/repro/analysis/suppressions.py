@@ -27,6 +27,10 @@ class SuppressionIndex:
 
     def __init__(self, source_lines: Iterable[str]) -> None:
         self.by_line: Dict[int, Set[str]] = {}
+        # The comment-origin lines only (no propagation): what the SUP
+        # hygiene rule validates against the catalogue, so an unknown id
+        # is reported once, at the comment that declares it.
+        self.declared: Dict[int, Set[str]] = {}
         # Allows on a standalone comment line also cover the next code
         # line, so a suppression can sit above the statement it waives.
         pending: Set[str] = set()
@@ -39,6 +43,7 @@ class SuppressionIndex:
                 }
                 if ids:
                     self.by_line.setdefault(lineno, set()).update(ids)
+                    self.declared.setdefault(lineno, set()).update(ids)
                     if stripped.startswith("#"):
                         pending |= ids
                         continue

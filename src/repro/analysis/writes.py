@@ -1,18 +1,32 @@
-"""Static write-set and purity analysis of automaton methods.
+"""Static footprint (read/write-set) and purity analysis of automaton methods.
 
 The engine answers, for one method body, "which ``self`` attributes can
-this code write?" - where *write* covers plain assignment, augmented
-assignment, ``del``, subscript stores, and calls to known mutator
-methods (``append``, ``setdefault``, ...), including through local
-aliases (``buffers = self.msgs[q]; del buffers[view]`` counts as a
-write to ``msgs``).  Helper calls on ``self`` are resolved along the
-static MRO and folded in transitively, so a precondition that reaches a
-memoizing helper is still caught.
+this code write, and which can it read?" - where *write* covers plain
+assignment, augmented assignment, ``del``, subscript stores, calls to
+known mutator methods (``append``, ``setdefault``, ...) and mutator
+functions (``bisect.insort``, ``heapq.heappush``, ...), including
+through local aliases (``buffers = self.msgs[q]; del buffers[view]``
+counts as a write to ``msgs``), and *read* covers attribute loads and
+subscript loads rooted at ``self``.  Tuple-unpacking assignments alias
+pairwise (``bufs, log = self.msgs[q], self.log`` makes later mutations
+through either name visible).  Helper calls on ``self`` are resolved
+along the static MRO and folded in transitively, so a precondition that
+reaches a memoizing helper is still caught.
+
+Subscript accesses are *key sensitive* where the key is statically
+classifiable: a key that is a method parameter records as ``p:<name>``,
+a literal as ``k:<repr>``, anything else as ``None`` (may alias any
+key).  Two constant keys that differ provably touch different entries;
+every other combination conservatively may alias (see
+:func:`keys_may_alias`).  Keys are only attached when the subscript base
+is directly a ``self`` attribute - an aliased base may sit at a
+different nesting depth, so attaching its key would be unsound.
 
 Deliberately not modelled (documented analyzer limits): mutation through
 values returned by non-accessor method calls, ``setattr``/``getattr``
 indirection, and aliasing through containers.  The runtime strict-mode
-fingerprints remain the backstop for those.
+fingerprints (and the ``--strict-parity`` read-fingerprint probe) remain
+the backstop for those.
 """
 
 from __future__ import annotations
@@ -27,6 +41,7 @@ MUTATOR_METHODS = frozenset(
         "append",
         "appendleft",
         "extend",
+        "extendleft",
         "insert",
         "pop",
         "popleft",
@@ -39,9 +54,28 @@ MUTATOR_METHODS = frozenset(
         "setdefault",
         "sort",
         "reverse",
+        "rotate",
+        "difference_update",
+        "intersection_update",
+        "symmetric_difference_update",
         # repro collection types (MessageLog)
         "put",
         "truncate_through",
+    }
+)
+
+# Module-level functions that mutate their *first argument* in place
+# (the bisect/heapq idiom: ``insort(self.log, x)``).
+MUTATOR_FUNCTIONS = frozenset(
+    {
+        "insort",
+        "insort_left",
+        "insort_right",
+        "heappush",
+        "heappop",
+        "heappushpop",
+        "heapreplace",
+        "heapify",
     }
 )
 
@@ -52,15 +86,36 @@ ACCESSOR_METHODS = frozenset({"get", "setdefault", "__getitem__"})
 # Framework methods on ``self`` that change state by definition.
 FRAMEWORK_MUTATORS = frozenset({"touch", "reset_state", "apply", "enable_optional_actions"})
 
+#: The framework's monotone version counter.  Every action bumps it, so
+#: the interference relation excludes it (see repro.analysis.interference).
+VERSION_ATTR = "_state_version"
+
 
 @dataclass(frozen=True)
 class Write:
-    """One state write: the root attribute, where, and how."""
+    """One state write: the root attribute, where, and how.
+
+    ``key`` is the subscript-key classification when the write targets
+    one entry of a keyed container directly under the attribute
+    (``p:<param>``, ``k:<repr>``, or ``None`` for whole-value /
+    unclassifiable accesses).
+    """
 
     attr: str
     line: int
     reason: str
     containing_def_line: int
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Read:
+    """One state read: the root attribute, where, and the subscript key."""
+
+    attr: str
+    line: int
+    containing_def_line: int
+    key: Optional[str] = None
 
 
 @dataclass
@@ -70,9 +125,23 @@ class MethodEffects:
     name: str
     def_line: int
     writes: List[Write] = field(default_factory=list)
+    reads: List[Read] = field(default_factory=list)
     helper_calls: Set[str] = field(default_factory=set)  # self.m(...)
     super_calls: Set[str] = field(default_factory=set)  # super().m(...)
     eff_calls: List[Tuple[str, int]] = field(default_factory=list)  # (_eff_*, line)
+
+
+def keys_may_alias(k1: Optional[str], k2: Optional[str]) -> bool:
+    """Whether two subscript-key classifications can denote the same entry.
+
+    Only two *distinct constants* are provably different; a parameter may
+    take any value, and ``None`` (whole/unknown) aliases everything.
+    """
+    if k1 is None or k2 is None:
+        return True
+    if k1.startswith("k:") and k2.startswith("k:"):
+        return k1 == k2
+    return True
 
 
 def _root_attr(node: ast.expr, aliases: Dict[str, Optional[str]]) -> Optional[str]:
@@ -96,57 +165,125 @@ def _root_attr(node: ast.expr, aliases: Dict[str, Optional[str]]) -> Optional[st
             return None
 
 
+def _is_self_attribute(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
 class _EffectsVisitor(ast.NodeVisitor):
-    """Single pass over a method body collecting writes and calls."""
+    """Single pass over a method body collecting writes, reads and calls."""
 
     def __init__(self, fn: ast.FunctionDef) -> None:
         self.effects = MethodEffects(name=fn.name, def_line=fn.lineno)
         self.aliases: Dict[str, Optional[str]] = {}
         self._def_line = fn.lineno
+        self._params = self._param_names(fn)
+        # AST nodes whose read was already recorded (or deliberately
+        # skipped: method-name attributes of self calls) at a more
+        # key-precise site; identity-keyed because nodes are visited once.
+        self._consumed: Set[int] = set()
+
+    @staticmethod
+    def _param_names(fn: ast.FunctionDef) -> Set[str]:
+        args = fn.args
+        names = {a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]}
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        names.discard("self")
+        return names
+
+    def _key_of(self, slice_node: ast.expr) -> Optional[str]:
+        if isinstance(slice_node, ast.Name) and slice_node.id in self._params:
+            return f"p:{slice_node.id}"
+        if isinstance(slice_node, ast.Constant):
+            return f"k:{slice_node.value!r}"
+        return None
 
     # -- write recording ----------------------------------------------------
 
-    def _record(self, attr: Optional[str], line: int, reason: str) -> None:
+    def _record(
+        self, attr: Optional[str], line: int, reason: str, key: Optional[str] = None
+    ) -> None:
         if attr is not None:
-            self.effects.writes.append(Write(attr, line, reason, self._def_line))
+            self.effects.writes.append(Write(attr, line, reason, self._def_line, key))
 
-    def _written_root(self, target: ast.expr) -> Optional[str]:
-        """The self attribute a store-context target writes, if any."""
+    def _record_read(
+        self, attr: Optional[str], line: int, key: Optional[str] = None
+    ) -> None:
+        if attr is not None:
+            self.effects.reads.append(Read(attr, line, self._def_line, key))
+
+    def _written_root(self, target: ast.expr) -> Tuple[Optional[str], Optional[str]]:
+        """(root attribute, subscript key) a store-context target writes."""
         if isinstance(target, ast.Attribute):
             if isinstance(target.value, ast.Name) and target.value.id == "self":
-                return target.attr  # self.x = ...
-            return _root_attr(target.value, self.aliases)  # self.a.b = / alias.b =
+                return target.attr, None  # self.x = ...
+            return _root_attr(target.value, self.aliases), None  # self.a.b = / alias.b =
         if isinstance(target, ast.Subscript):
-            return _root_attr(target.value, self.aliases)  # self.a[k] = / alias[k] =
+            root = _root_attr(target.value, self.aliases)  # self.a[k] = / alias[k] =
+            key = self._key_of(target.slice) if _is_self_attribute(target.value) else None
+            return root, key
         if isinstance(target, (ast.Tuple, ast.List)):
-            return None  # elements handled by the caller
-        return None
+            return None, None  # elements handled by the caller
+        return None, None
 
     def _handle_target(self, target: ast.expr, line: int, reason: str) -> None:
-        if isinstance(target, (ast.Tuple, ast.List)):
-            for element in target.elts:
+        if isinstance(target, (ast.Tuple, ast.List, ast.Starred)):
+            elements = target.elts if not isinstance(target, ast.Starred) else [target.value]
+            for element in elements:
                 self._handle_target(element, line, reason)
             return
-        self._record(self._written_root(target), line, reason)
+        root, key = self._written_root(target)
+        self._record(root, line, reason, key)
+        if isinstance(target, ast.Subscript):
+            self.visit(target.slice)  # keys may themselves read state
         if isinstance(target, ast.Name):
             # a rebound local no longer aliases what it used to
             self.aliases[target.id] = None
+
+    def _bind_aliases(self, target: ast.expr, value: ast.expr) -> None:
+        """Alias targets to the state roots of ``value``, pairwise for unpacks."""
+        if isinstance(target, ast.Name):
+            self.aliases[target.id] = _root_attr(value, self.aliases)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind_aliases(target.value, value)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            if (
+                isinstance(value, (ast.Tuple, ast.List))
+                and len(value.elts) == len(target.elts)
+                and not any(isinstance(e, ast.Starred) for e in target.elts)
+            ):
+                # bufs, log = self.msgs[q], self.log  - pairwise aliasing
+                for element, element_value in zip(target.elts, value.elts):
+                    self._bind_aliases(element, element_value)
+            else:
+                # a, b = self.pair - every name may alias the one root
+                root = _root_attr(value, self.aliases)
+                for element in target.elts:
+                    inner = element.value if isinstance(element, ast.Starred) else element
+                    if isinstance(inner, ast.Name):
+                        self.aliases[inner.id] = root
 
     # -- statements ---------------------------------------------------------
 
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._handle_target(target, node.lineno, "assignment")
-        # simple local aliasing: name = <expr rooted at self.attr>
-        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
-            self.aliases[node.targets[0].id] = _root_attr(node.value, self.aliases)
+        if len(node.targets) == 1:
+            self._bind_aliases(node.targets[0], node.value)
         self.visit(node.value)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
             self._handle_target(node.target, node.lineno, "assignment")
-            if isinstance(node.target, ast.Name):
-                self.aliases[node.target.id] = _root_attr(node.value, self.aliases)
+            self._bind_aliases(node.target, node.value)
             self.visit(node.value)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -154,6 +291,10 @@ class _EffectsVisitor(ast.NodeVisitor):
             # read the alias before _handle_target clears the binding
             root = self.aliases.get(node.target.id)
             self._record(root, node.lineno, "augmented assignment through alias")
+            self._record_read(root, node.lineno)
+        else:
+            root, key = self._written_root(node.target)
+            self._record_read(root, node.lineno, key)  # x += 1 also reads x
         self._handle_target(node.target, node.lineno, "augmented assignment")
         self.visit(node.value)
 
@@ -176,27 +317,69 @@ class _EffectsVisitor(ast.NodeVisitor):
                 self.effects.eff_calls.append((func.attr, node.lineno))
             elif is_self_call and func.attr in FRAMEWORK_MUTATORS:
                 self.effects.writes.append(
-                    Write("_state_version", node.lineno,
+                    Write(VERSION_ATTR, node.lineno,
                           f"call to self.{func.attr}()", self._def_line)
                 )
             elif is_self_call:
                 self.effects.helper_calls.add(func.attr)
             elif func.attr in MUTATOR_METHODS:
+                key = (
+                    self._key_of(receiver.slice)
+                    if isinstance(receiver, ast.Subscript)
+                    and _is_self_attribute(receiver.value)
+                    else None
+                )
                 self._record(
                     _root_attr(receiver, self.aliases),
                     node.lineno,
                     f"call to mutator .{func.attr}()",
+                    key,
                 )
+            elif func.attr in MUTATOR_FUNCTIONS and node.args and \
+                    _root_attr(receiver, self.aliases) is None:
+                # bisect.insort(self.log, x) - mutates its first argument
+                self._record(
+                    _root_attr(node.args[0], self.aliases),
+                    node.lineno,
+                    f"call to mutator function {func.attr}()",
+                )
+            if is_self_call:
+                # self.helper - the attribute is a method name, not a
+                # state read; keep it out of the read-set.
+                self._consumed.add(id(func))
             # super().m(...) resolves past the defining class in the MRO
             if (
                 isinstance(receiver, ast.Call)
                 and isinstance(receiver.func, ast.Name)
                 and receiver.func.id == "super"
             ):
+                self._consumed.add(id(func))
                 if func.attr.startswith("_eff_"):
                     self.effects.eff_calls.append((func.attr, node.lineno))
                 else:
                     self.effects.super_calls.add(func.attr)
+        elif isinstance(func, ast.Name) and func.id in MUTATOR_FUNCTIONS and node.args:
+            # from bisect import insort; insort(self.log, x)
+            self._record(
+                _root_attr(node.args[0], self.aliases),
+                node.lineno,
+                f"call to mutator function {func.id}()",
+            )
+        self.generic_visit(node)
+
+    # -- read recording -----------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load) and id(node) not in self._consumed:
+            self._record_read(_root_attr(node, self.aliases), node.lineno)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, ast.Load) and _is_self_attribute(node.value):
+            # self.msgs[q] - a key-sensitive read; consume the inner
+            # attribute so the unkeyed read does not swallow the key.
+            self._record_read(node.value.attr, node.lineno, self._key_of(node.slice))
+            self._consumed.add(id(node.value))
         self.generic_visit(node)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -296,6 +479,45 @@ class ClassIndex:
 
         expand(name, _origin)
         return writes, eff_calls
+
+    def chain_footprint(
+        self, cls: type, name: str
+    ) -> Tuple[List[Write], List[Read]]:
+        """Union of (writes, reads) over *every* MRO definition of ``name``.
+
+        The effect-chain semantics of the DSL run every definition along
+        the chain (unlike plain dispatch, which ``closure`` models), so
+        an action's footprint must fold all of them, plus the helpers
+        each transitively reaches.
+        """
+        writes: List[Write] = []
+        reads: List[Read] = []
+        seen: Set[Tuple[type, str]] = set()
+
+        def fold(effects: MethodEffects, after: Optional[type]) -> None:
+            writes.extend(effects.writes)
+            reads.extend(effects.reads)
+            for helper in sorted(effects.helper_calls):
+                expand(helper, None)
+            for helper in sorted(effects.super_calls):
+                expand(helper, after)
+
+        def expand(method: str, after: Optional[type]) -> None:
+            defining, effects = self.resolve(cls, method, after=after)
+            if defining is None or effects is None or (defining, method) in seen:
+                return
+            seen.add((defining, method))
+            fold(effects, defining)
+
+        for klass in cls.__mro__:
+            if (klass, name) in seen or name not in self.methods(klass):
+                continue
+            effects = self.own_effects(klass, name)
+            if effects is None:
+                continue
+            seen.add((klass, name))
+            fold(effects, klass)
+        return writes, reads
 
     def state_writes(self, cls: type) -> Dict[str, Write]:
         """Attributes ``cls``'s *own* ``_state`` creates (name -> write)."""

@@ -38,6 +38,12 @@ from repro.chaos.runner import (
     Episode,
     forge_nonmonotonic_view,
 )
+from repro.chaos.por import (
+    canonical_ops,
+    ops_commute,
+    schedule_key,
+    sends_membership_neutral,
+)
 from repro.chaos.shrink import ShrinkResult, shrink_plan
 
 __all__ = [
@@ -53,7 +59,11 @@ __all__ = [
     "FaultInjector",
     "FaultModel",
     "ShrinkResult",
+    "canonical_ops",
     "forge_nonmonotonic_view",
+    "ops_commute",
     "sanitise_ops",
+    "schedule_key",
+    "sends_membership_neutral",
     "shrink_plan",
 ]

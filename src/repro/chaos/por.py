@@ -1,0 +1,147 @@
+"""Partial-order reduction over chaos schedules.
+
+Two schedule operations are *independent* when executing them in either
+adjacent order yields the same episode - then the two orders are one
+behaviour, not two, and exploring both is wasted work.  The shrinker and
+the E16 sweep exploit this by **canonicalising** every candidate
+schedule (sorting runs of adjacent independent ops into a fixed order)
+and deduplicating on the canonical form: a candidate whose canonical
+schedule was already run is skipped without costing an episode.
+
+The independence relation used here is deliberately tiny and justified
+*statically*: two ``send`` ops by **different** processes commute.  Each
+``send`` only enqueues into its own endpoint's buffer (the per-process
+automata share no state, and CO_RFIFO orders messages per sender only),
+so swapping two adjacent sends by different processes permutes no
+per-sender FIFO and enables/disables nothing.  Everything else -
+partitions, crashes, views, settles, even two sends by the *same*
+process - is treated as dependent.
+
+That justification is not taken on faith: :func:`sends_membership_neutral`
+asks the footprint engine (:mod:`repro.analysis`) for the static
+write-set of the ``send`` action chain on the production endpoint and
+checks it against the membership-coordination state.  If a future edit
+makes ``send`` touch view or blocking state (so a send could initiate
+coordination and sends would stop commuting), the gate fails closed and
+POR silently degrades to "nothing commutes" - correctness over speed.
+
+Dedup is an *accelerator*, never an oracle: skipped candidates are ones
+whose canonical twin already ran, and adoption decisions are still made
+by re-running and re-checking, so a finding produced with POR on is a
+finding that replays with POR off.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Tuple
+
+from repro.chaos.plan import ChaosOp, ChaosPlan
+
+# State that belongs to membership coordination on the endpoint stack.
+# The POR gate demands the send chain writes none of it (block_status is
+# the client-side blocking flag; the rest drive the view protocol).
+MEMBERSHIP_ATTRS = frozenset({
+    "current_view",
+    "mbrshp_view",
+    "start_change",
+    "reliable_set",
+    "view_msg",
+    "block_status",
+})
+
+# Cached gate verdict; None until first asked.  Tests may reset this to
+# None (or force False) to exercise both sides of the gate.
+_SEND_NEUTRAL: Optional[bool] = None
+
+
+def sends_membership_neutral() -> bool:
+    """True iff the static ``send`` write-set avoids membership state.
+
+    Computed once per process from the footprint engine and cached.
+    Fails closed: if the analyzer cannot produce a footprint (source
+    unavailable, import failure), POR is disabled rather than trusted.
+    """
+    global _SEND_NEUTRAL
+    if _SEND_NEUTRAL is None:
+        _SEND_NEUTRAL = _compute_gate()
+    return _SEND_NEUTRAL
+
+
+def _compute_gate() -> bool:
+    try:
+        from repro.analysis.discovery import load_targets
+        from repro.analysis.interference import action_footprint
+        from repro.analysis.rules import make_class_index
+        from repro.core.gcs_endpoint import GcsEndpoint
+
+        targets = load_targets(("repro.core.gcs_endpoint",))
+        index = make_class_index(targets)
+        footprint = action_footprint(GcsEndpoint, "send", index)
+    except Exception:
+        return False
+    written = {attr for attr, _key in footprint.writes}
+    return not (written & MEMBERSHIP_ATTRS)
+
+
+def ops_commute(first: ChaosOp, second: ChaosOp) -> bool:
+    """The independence relation: sends by different processes commute."""
+    return (
+        first.kind == "send"
+        and second.kind == "send"
+        and first.pid != second.pid
+        and sends_membership_neutral()
+    )
+
+
+def _op_key(op: ChaosOp) -> Tuple[str, str]:
+    return (str(op.pid), str(op.payload))
+
+
+def canonical_ops(ops: Iterable[ChaosOp]) -> Tuple[ChaosOp, ...]:
+    """Sort adjacent independent ops into a fixed order (bubble to fixpoint).
+
+    Only adjacent swaps of commuting pairs are performed, so the result
+    is reachable from the input by independence-preserving exchanges -
+    it denotes the same behaviour.  Dependent ops never move past each
+    other, preserving every ordering that matters.
+    """
+    out: List[ChaosOp] = list(ops)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(out) - 1):
+            first, second = out[i], out[i + 1]
+            if ops_commute(first, second) and _op_key(second) < _op_key(first):
+                out[i], out[i + 1] = second, first
+                changed = True
+    return tuple(out)
+
+
+def schedule_key(plan: ChaosPlan) -> str:
+    """Canonical identity of a plan's behaviour class, for dedup.
+
+    Canonicalises the op sequence and serialises what the episode
+    actually depends on - ops, fault model, processes, overlay - to
+    sorted compact JSON.  The generation seed is *excluded* (it only
+    records provenance; the runner replays the schedule, not the seed),
+    and a fault model with no active rates collapses to ``{}`` (its seed
+    and timing parameters are never consulted when nothing fires).  Two
+    plans with equal keys differ only by exchanges of independent ops
+    and replay identically.
+    """
+    data = plan.to_dict()
+    data.pop("seed", None)
+    data["ops"] = [op.to_dict() for op in canonical_ops(plan.ops)]
+    if not plan.faults.active_rates():
+        data["faults"] = {}
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+__all__ = [
+    "MEMBERSHIP_ATTRS",
+    "canonical_ops",
+    "ops_commute",
+    "schedule_key",
+    "sends_membership_neutral",
+]

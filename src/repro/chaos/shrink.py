@@ -23,16 +23,24 @@ from what a CI log prints.
 
 Every re-run costs a full episode, so the search is bounded by
 ``max_runs`` - shrinking is best-effort minimisation, not a proof of
-minimality.
+minimality.  Partial-order reduction (:mod:`repro.chaos.por`) stretches
+that budget: every candidate is canonicalised (adjacent independent ops
+sorted into a fixed order) and deduplicated on its canonical form, so a
+candidate equivalent to one already run is skipped without spending an
+episode.  Skipping is sound by construction - only candidates whose
+behaviour class was already explored are dropped, and adoption still
+requires an actual re-run - so POR changes how *fast* the minimum is
+found, never *which* finding ships.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 from repro.chaos.plan import ChaosPlan
+from repro.chaos.por import schedule_key
 from repro.chaos.runner import ChaosRunner, Episode
 
 
@@ -46,6 +54,8 @@ class ShrinkResult:
     runs: int  # episodes executed, confirmation included
     code: str = ""  # stable violation code (preserved while shrinking)
     witness_index: Optional[int] = None  # earliest violating event index
+    candidates: int = 0  # candidate schedules considered (run or skipped)
+    deduped: int = 0  # candidates skipped as POR-equivalent to a prior run
 
     def finding(self) -> Dict[str, Any]:
         """The replayable finding: seed, code, witness, minimal schedule."""
@@ -66,26 +76,41 @@ class ShrinkResult:
             f"{len(self.original.ops)} -> {len(self.plan.ops)} ops, "
             f"{len(self.original.processes)} -> {len(self.plan.processes)} processes, "
             f"faults [{self.original.faults.describe()}] -> "
-            f"[{self.plan.faults.describe()}] in {self.runs} runs; "
+            f"[{self.plan.faults.describe()}] in {self.runs} runs "
+            f"({self.candidates} candidates, {self.deduped} POR-deduped); "
             f"code={self.code} witness={self.witness_index}; "
             f"violation: {self.violation}"
         )
 
 
 def shrink_plan(
-    runner: ChaosRunner, plan: ChaosPlan, *, max_runs: int = 80
+    runner: ChaosRunner, plan: ChaosPlan, *, max_runs: int = 80, por: bool = True
 ) -> Optional[ShrinkResult]:
-    """Minimise ``plan`` under ``runner``; ``None`` if it doesn't fail."""
-    state = _Shrinker(runner, max_runs)
+    """Minimise ``plan`` under ``runner``; ``None`` if it doesn't fail.
+
+    ``por=True`` (the default) deduplicates candidates up to exchanges
+    of independent ops; skipped candidates don't consume ``max_runs``.
+    ``por=False`` runs every candidate - the differential baseline the
+    test battery compares against.
+    """
+    state = _Shrinker(runner, max_runs, por=por)
     first = state.attempt(plan)
     if first is None or first.ok:
         return None
     state.adopt(plan, first)
-    state.shrink_ops()
-    state.shrink_faults()
-    state.shrink_processes()
-    # Rate removal can orphan ops; one more op pass mops up.
-    state.shrink_ops()
+    state.remember(plan)
+    # The axes interact - removing a fault class orphans ops, dropping a
+    # process re-sanitises the schedule - so iterate the passes until a
+    # full round adopts nothing.  Re-sweeps regenerate candidates already
+    # tried against the same best plan; with POR on those are deduped
+    # instead of re-run, which is what pays for the extra thoroughness.
+    while state.runs < max_runs:
+        state.progressed = False
+        state.shrink_ops()
+        state.shrink_faults()
+        state.shrink_processes()
+        if not state.progressed:
+            break
     return ShrinkResult(
         plan=state.best,
         violation=state.violation,
@@ -93,14 +118,21 @@ def shrink_plan(
         runs=state.runs,
         code=state.code,
         witness_index=state.witness,
+        candidates=state.candidates,
+        deduped=state.deduped,
     )
 
 
 class _Shrinker:
-    def __init__(self, runner: ChaosRunner, max_runs: int) -> None:
+    def __init__(self, runner: ChaosRunner, max_runs: int, *, por: bool = True) -> None:
         self.runner = runner
         self.max_runs = max_runs
+        self.por = por
         self.runs = 0
+        self.candidates = 0
+        self.deduped = 0
+        self.progressed = False
+        self.seen: Set[str] = set()
         self.best: ChaosPlan = None  # type: ignore[assignment]
         self.violation: str = ""
         self.code: str = ""
@@ -117,6 +149,12 @@ class _Shrinker:
         self.violation = episode.violation or ""
         self.code = episode.code or ""
         self.witness = episode.witness_index
+        self.progressed = True
+
+    def remember(self, plan: ChaosPlan) -> None:
+        """Record a plan's canonical schedule so its twins are skipped."""
+        if self.por:
+            self.seen.add(schedule_key(plan))
 
     def try_candidate(self, candidate: ChaosPlan) -> bool:
         """Run ``candidate``; adopt it only if the *same finding* persists.
@@ -125,7 +163,18 @@ class _Shrinker:
         best run so far.  A candidate that fails differently (another
         code, or the same code only deeper into the trace) is rejected -
         shrinking minimises the original bug, it does not go bug-hunting.
+
+        With POR on, a candidate whose canonical schedule already ran is
+        skipped for free - it cannot be adopted (same behaviour class,
+        already rejected or already the best) and costs no episode.
         """
+        self.candidates += 1
+        if self.por:
+            key = schedule_key(candidate)
+            if key in self.seen:
+                self.deduped += 1
+                return False
+            self.seen.add(key)
         episode = self.attempt(candidate)
         if episode is None or episode.ok:
             return False

@@ -54,7 +54,7 @@ composition enabled-set caches honest if the general engine resumes.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Optional
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Optional, Tuple
 
 from repro._collections import MessageLog
 from repro.checking.events import DeliverEvent, SendEvent
@@ -73,6 +73,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: user-supplied strategy disqualifies the lane: the general engine
 #: serves it, slower but with its invariants enforced.
 _QUIESCENT_STRATEGIES = (NoForwarding, SimpleStrategy, MinCopiesStrategy)
+
+#: The automaton actions each fast-lane operation claims to replay, in
+#: order.  Rule R6 of the static verifier (``repro.analysis.fastlane``)
+#: checks the replay bodies against the union of the write-sets of these
+#: actions' compiled transition chains, so fastpath drift - a lane write
+#: the general engine would not perform - is a lint failure, not just a
+#: differential-test failure.  Every ``try_*`` method must have an entry.
+REPLAYED_ACTIONS: Dict[str, Tuple[str, ...]] = {
+    "try_send": ("send", "co_rfifo.send", "deliver"),
+    "try_receive": ("co_rfifo.deliver", "deliver"),
+}
 
 
 def fastpath_default() -> bool:
@@ -242,4 +253,4 @@ class FastLane:
         return f"<FastLane {self.pid} {'engaged' if engaged else 'idle'}>"
 
 
-__all__ = ["FastLane", "fastpath_default"]
+__all__ = ["FastLane", "REPLAYED_ACTIONS", "fastpath_default"]

@@ -39,6 +39,9 @@ from repro.types import ProcessId, StartChangeId, View
 
 # Drain priority: smaller runs first.  Reliable-set updates unlock sync
 # sends; deliveries must reach the agreed cut before the view can go out.
+# The default when an endpoint class declares no ORDERING of its own;
+# WvRfifoEndpoint's ORDERING (which the whole stack inherits and the R5
+# interference lint checks against) states the same barrier.
 _PRIORITY = {
     "co_rfifo.reliable": 0,
     "block": 1,
@@ -48,8 +51,12 @@ _PRIORITY = {
 }
 
 
-def _priority_key(action: Action) -> int:
-    return _PRIORITY.get(action.name, 9)
+def _priority_map(endpoint: GcsEndpoint) -> dict:
+    """The drain barrier: the endpoint's declared ORDERING, else _PRIORITY."""
+    ordering = getattr(type(endpoint), "ORDERING", ())
+    if ordering:
+        return {name: rank for rank, name in enumerate(ordering)}
+    return _PRIORITY
 
 
 class EndpointRunner:
@@ -101,6 +108,8 @@ class EndpointRunner:
             fastpath = fastpath_default()
         lane = FastLane(self) if fastpath else None
         self.fast_lane = lane if lane is not None and lane.structural_ok else None
+        priorities = _priority_map(endpoint)
+        self._priority_key = lambda action: priorities.get(action.name, 9)
 
     # ------------------------------------------------------------------
     # environment inputs
@@ -193,7 +202,7 @@ class EndpointRunner:
                 if not batch:
                     break
                 if len(batch) > 1:
-                    batch.sort(key=_priority_key)
+                    batch.sort(key=self._priority_key)
                 progressed = False
                 for action in batch:
                     if not self.endpoint.is_enabled(action):

@@ -35,6 +35,14 @@ class WvRfifoEndpoint(ProcessAutomaton):
         "view": ActionKind.OUTPUT,  # (p, v) - extended to (p, v, T) by the child
     }
 
+    # The drain barrier the runner enforces (earlier first) and R5 checks
+    # against: reliable-set updates unlock sync sends, sends advance
+    # last_sent before self-delivery, and deliveries must reach the
+    # agreed cut before the view goes out.  Inherited by the whole
+    # endpoint stack (Vs/Gcs and the baselines), whose added outputs
+    # (block) slot in between.
+    ORDERING = ("co_rfifo.reliable", "block", "co_rfifo.send", "deliver", "view")
+
     def _state(self) -> None:
         pid = self.pid
         # msgs[q][v]: messages sent by q in view v (1-indexed, may have holes)

@@ -27,6 +27,7 @@ from repro.chaos import (
     forge_nonmonotonic_view,
     shrink_plan,
 )
+from repro.chaos.por import schedule_key
 
 
 @dataclass
@@ -39,6 +40,7 @@ class ChaosSweepResult:
     ops: int  # schedule operations executed across the sweep
     injected: Dict[str, int]  # fault counters summed over the sweep
     failures: List[str]  # summaries of any violating episodes
+    por_skipped: int = 0  # seeds skipped as POR-equivalent to a prior episode
 
     @property
     def ok(self) -> bool:
@@ -52,20 +54,36 @@ def chaos_sweep(
     seed_base: int = 0,
     intensity: float = 1.0,
     overlay_leaders: int = 0,
+    por: bool = True,
 ) -> ChaosSweepResult:
     """Run ``episodes`` seeded chaos episodes on one substrate.
 
     ``overlay_leaders`` > 0 runs every episode under the two-tier scale
     overlay, with ``leader_crash`` ops targeting its acting leaders.
+
+    ``por=True`` skips seeds whose generated plan is equivalent - up to
+    exchanges of independent ops (:mod:`repro.chaos.por`) - to one this
+    sweep already executed: re-running a behaviour class the sweep has
+    audited proves nothing new.  ``episodes`` still counts the seeds
+    *covered*; ``por_skipped`` of them cost no episode.
     """
     runner = ChaosRunner(substrate)
     ops = 0
     injected: Dict[str, int] = {}
     failures: List[str] = []
+    seen: set = set()
+    por_skipped = 0
     for seed in range(seed_base, seed_base + episodes):
-        episode = runner.run_seed(
+        plan = ChaosPlan.generate(
             seed, intensity=intensity, overlay_leaders=overlay_leaders
         )
+        if por:
+            key = schedule_key(plan)
+            if key in seen:
+                por_skipped += 1
+                continue
+            seen.add(key)
+        episode = runner.run(plan)
         ops += len(episode.plan.ops)
         for key, count in episode.counters.items():
             injected[key] = injected.get(key, 0) + count
@@ -78,6 +96,7 @@ def chaos_sweep(
         ops=ops,
         injected=injected,
         failures=failures,
+        por_skipped=por_skipped,
     )
 
 

@@ -119,6 +119,14 @@ class Automaton:
     # signature only contains them once enable_optional_actions ran.
     OPTIONAL_SIGNATURE: Dict[str, ActionKind] = {}
     PARAM_PROJECTIONS: Dict[str, _Projection] = {}
+    # Documented ordering barrier for locally controlled actions: drivers
+    # that drain to quiescence (repro.core.runner.EndpointRunner) execute
+    # same-batch actions in this tuple's order (earlier first), which
+    # serialises otherwise-concurrent interfering actions.  The static
+    # interference rule (R5 in repro.analysis) exempts action pairs that
+    # both appear here; most-derived declaration wins, empty means the
+    # driver's default order.
+    ORDERING: Tuple[str, ...] = ()
 
     def __init__(self, name: str, *, strict: bool = False) -> None:
         self.name = name

@@ -86,6 +86,9 @@ class ClientSpec(Automaton):
         self.block_status = BlockStatus.UNBLOCKED
 
 
+# repro: allow[R5] - the send/block_ok race is the point: an adversarial
+# scheduler may acknowledge the block before or after any given scripted
+# send, and the Figure 12 contract must hold either way.
 class ScriptedClient(ClientSpec):
     """A client that sends a scripted sequence of payloads when allowed.
 

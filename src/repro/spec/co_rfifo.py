@@ -21,6 +21,9 @@ from repro.ioa import Action, ActionKind, Automaton
 from repro.types import ProcessId, View
 
 
+# repro: allow[R5] - the deliver/lose choice on a channel IS the Figure 3
+# nondeterminism: an unreliable channel either delivers the head or drops
+# it, and schedulers are meant to explore both orders.
 class CoRfifoSpec(Automaton):
     """The CO_RFIFO specification automaton (Figure 3)."""
 

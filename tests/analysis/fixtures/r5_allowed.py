@@ -1,0 +1,45 @@
+"""The r5_conflict race again, but waived with a documented allow.
+
+The emit/discard interference is declared intentional, so the R5 finding
+must be recorded as suppressed - present in the report, not active.
+"""
+
+from typing import Any, Iterable, List, Tuple
+
+from repro.ioa import ActionKind, Automaton
+
+
+# repro: allow[R5] - the emit/discard race is this fixture's point: the
+# scheduler is meant to explore both resolutions of the nondeterminism.
+class WaivedRacingQueue(Automaton):
+    SIGNATURE = {
+        "push": ActionKind.INPUT,  # (item,)
+        "emit": ActionKind.OUTPUT,  # (item,)
+        "discard": ActionKind.INTERNAL,  # ()
+    }
+
+    def _state(self) -> None:
+        self.queue: List[Any] = []
+
+    def _eff_push(self, item: Any) -> None:
+        self.queue.append(item)
+
+    def _pre_emit(self, item: Any) -> bool:
+        return bool(self.queue) and self.queue[0] == item
+
+    def _eff_emit(self, item: Any) -> None:
+        self.queue.pop(0)
+
+    def _candidates_emit(self) -> Iterable[Tuple[Any]]:
+        if self.queue:
+            yield (self.queue[0],)
+
+    def _pre_discard(self) -> bool:
+        return bool(self.queue)
+
+    def _eff_discard(self) -> None:
+        self.queue.pop()
+
+    def _candidates_discard(self) -> Iterable[Tuple]:
+        if self.queue:
+            yield ()

@@ -1,0 +1,44 @@
+"""Broken: two locally controlled actions race on one state variable.
+
+``emit`` and ``discard`` are concurrently enabled whenever the queue is
+non-empty and both mutate it, with no ORDERING barrier and no waiver -
+exactly the interference R5 exists to flag.
+"""
+
+from typing import Any, Iterable, List, Tuple
+
+from repro.ioa import ActionKind, Automaton
+
+
+class RacingQueue(Automaton):
+    SIGNATURE = {
+        "push": ActionKind.INPUT,  # (item,)
+        "emit": ActionKind.OUTPUT,  # (item,)
+        "discard": ActionKind.INTERNAL,  # ()
+    }
+
+    def _state(self) -> None:
+        self.queue: List[Any] = []
+
+    def _eff_push(self, item: Any) -> None:
+        self.queue.append(item)
+
+    def _pre_emit(self, item: Any) -> bool:
+        return bool(self.queue) and self.queue[0] == item
+
+    def _eff_emit(self, item: Any) -> None:
+        self.queue.pop(0)
+
+    def _candidates_emit(self) -> Iterable[Tuple[Any]]:
+        if self.queue:
+            yield (self.queue[0],)
+
+    def _pre_discard(self) -> bool:
+        return bool(self.queue)
+
+    def _eff_discard(self) -> None:
+        self.queue.pop()
+
+    def _candidates_discard(self) -> Iterable[Tuple]:
+        if self.queue:
+            yield ()

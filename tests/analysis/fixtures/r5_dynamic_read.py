@@ -1,0 +1,31 @@
+"""A guard whose read is invisible to the footprint engine.
+
+``_pre_tick`` consults ``hidden`` through ``getattr`` indirection, which
+the static read-set cannot see.  Static rules pass (nothing conflicts);
+only the runtime read-parity probe (``R5.read-parity``) can catch the
+under-approximation - the test battery points
+``diff_read_fingerprints`` at this class directly.
+"""
+
+from typing import Iterable, Tuple
+
+from repro.ioa import ActionKind, Automaton
+
+
+class SneakyGuard(Automaton):
+    SIGNATURE = {
+        "tick": ActionKind.INTERNAL,  # ()
+    }
+
+    def _state(self) -> None:
+        self.hidden = True
+        self.count = 0
+
+    def _pre_tick(self) -> bool:
+        return bool(getattr(self, "hid" + "den"))
+
+    def _eff_tick(self) -> None:
+        self.count += 1
+
+    def _candidates_tick(self) -> Iterable[Tuple]:
+        yield ()

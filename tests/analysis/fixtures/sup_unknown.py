@@ -1,0 +1,8 @@
+"""Broken: a waiver naming a rule that does not exist.
+
+The allow below suppresses nothing (there is no R9) - dead waivers rot
+into false confidence, so suppression hygiene must flag them.
+"""
+
+# repro: allow[R9.imaginary] - this rule id is not in the catalogue.
+UNUSED = object()

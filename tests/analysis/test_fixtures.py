@@ -16,6 +16,8 @@ EXPECTED = {
     "r4_random": "R4.unseeded-random",
     "r4_wallclock": "R4.wall-clock",
     "r4_set_iteration": "R4.set-iteration",
+    "r5_conflict": "R5.conflict",
+    "sup_unknown": "SUP.unknown-rule",
 }
 
 
@@ -36,9 +38,30 @@ def test_fixture_triggers_exactly_its_rule(fixture_report, basename, rule_id):
 
 
 def test_no_findings_outside_the_broken_modules(fixture_report):
-    known = set(EXPECTED) | {"allowed_mutation"}
+    known = set(EXPECTED) | {"allowed_mutation", "r5_allowed"}
     for finding in fixture_report.findings:
         assert finding.location.module.rsplit(".", 1)[-1] in known
+
+
+def test_r5_waiver_suppresses_the_conflict(fixture_report):
+    """allow[R5] above the class turns the race finding into a waiver."""
+    (finding,) = _by_module(fixture_report)["r5_allowed"]
+    assert finding.rule_id == "R5.conflict"
+    assert finding.suppressed
+
+
+def test_r5_conflict_names_both_actions_and_the_attr(fixture_report):
+    (finding,) = _by_module(fixture_report)["r5_conflict"]
+    for fragment in ("emit", "discard", "'queue'"):
+        assert fragment in finding.explanation
+
+
+def test_unknown_waiver_is_not_honoured_as_a_suppression(fixture_report):
+    """The dead allow[R9.imaginary] must be flagged, not silently obeyed."""
+    (finding,) = _by_module(fixture_report)["sup_unknown"]
+    assert finding.rule_id == "SUP.unknown-rule"
+    assert not finding.suppressed
+    assert "R9.imaginary" in finding.explanation
 
 
 def test_dangling_finding_suggests_the_intended_name(fixture_report):

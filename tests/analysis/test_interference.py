@@ -1,0 +1,93 @@
+"""The interference relation and its exported commutativity table."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.discovery import load_targets
+from repro.analysis.interference import (
+    action_footprint,
+    interference_table,
+    table_json,
+)
+from repro.analysis.rules import make_class_index
+
+from tests.analysis.conftest import FIXTURES_DIR
+
+
+@pytest.fixture(scope="module")
+def fixture_index():
+    targets = load_targets((FIXTURES_DIR,))
+    return targets, make_class_index(targets)
+
+
+@pytest.fixture(scope="module")
+def repo_table():
+    targets = load_targets(("repro",))
+    index = make_class_index(targets)
+    return interference_table(targets.classes, index)
+
+
+def test_conflicting_footprints_witness_the_shared_attr(fixture_index):
+    from tests.analysis.fixtures.r5_conflict import RacingQueue
+
+    _targets, index = fixture_index
+    emit = action_footprint(RacingQueue, "emit", index)
+    discard = action_footprint(RacingQueue, "discard", index)
+    assert emit.conflicts_with(discard) == ["queue"]
+    assert not emit.commutes_with(discard)
+
+
+def test_state_version_never_witnesses_a_conflict(fixture_index):
+    """Every action bumps _state_version; it would make R5 vacuous."""
+    from tests.analysis.fixtures.r5_conflict import RacingQueue
+
+    _targets, index = fixture_index
+    emit = action_footprint(RacingQueue, "emit", index)
+    assert "_state_version" not in emit.conflicts_with(emit)
+
+
+def test_table_lists_endpoint_actions_conflicts_and_ordering(repo_table):
+    key = next(k for k in repo_table["automata"] if k.endswith(".GcsEndpoint"))
+    entry = repo_table["automata"][key]
+    assert {"deliver", "view", "co_rfifo.send"} <= set(entry["actions"])
+    conflict_pairs = {tuple(c["pair"]) for c in entry["conflicts"]}
+    assert ("deliver", "view") in conflict_pairs
+    # The declared drain barrier ships in the table so consumers (POR,
+    # humans) can see which conflicts are ordered away.
+    assert "deliver" in entry["ordering"] and "view" in entry["ordering"]
+
+
+def test_commutes_and_conflicts_partition_the_pairs(repo_table):
+    for entry in repo_table["automata"].values():
+        commutes = {tuple(pair) for pair in entry["commutes"]}
+        conflicts = {tuple(c["pair"]) for c in entry["conflicts"]}
+        assert not commutes & conflicts
+
+
+def test_table_json_is_canonical(repo_table):
+    payload = table_json(repo_table)
+    assert payload.endswith("\n")
+    assert json.loads(payload) == repo_table
+    assert table_json(repo_table) == payload
+
+
+def test_table_bytes_stable_across_hash_seeds(tmp_path):
+    """PYTHONHASHSEED must not leak into the exported table."""
+    outputs = []
+    for seed in ("0", "1"):
+        out = tmp_path / f"table-{seed}.json"
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--interference",
+             "--output", str(out), "repro.core"],
+            check=True, env=env, capture_output=True,
+        )
+        outputs.append(out.read_bytes())
+    assert outputs[0] == outputs[1]

@@ -42,7 +42,7 @@ def test_json_exit_code_and_payload_on_violations(capsys):
     payload = json.loads(capsys.readouterr().out)
     active = [f for f in payload["findings"] if not f["suppressed"]]
     assert payload["summary"]["errors"] == len(active) > 0
-    assert {f["rule"] for f in active} == {"R1", "R2", "R3", "R4"}
+    assert {f["rule"] for f in active} == {"R1", "R2", "R3", "R4", "R5", "SUP"}
 
 
 def test_lint_subcommand_is_wired_into_repro_main(capsys):
@@ -55,7 +55,9 @@ def test_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("R1.write", "R2.parent-write", "R3.dangling-method",
-                    "R4.unseeded-random"):
+                    "R4.unseeded-random", "R5.conflict", "R5.read-parity",
+                    "R6.spurious-write", "R6.unknown-replay",
+                    "SUP.unknown-rule"):
         assert rule_id in out
 
 

@@ -27,6 +27,33 @@ def test_predicted_owners_match_a_real_endpoint():
     assert owners["block_status"] is GcsEndpoint
 
 
+def test_read_parity_is_clean_on_the_endpoint_stack():
+    """The driven endpoint's guards read only what the analyzer sees."""
+    from repro.analysis.parity import _seeded_endpoint, diff_read_fingerprints
+
+    findings = diff_read_fingerprints(
+        GcsEndpoint, _index(), factory=_seeded_endpoint
+    )
+    assert findings == []
+
+
+def test_hidden_guard_read_is_caught_by_the_probe():
+    """getattr indirection in a precondition must surface as drift."""
+    import os
+
+    from repro.analysis.parity import diff_read_fingerprints
+
+    fixtures = os.path.join(os.path.dirname(__file__), "fixtures")
+    index = make_class_index(load_targets((fixtures,)))
+    from tests.analysis.fixtures.r5_dynamic_read import SneakyGuard
+
+    findings = diff_read_fingerprints(SneakyGuard, index)
+    assert [f.rule_id for f in findings] == ["R5.read-parity"]
+    (finding,) = findings
+    assert "'hidden'" in finding.explanation
+    assert "tick" in finding.explanation
+
+
 def test_ownership_drift_is_detected():
     index = _index()
     runtime = dict(predicted_owners(GcsEndpoint, index))

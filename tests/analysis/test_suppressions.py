@@ -51,3 +51,23 @@ def test_anchor_lines_let_one_comment_cover_a_method(fixture_report):
     # the finding anchors at its own line plus def/class context lines
     assert finding.location.line in finding.anchors
     assert len(finding.anchors) >= 2
+
+
+def test_r5_and_r6_ids_waive_like_any_other_rule():
+    index = SuppressionIndex([
+        "x = 1  # repro: allow[R5, R6.spurious-write]",
+    ])
+    assert index.allows("R5", "R5.conflict", [1])
+    assert index.allows("R5", "R5.read-parity", [1])
+    assert index.allows("R6", "R6.spurious-write", [1])
+    assert not index.allows("R6", "R6.unknown-replay", [1])
+
+
+def test_declared_ids_are_recorded_at_comment_origin_lines():
+    """Hygiene checking sees every declared id, valid or not."""
+    index = SuppressionIndex([
+        "# repro: allow[R5] - a class-level waiver",
+        "value = 1  # repro: allow[R9.imaginary]",
+    ])
+    assert index.declared[1] == {"R5"}
+    assert index.declared[2] == {"R9.imaginary"}

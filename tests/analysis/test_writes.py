@@ -89,3 +89,69 @@ def test_helper_effect_and_super_calls_are_separated():
 def test_framework_mutators_count_as_writes():
     effects = _effects("def f(self):\n    self.touch()\n")
     assert _attrs(effects) == {"_state_version"}
+
+
+def test_tuple_unpack_tracks_each_alias_pairwise():
+    effects = _effects(
+        "def f(self, m):\n"
+        "    head, tail = self.queue, self.backlog\n"
+        "    head.append(m)\n"
+        "    tail.clear()\n"
+    )
+    assert _attrs(effects) == {"queue", "backlog"}
+
+
+def test_starred_unpack_falls_back_to_conservative_aliasing():
+    effects = _effects(
+        "def f(self, m):\n"
+        "    first, *rest = self.parts\n"
+        "    first.append(m)\n"
+    )
+    assert _attrs(effects) == {"parts"}
+
+
+def test_deque_bisect_and_heapq_mutators_count_as_writes():
+    effects = _effects(
+        "def f(self, m):\n"
+        "    self.pending.extendleft([m])\n"
+        "    self.window.rotate(1)\n"
+        "    insort(self.ordered, m)\n"
+        "    heapq.heappush(self.heap, m)\n"
+    )
+    assert _attrs(effects) == {"pending", "window", "ordered", "heap"}
+
+
+def test_subscript_writes_carry_key_sensitivity():
+    effects = _effects(
+        "def f(self, q, m):\n"
+        "    self.slots[q] = m\n"
+        "    self.meta['fixed'] = m\n"
+        "    self.blob[q + 1] = m\n"
+    )
+    keyed = {(w.attr, w.key) for w in effects.writes}
+    assert ("slots", "p:q") in keyed
+    assert ("meta", "k:'fixed'") in keyed
+    assert ("blob", None) in keyed
+
+
+def test_reads_carry_key_sensitivity():
+    effects = _effects(
+        "def f(self, q):\n"
+        "    a = self.table[q]\n"
+        "    b = self.table['fixed']\n"
+        "    return a, b, self.flag\n"
+    )
+    keyed = {(r.attr, r.key) for r in effects.reads}
+    assert ("table", "p:q") in keyed
+    assert ("table", "k:'fixed'") in keyed
+    assert ("flag", None) in keyed
+
+
+def test_keys_may_alias_semantics():
+    from repro.analysis.writes import keys_may_alias
+
+    assert not keys_may_alias("k:'a'", "k:'b'")  # distinct constants
+    assert keys_may_alias("k:'a'", "k:'a'")
+    assert keys_may_alias("p:q", "k:'a'")  # a parameter takes any value
+    assert keys_may_alias("p:q", "p:r")
+    assert keys_may_alias(None, "k:'a'")  # unknown aliases everything

@@ -1,0 +1,127 @@
+"""Partial-order reduction: independence, canonical forms, dedup.
+
+The contract under test (``repro.chaos.por``): only sends by different
+processes commute, the claim is gated on the footprint engine's verdict
+about the ``send`` chain, canonicalisation never moves an op across a
+dependent one, and both consumers - the shrinker and the E16 sweep -
+skip POR-equivalent schedules without ever skipping a behaviour class
+they have not executed.
+"""
+
+import importlib
+
+import pytest
+
+from repro.chaos import ChaosOp, ChaosPlan, por
+from repro.chaos.por import canonical_ops, ops_commute, schedule_key
+from repro.chaos.shrink import _Shrinker
+
+# The package re-exports the function under the module's name, so reach
+# the module itself through importlib for monkeypatching.
+sweep_mod = importlib.import_module("repro.experiments.chaos_sweep")
+
+
+def _send(pid, payload):
+    return ChaosOp(kind="send", pid=pid, payload=payload)
+
+
+def _two_send_plan():
+    base = ChaosPlan.generate(1, intensity=0.0)
+    return base.with_ops(
+        (_send("b", "b-x"), _send("a", "a-x"), ChaosOp(kind="settle"))
+    )
+
+
+def _swapped(plan):
+    ops = list(plan.ops)
+    ops[0], ops[1] = ops[1], ops[0]
+    return plan.with_ops(ops)
+
+
+def test_gate_holds_on_the_shipped_endpoint(monkeypatch):
+    """The send chain writes no membership state, so sends may commute."""
+    monkeypatch.setattr(por, "_SEND_NEUTRAL", None)  # force recompute
+    assert por.sends_membership_neutral() is True
+
+
+def test_independence_is_only_cross_process_sends():
+    a, b = _send("a", "1"), _send("b", "2")
+    assert ops_commute(a, b) and ops_commute(b, a)
+    assert not ops_commute(a, _send("a", "3"))  # same sender: FIFO order
+    assert not ops_commute(a, ChaosOp(kind="settle"))
+    assert not ops_commute(ChaosOp(kind="crash", pid="b"), a)
+
+
+def test_gate_failure_disables_commuting(monkeypatch):
+    monkeypatch.setattr(por, "_SEND_NEUTRAL", False)
+    assert not ops_commute(_send("a", "1"), _send("b", "2"))
+
+
+def test_canonical_ops_sorts_only_across_independent_pairs():
+    a, b, c = _send("a", "1"), _send("b", "2"), _send("c", "3")
+    settle = ChaosOp(kind="settle")
+    assert canonical_ops([c, b, a]) == (a, b, c)
+    # The settle is a barrier: sends never cross it.
+    assert canonical_ops([b, settle, a]) == (b, settle, a)
+    assert canonical_ops([]) == ()
+
+
+def test_schedule_key_identifies_swap_equivalent_plans():
+    plan = _two_send_plan()
+    swapped = _swapped(plan)
+    assert plan.ops != swapped.ops
+    assert schedule_key(plan) == schedule_key(swapped)
+    # Dropping an op changes the behaviour class.
+    shorter = plan.with_ops(plan.ops[1:])
+    assert schedule_key(plan) != schedule_key(shorter)
+
+
+def test_schedule_key_ignores_seed_and_idle_fault_model():
+    plan = _two_send_plan()
+    other_seed = ChaosPlan.generate(2, intensity=0.0).with_ops(plan.ops)
+    if other_seed.processes == plan.processes:
+        assert schedule_key(plan) == schedule_key(other_seed)
+    refit = plan.with_faults(plan.faults.__class__(seed=99))
+    assert schedule_key(plan) == schedule_key(refit)
+
+
+class _NeverRun:
+    """A runner for candidates that must be skipped, not executed."""
+
+    def run(self, plan):
+        raise RuntimeError("POR-deduped candidate must not execute")
+
+
+def test_shrinker_dedup_skips_without_spending_a_run():
+    plan = _two_send_plan()
+    shrinker = _Shrinker(_NeverRun(), max_runs=4, por=True)
+    shrinker.remember(plan)
+    assert shrinker.try_candidate(_swapped(plan)) is False
+    assert shrinker.deduped == 1
+    assert shrinker.candidates == 1
+    assert shrinker.runs == 0  # skips are free
+
+    # Without POR the same candidate goes straight to execution.
+    baseline = _Shrinker(_NeverRun(), max_runs=4, por=False)
+    baseline.remember(plan)
+    with pytest.raises(RuntimeError):
+        baseline.try_candidate(_swapped(plan))
+
+
+def test_sweep_skips_por_equivalent_episodes(monkeypatch):
+    plan = _two_send_plan()
+    plans = {0: plan, 1: _swapped(plan)}
+
+    class _StubPlans:
+        @staticmethod
+        def generate(seed, *, intensity=1.0, overlay_leaders=0):
+            return plans[seed]
+
+    monkeypatch.setattr(sweep_mod, "ChaosPlan", _StubPlans)
+    reduced = sweep_mod.chaos_sweep("sim", episodes=2, seed_base=0)
+    baseline = sweep_mod.chaos_sweep("sim", episodes=2, seed_base=0, por=False)
+    assert reduced.ok and baseline.ok
+    assert reduced.por_skipped == 1
+    assert baseline.por_skipped == 0
+    # The skipped twin never ran: half the schedule work, same coverage.
+    assert reduced.ops * 2 == baseline.ops

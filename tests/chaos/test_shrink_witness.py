@@ -46,6 +46,18 @@ def assert_shrink_preserves_witness(seed):
     assert result.witness_index is not None
     assert result.witness_index <= original_witness
 
+    # POR differential: dedup may only save episodes, never change the
+    # finding - same code both ways, witness never later than the
+    # original, and the POR run spends no more episodes than baseline.
+    baseline = shrink_plan(runner, plan, max_runs=12, por=False)
+    assert baseline is not None
+    assert baseline.code == result.code == code
+    assert baseline.witness_index is not None
+    assert baseline.witness_index <= original_witness
+    assert result.runs <= baseline.runs
+    assert result.candidates >= result.runs - 1  # every episode had a candidate
+    assert "POR-deduped" in result.summary()
+
     # The finding replays byte-for-byte: re-running the minimal schedule
     # reproduces the same code at the same witness, and the JSON of the
     # finding itself is stable.
