@@ -9,8 +9,12 @@ Commands:
 * ``simulate`` - run a parameterised reconfiguration and print its
   numbers (see ``--help`` for knobs);
 * ``chaos`` - run seeded adversarial episodes (E16) on any substrate,
-  with ``--self-test`` to prove the checkers catch an injected bug and
+  with ``--servers`` to fold membership-server faults in (E20) and
+  ``--self-test`` to prove the checkers catch an injected bug and
   shrink it to a replayable minimal schedule;
+* ``soak`` - run an open-ended chaos stream (E20) for a target span of
+  simulated or wall time, auditing the trace and endpoint memory as it
+  goes;
 * ``verdict`` - run the verdict engine over a scenario, a seeded chaos
   episode, or a saved plan: every registered rule in one pass, earliest
   violating event index per violated rule, stable ``VS-*``/``MBRSHP-*``
@@ -185,6 +189,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             args.seed,
             intensity=args.intensity,
             overlay_leaders=args.overlay_leaders,
+            servers=args.servers,
         )
         print(plan.describe())
         episode = ChaosRunner(args.backend).run(plan)
@@ -205,6 +210,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed_base=args.seed,
         intensity=args.intensity,
         overlay_leaders=args.overlay_leaders,
+        servers=args.servers,
     )
     injected = {k: v for k, v in result.injected.items() if k != "messages"}
     print(f"[{result.substrate}] {result.episodes} episodes "
@@ -225,6 +231,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 first_bad,
                 intensity=args.intensity,
                 overlay_leaders=args.overlay_leaders,
+                servers=args.servers,
             ),
         )
         if shrunk is not None:
@@ -233,6 +240,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(shrunk.finding_json(), file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.chaos import SoakRunner
+
+    runner = SoakRunner(args.backend)
+    report = runner.soak(
+        args.seed,
+        duration=args.duration,
+        servers=args.servers,
+        intensity=args.intensity,
+        audit_every=args.audit_every,
+        max_ops=args.max_ops,
+    )
+    print(report.summary())
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    return 0 if report.ok else 1
 
 
 def _cmd_verdict(args: argparse.Namespace) -> int:
@@ -432,9 +459,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run episodes under the two-tier scale overlay "
                             "with this many leaders, enabling leader_crash "
                             "ops (default 0: no overlay)")
+    chaos.add_argument("--servers", type=int, default=0,
+                       help="run episodes on a crashable membership tier of "
+                            "this many servers, enabling server_crash/"
+                            "server_recover/server_partition ops (E20; "
+                            "default 0: infallible membership)")
     chaos.add_argument("--self-test", action="store_true",
                        help="inject a known-bad trace mutation and require "
                             "the pipeline to catch and shrink it")
+
+    soak = sub.add_parser(
+        "soak",
+        help="run an open-ended chaos stream with periodic audits (E20)",
+        description="Soak mode: stream the seeded chaos op distribution "
+                    "for a target time span (simulated seconds on the sim "
+                    "backend, wall seconds on async/tcp), settling and "
+                    "running the full verdict battery every --audit-every "
+                    "ops, and asserting bounded endpoint memory at every "
+                    "clean audit point on the simulator.",
+    )
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--backend", default="sim", choices=["sim", "async", "tcp"])
+    soak.add_argument("--duration", type=float, default=3600.0,
+                      help="time span: simulated seconds on sim (default "
+                           "3600 = one simulated hour), wall seconds on "
+                           "async/tcp (shorten it there)")
+    soak.add_argument("--servers", type=int, default=3,
+                      help="membership-tier size; >= 2 folds server faults "
+                           "into the stream (default 3; 0 disables)")
+    soak.add_argument("--intensity", type=float, default=1.0,
+                      help="fault-rate multiplier (0 disables message faults)")
+    soak.add_argument("--audit-every", type=int, default=50,
+                      help="ops between settle+verdict audits (default 50)")
+    soak.add_argument("--max-ops", type=int, default=None,
+                      help="hard cap on operations regardless of duration")
+    soak.add_argument("--output", default=None, metavar="FILE",
+                      help="write the soak report JSON to FILE (CI artifact)")
 
     scale = sub.add_parser(
         "scale",
@@ -509,6 +569,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "simulate": _cmd_simulate,
         "chaos": _cmd_chaos,
+        "soak": _cmd_soak,
         "scale": _cmd_scale,
         "verdict": _cmd_verdict,
         "lint": _cmd_lint,

@@ -45,6 +45,13 @@ from repro.chaos.por import (
     sends_membership_neutral,
 )
 from repro.chaos.shrink import ShrinkResult, shrink_plan
+from repro.chaos.soak import (
+    SOAK_ACK_GC_INTERVAL,
+    SoakReport,
+    SoakRunner,
+    default_resident_limit,
+    soak_matrix,
+)
 
 __all__ = [
     "OP_KINDS",
@@ -58,12 +65,17 @@ __all__ = [
     "FaultDecision",
     "FaultInjector",
     "FaultModel",
+    "SOAK_ACK_GC_INTERVAL",
     "ShrinkResult",
+    "SoakReport",
+    "SoakRunner",
     "canonical_ops",
+    "default_resident_limit",
     "forge_nonmonotonic_view",
     "ops_commute",
     "sanitise_ops",
     "schedule_key",
     "sends_membership_neutral",
     "shrink_plan",
+    "soak_matrix",
 ]

@@ -51,6 +51,9 @@ OP_KINDS = (
     "leader_crash",
     "recover",
     "reconfigure",
+    "server_crash",
+    "server_recover",
+    "server_partition",
 )
 
 
@@ -63,6 +66,11 @@ class ChaosOp:
     payload: Any = None  # send
     groups: Tuple[Tuple[ProcessId, ...], ...] = ()  # partition
     members: Tuple[ProcessId, ...] = ()  # reconfigure
+    # Membership-server ops address servers by *tier index* (the runner
+    # maps indices through Deployment.server_ids() at execution time),
+    # so a plan is substrate-independent of server id naming.
+    server: Optional[int] = None  # server_crash / server_recover
+    server_groups: Tuple[Tuple[int, ...], ...] = ()  # server_partition
 
     def describe(self) -> str:
         if self.kind == "send":
@@ -73,6 +81,10 @@ class ChaosOp:
             return f"reconfigure({list(self.members)})"
         if self.kind in ("crash", "leader_crash", "recover"):
             return f"{self.kind}({self.pid})"
+        if self.kind in ("server_crash", "server_recover"):
+            return f"{self.kind}(#{self.server})"
+        if self.kind == "server_partition":
+            return f"server_partition({[list(g) for g in self.server_groups]})"
         return f"{self.kind}()"
 
     def to_dict(self) -> Dict[str, Any]:
@@ -85,6 +97,12 @@ class ChaosOp:
             data["groups"] = [list(g) for g in self.groups]
         if self.members:
             data["members"] = list(self.members)
+        # Absent from every pre-server-fault serialisation; old dicts
+        # round-trip unchanged.
+        if self.server is not None:
+            data["server"] = self.server
+        if self.server_groups:
+            data["server_groups"] = [list(g) for g in self.server_groups]
         return data
 
     @classmethod
@@ -95,23 +113,32 @@ class ChaosOp:
             payload=data.get("payload"),
             groups=tuple(tuple(g) for g in data.get("groups", ())),
             members=tuple(data.get("members", ())),
+            server=data.get("server"),
+            server_groups=tuple(tuple(g) for g in data.get("server_groups", ())),
         )
 
 
 class _ScheduleState:
     """The executable-schedule state machine (see the module docstring)."""
 
-    def __init__(self, processes: Sequence[ProcessId], leaders: int = 0) -> None:
+    def __init__(
+        self, processes: Sequence[ProcessId], leaders: int = 0, servers: int = 0
+    ) -> None:
         self.full: Tuple[ProcessId, ...] = tuple(processes)
         self.leaders = max(0, min(leaders, len(self.full)))
+        # Membership-server fault domain: only meaningful with >= 2
+        # servers (the last alive server can never crash).
+        self.servers = max(0, servers)
         self.partitioned = False
+        self.server_partitioned = False
         self.crashed: set = set()
+        self.crashed_servers: set = set()
         self.configured: Tuple[ProcessId, ...] = self.full
 
     # -- enabling preconditions -------------------------------------------
 
     def senders(self) -> List[ProcessId]:
-        if self.partitioned:
+        if self.partitioned or self.server_partitioned:
             # Partition requires a crash-free full group, so every
             # process is up and inside some component.
             return list(self.full)
@@ -120,24 +147,54 @@ class _ScheduleState:
     def can_partition(self) -> bool:
         return (
             not self.partitioned
+            and not self.server_partitioned
             and not self.crashed
             and self.configured == self.full
             and len(self.full) >= 2
         )
 
     def can_heal(self) -> bool:
-        return self.partitioned
+        return self.partitioned or self.server_partitioned
 
     def crash_candidates(self) -> List[ProcessId]:
-        if self.partitioned or self.configured != self.full:
+        if self.partitioned or self.server_partitioned or self.configured != self.full:
             return []
         alive = [p for p in self.full if p not in self.crashed]
         return alive if len(alive) >= 3 else []  # keep >= 2 survivors
 
     def recover_candidates(self) -> List[ProcessId]:
-        if self.partitioned:
+        if self.partitioned or self.server_partitioned:
             return []
         return sorted(self.crashed)
+
+    # -- the server fault domain ------------------------------------------
+
+    def server_crash_candidates(self) -> List[int]:
+        """Crashable server indices: >= 1 survivor, no partition of any
+        kind in effect, and the full member set configured (a failover
+        re-forms the *current* view; mid-reconfiguration the substrates
+        would diverge, exactly as for client crashes)."""
+        if self.servers < 2 or self.partitioned or self.server_partitioned:
+            return []
+        if self.configured != self.full:
+            return []
+        alive = [i for i in range(self.servers) if i not in self.crashed_servers]
+        return alive if len(alive) >= 2 else []
+
+    def server_recover_candidates(self) -> List[int]:
+        if self.partitioned or self.server_partitioned:
+            return []
+        return sorted(self.crashed_servers)
+
+    def can_server_partition(self) -> bool:
+        return (
+            self.servers >= 2
+            and not self.partitioned
+            and not self.server_partitioned
+            and not self.crashed
+            and not self.crashed_servers
+            and self.configured == self.full
+        )
 
     def current_leaders(self) -> List[ProcessId]:
         """The acting overlay leaders under the current crash set.
@@ -164,7 +221,12 @@ class _ScheduleState:
         return [p for p in self.crash_candidates() if p in acting]
 
     def can_reconfigure(self) -> bool:
-        return not self.partitioned and not self.crashed and len(self.full) >= 2
+        return (
+            not self.partitioned
+            and not self.server_partitioned
+            and not self.crashed
+            and len(self.full) >= 2
+        )
 
     def enabled(self, op: ChaosOp) -> bool:
         if op.kind == "settle":
@@ -192,6 +254,17 @@ class _ScheduleState:
                 and len(members) >= 2
                 and members <= set(self.full)
             )
+        if op.kind == "server_crash":
+            return op.server in self.server_crash_candidates()
+        if op.kind == "server_recover":
+            return op.server in self.server_recover_candidates()
+        if op.kind == "server_partition":
+            return (
+                self.can_server_partition()
+                and len(op.server_groups) >= 2
+                and sorted(i for g in op.server_groups for i in g)
+                == list(range(self.servers))
+            )
         return False
 
     def apply(self, op: ChaosOp) -> None:
@@ -199,20 +272,29 @@ class _ScheduleState:
             self.partitioned = True
         elif op.kind == "heal":
             self.partitioned = False
+            self.server_partitioned = False
         elif op.kind in ("crash", "leader_crash"):
             self.crashed.add(op.pid)
         elif op.kind == "recover":
             self.crashed.discard(op.pid)
         elif op.kind == "reconfigure":
             self.configured = tuple(sorted(op.members))
+        elif op.kind == "server_crash":
+            self.crashed_servers.add(op.server)
+        elif op.kind == "server_recover":
+            self.crashed_servers.discard(op.server)
+        elif op.kind == "server_partition":
+            self.server_partitioned = True
 
     def closing_ops(self) -> List[ChaosOp]:
         """The suffix that returns the deployment to a stable full view."""
         ops: List[ChaosOp] = []
-        if self.partitioned:
+        if self.partitioned or self.server_partitioned:
             ops.append(ChaosOp("heal"))
         for pid in sorted(self.crashed):
             ops.append(ChaosOp("recover", pid=pid))
+        for index in sorted(self.crashed_servers):
+            ops.append(ChaosOp("server_recover", server=index))
         if self.configured != self.full:
             ops.append(ChaosOp("reconfigure", members=self.full))
         ops.append(ChaosOp("settle"))
@@ -224,6 +306,7 @@ def sanitise_ops(
     ops: Iterable[ChaosOp],
     *,
     leaders: int = 0,
+    servers: int = 0,
 ) -> Tuple[ChaosOp, ...]:
     """Repair an op list into an executable, properly closed schedule.
 
@@ -232,8 +315,10 @@ def sanitise_ops(
     appends the closing heal/recover/reconfigure/settle suffix.
     ``leaders`` is the plan's ``overlay_leaders``; without it every
     ``leader_crash`` is disabled (no overlay, no leaders to crash).
+    ``servers`` is the plan's membership-server count; below 2 every
+    server fault op is disabled (the last server can never crash).
     """
-    state = _ScheduleState(processes, leaders)
+    state = _ScheduleState(processes, leaders, servers)
     kept: List[ChaosOp] = []
     for op in ops:
         if state.enabled(op):
@@ -259,6 +344,11 @@ class ChaosPlan:
     # installs for this episode; 0 (the default, and the value absent
     # from old serialisations) means no overlay and no leader_crash ops.
     overlay_leaders: int = 0
+    # Membership-server count of the crashable tier the runner deploys
+    # for this episode; 0 (the default, and the value absent from old
+    # serialisations) keeps the substrate's default membership and
+    # disables every server_* op.
+    servers: int = 0
 
     # -- generation -------------------------------------------------------
 
@@ -271,6 +361,7 @@ class ChaosPlan:
         length: Optional[int] = None,
         intensity: float = 1.0,
         overlay_leaders: int = 0,
+        servers: int = 0,
     ) -> "ChaosPlan":
         """Derive a full plan from ``seed`` alone (plus optional shaping).
 
@@ -278,7 +369,9 @@ class ChaosPlan:
         schedule (the ops still churn membership), 1.0 the default rates.
         ``overlay_leaders`` > 0 makes the episode run under the two-tier
         overlay and enables ``leader_crash`` ops against its acting
-        leaders.
+        leaders.  ``servers`` >= 2 makes the episode run on a crashable
+        membership tier of that many servers and enables the
+        ``server_crash``/``server_recover``/``server_partition`` ops.
         """
         if intensity < 0:
             raise ValueError("intensity must be non-negative")
@@ -300,7 +393,8 @@ class ChaosPlan:
         if length is None:
             length = rng.randint(8, 14)
         overlay_leaders = max(0, min(overlay_leaders, len(processes)))
-        state = _ScheduleState(processes, overlay_leaders)
+        servers = max(0, servers)
+        state = _ScheduleState(processes, overlay_leaders, servers)
         ops: List[ChaosOp] = []
         sent = 0
         for _ in range(length):
@@ -316,6 +410,7 @@ class ChaosPlan:
             faults=faults,
             ops=tuple(ops),
             overlay_leaders=overlay_leaders,
+            servers=servers,
         )
 
     @staticmethod
@@ -335,6 +430,12 @@ class ChaosPlan:
             choices.append(("recover", 2.0))
         if state.can_reconfigure():
             choices.append(("reconfigure", 1.0))
+        if state.server_crash_candidates():
+            choices.append(("server_crash", 1.0))
+        if state.server_recover_candidates():
+            choices.append(("server_recover", 2.0))
+        if state.can_server_partition():
+            choices.append(("server_partition", 1.0))
         kinds = [kind for kind, _w in choices]
         weights = [w for _kind, w in choices]
         kind = rng.choices(kinds, weights=weights, k=1)[0]
@@ -362,6 +463,25 @@ class ChaosPlan:
             size = rng.randint(2, len(state.full))
             members = tuple(sorted(rng.sample(list(state.full), size)))
             return ChaosOp("reconfigure", members=members)
+        if kind == "server_crash":
+            return ChaosOp(
+                "server_crash", server=rng.choice(state.server_crash_candidates())
+            )
+        if kind == "server_recover":
+            return ChaosOp(
+                "server_recover", server=rng.choice(state.server_recover_candidates())
+            )
+        if kind == "server_partition":
+            indices = list(range(state.servers))
+            rng.shuffle(indices)
+            cut = rng.randint(1, len(indices) - 1)
+            return ChaosOp(
+                "server_partition",
+                server_groups=(
+                    tuple(sorted(indices[:cut])),
+                    tuple(sorted(indices[cut:])),
+                ),
+            )
         return ChaosOp(kind)
 
     # -- derived plans ----------------------------------------------------
@@ -370,7 +490,12 @@ class ChaosPlan:
         """This plan with a repaired replacement schedule (same seed)."""
         return replace(
             self,
-            ops=sanitise_ops(self.processes, ops, leaders=self.overlay_leaders),
+            ops=sanitise_ops(
+                self.processes,
+                ops,
+                leaders=self.overlay_leaders,
+                servers=self.servers,
+            ),
         )
 
     def with_faults(self, faults: FaultModel) -> "ChaosPlan":
@@ -406,8 +531,9 @@ class ChaosPlan:
             seed=self.seed,
             processes=keep,
             faults=self.faults,
-            ops=sanitise_ops(keep, ops, leaders=leaders),
+            ops=sanitise_ops(keep, ops, leaders=leaders, servers=self.servers),
             overlay_leaders=leaders,
+            servers=self.servers,
         )
 
     # -- presentation and serialisation -----------------------------------
@@ -416,9 +542,10 @@ class ChaosPlan:
         overlay = (
             f" overlay_leaders={self.overlay_leaders}" if self.overlay_leaders else ""
         )
+        tier = f" servers={self.servers}" if self.servers else ""
         lines = [
             f"seed={self.seed} processes={list(self.processes)} "
-            f"faults=[{self.faults.describe()}]{overlay}"
+            f"faults=[{self.faults.describe()}]{overlay}{tier}"
         ]
         for index, op in enumerate(self.ops):
             lines.append(f"  {index:2d}. {op.describe()}")
@@ -433,6 +560,8 @@ class ChaosPlan:
         }
         if self.overlay_leaders:
             data["overlay_leaders"] = self.overlay_leaders
+        if self.servers:
+            data["servers"] = self.servers
         return data
 
     @classmethod
@@ -443,6 +572,7 @@ class ChaosPlan:
             faults=FaultModel.from_dict(data["faults"]),
             ops=tuple(ChaosOp.from_dict(op) for op in data["ops"]),
             overlay_leaders=data.get("overlay_leaders", 0),
+            servers=data.get("servers", 0),
         )
 
 

@@ -169,11 +169,12 @@ class ChaosRunner:
         *,
         intensity: float = 1.0,
         on_episode: Optional[Callable[[Episode], None]] = None,
+        **generate_kwargs: Any,
     ) -> List[Episode]:
         """Run one episode per seed; collect every outcome."""
         episodes = []
         for seed in seeds:
-            episode = self.run_seed(seed, intensity=intensity)
+            episode = self.run_seed(seed, intensity=intensity, **generate_kwargs)
             episodes.append(episode)
             if on_episode is not None:
                 on_episode(episode)
@@ -186,7 +187,16 @@ class ChaosRunner:
     async def _execute(self, plan: ChaosPlan, injector: FaultInjector) -> Any:
         from repro.deploy import make_deployment  # local import: no cycle
 
-        deployment = make_deployment(self.backend, faults=injector)
+        kwargs: Dict[str, Any] = {"faults": injector}
+        if plan.servers:
+            # The episode targets the server fault domain: deploy a
+            # crashable membership tier of the plan's size (the runtime
+            # backends always run a tier; the simulator needs opting out
+            # of its default oracle).
+            kwargs["servers"] = plan.servers
+            if self.backend == "sim":
+                kwargs["membership"] = "tier"
+        deployment = make_deployment(self.backend, **kwargs)
         try:
             await deployment.setup(list(plan.processes))
             if plan.overlay_leaders:
@@ -223,6 +233,18 @@ class ChaosRunner:
             await deployment.recover(op.pid)
         elif op.kind == "reconfigure":
             await deployment.reconfigure(list(op.members))
+        elif op.kind in ("server_crash", "server_recover", "server_partition"):
+            # Plans address membership servers by tier index; resolve to
+            # this substrate's server ids at execution time.
+            sids = deployment.server_ids()
+            if op.kind == "server_crash":
+                await deployment.server_crash(sids[op.server])
+            elif op.kind == "server_recover":
+                await deployment.server_recover(sids[op.server])
+            else:
+                await deployment.server_partition(
+                    [[sids[i] for i in group] for group in op.server_groups]
+                )
         else:
             raise ValueError(f"unknown chaos op kind {op.kind!r}")
 

@@ -36,7 +36,7 @@ found, never *which* finding ships.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Set
 
 from repro.chaos.plan import ChaosPlan
@@ -109,6 +109,7 @@ def shrink_plan(
         state.shrink_ops()
         state.shrink_faults()
         state.shrink_processes()
+        state.shrink_servers()
         if not state.progressed:
             break
     return ShrinkResult(
@@ -228,6 +229,21 @@ class _Shrinker:
                 if self.try_candidate(self.best.with_processes(keep)):
                     progress = True
                     break
+
+    def shrink_servers(self) -> None:
+        """Drop the crashable membership tier once nothing exercises it.
+
+        Only attempted when no server op survives in the best schedule:
+        with server ops present the tier is load-bearing, and removing
+        the ops first is the job of :meth:`shrink_ops`.  Changing the
+        membership implementation is a real behavioural edit, so the
+        candidate must still reproduce the finding to be adopted.
+        """
+        if not self.best.servers or self.runs >= self.max_runs:
+            return
+        if any(op.kind.startswith("server_") for op in self.best.ops):
+            return
+        self.try_candidate(replace(self.best, servers=0))
 
 
 __all__ = [

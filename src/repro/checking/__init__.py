@@ -16,6 +16,7 @@ from repro.checking.events import (
     DeliverEvent,
     GcsEvent,
     GcsTrace,
+    MbrshpFormEvent,
     MbrshpStartChangeEvent,
     MbrshpViewEvent,
     RecoverEvent,
@@ -74,6 +75,7 @@ __all__ = [
     "DeliverEvent",
     "GcsEvent",
     "GcsTrace",
+    "MbrshpFormEvent",
     "MbrshpStartChangeEvent",
     "MbrshpViewEvent",
     "REGISTRY",

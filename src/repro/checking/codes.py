@@ -117,6 +117,20 @@ REGISTRY: Dict[str, CodeInfo] = {
             "O(n)",
         ),
         CodeInfo(
+            "MBRSHP-SRV-FORK",
+            "membership",
+            "One view identifier denotes one view across every observation",
+            "Section 8 (server fault domain: recovery must not fork)",
+            "O(n)",
+        ),
+        CodeInfo(
+            "MBRSHP-SRV-MONO",
+            "membership",
+            "An origin server's formed view counters strictly increase",
+            "Section 8 (server fault domain: durable counter watermark)",
+            "O(n)",
+        ),
+        CodeInfo(
             "VS-SKEL",
             "golden",
             "Observed trace skeleton refines the recorded golden skeleton",
@@ -150,6 +164,8 @@ DEFAULT_CODES: Tuple[str, ...] = (
     "VS-TRANS-SET",
     "VS-SPEC-REFINE",
     "MBRSHP-CONF",
+    "MBRSHP-SRV-FORK",
+    "MBRSHP-SRV-MONO",
 )
 
 #: The safety subset (``check_all_safety``): no membership conformance.

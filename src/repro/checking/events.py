@@ -72,6 +72,22 @@ class MbrshpViewEvent(GcsEvent):
 
 
 @dataclass(frozen=True)
+class MbrshpFormEvent(GcsEvent):
+    """Membership server ``proc`` *formed* ``view`` (its durability point).
+
+    Unlike the client-side notices, formation is recorded at the server
+    the moment its agreement round completes - before any notice is in
+    flight - so the event order of one server's formations follows that
+    server's causal order even when notice deliveries interleave across
+    clients.  This is what makes the server fault-domain rules sound:
+    ``MBRSHP-SRV-MONO`` reads only the *origin* server's own formations
+    (a single server forms views sequentially), where delivery-order
+    would be racy."""
+
+    view: View
+
+
+@dataclass(frozen=True)
 class CrashEvent(GcsEvent):
     """Process ``proc`` crashed (Section 8)."""
 

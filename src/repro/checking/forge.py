@@ -23,17 +23,20 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro._collections import frozendict
 from repro.checking.events import (
     CrashEvent,
     DeliverEvent,
     GcsEvent,
     GcsTrace,
+    MbrshpFormEvent,
     MbrshpStartChangeEvent,
+    MbrshpViewEvent,
     RecoverEvent,
     SendEvent,
     ViewEvent,
 )
-from repro.types import ProcessId, View
+from repro.types import ProcessId, View, ViewId
 
 
 @dataclass
@@ -256,6 +259,49 @@ def _forge_mbrshp(trace: GcsTrace) -> Optional[ForgedTrace]:
     return ForgedTrace(mutated, "MBRSHP-CONF", len(trace))
 
 
+def _forge_srv_fork(trace: GcsTrace) -> Optional[ForgedTrace]:
+    """Append a formation event reusing a seen ViewId with other members.
+
+    Only the server fault-domain rules read :class:`MbrshpFormEvent`, so
+    no contract or refinement rule can fire at the appended index.  The
+    forging "server" is not the identifier's origin, which keeps the
+    counter-monotonicity rule (lexically after FORK anyway) out of play.
+    """
+    views = trace.of_type(ViewEvent, MbrshpViewEvent, MbrshpFormEvent)
+    if not views:
+        return None
+    victim = views[-1].view
+    forged_view = replace(victim, members=victim.members | {"srv-fork-intruder"})
+    forged = MbrshpFormEvent(
+        time=trace.events[-1].time, proc="srv:forged", view=forged_view
+    )
+    mutated = GcsTrace(trace)
+    mutated.append(forged)
+    return ForgedTrace(mutated, "MBRSHP-SRV-FORK", len(trace))
+
+
+def _forge_srv_mono(trace: GcsTrace) -> Optional[ForgedTrace]:
+    """Append an origin's formation pair with a regressing counter.
+
+    Models a membership server that recovered without its durable
+    counter watermark: having formed counter 2, it forms counter 1.  A
+    fresh origin (never used by the trace's own views) keeps the first,
+    benign formation invisible to every other rule - including FORK,
+    since both appended identifiers are new.
+    """
+    if not trace.events:
+        return None
+    origin = "srv:forged"
+    now = trace.events[-1].time
+    member = frozenset({"forged-client"})
+    high = View(ViewId(2, origin), member, frozendict({"forged-client": 2}))
+    stale = View(ViewId(1, origin), member, frozendict({"forged-client": 3}))
+    mutated = GcsTrace(trace)
+    mutated.append(MbrshpFormEvent(time=now, proc=origin, view=high))
+    mutated.append(MbrshpFormEvent(time=now, proc=origin, view=stale))
+    return ForgedTrace(mutated, "MBRSHP-SRV-MONO", len(trace) + 1)
+
+
 def _forge_liveness(trace: GcsTrace) -> Optional[ForgedTrace]:
     """Remove the final view delivery at one process.
 
@@ -333,6 +379,16 @@ FORGERIES: Dict[str, Forgery] = {
             "MBRSHP-CONF",
             "replay the last start_change notice",
             _forge_mbrshp,
+        ),
+        Forgery(
+            "MBRSHP-SRV-FORK",
+            "re-form a seen view identifier with different members",
+            _forge_srv_fork,
+        ),
+        Forgery(
+            "MBRSHP-SRV-MONO",
+            "form a regressing counter at a forgetful origin server",
+            _forge_srv_mono,
         ),
         Forgery(
             "VS-LIVE",

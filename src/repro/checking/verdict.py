@@ -41,6 +41,7 @@ from repro.checking.events import (
     DeliverEvent,
     GcsEvent,
     GcsTrace,
+    MbrshpFormEvent,
     MbrshpStartChangeEvent,
     MbrshpViewEvent,
     RecoverEvent,
@@ -384,6 +385,76 @@ class MbrshpConformanceRule(TraceRule):
         return None
 
 
+class ServerForkRule(TraceRule):
+    """Section 8 fault domain: one view identifier denotes one view.
+
+    A membership server recovering with forgotten state can re-form a
+    view under an identifier it already used - a *fork*: two different
+    views share a ``ViewId``.  The rule indexes every view observation
+    (formations and deliveries alike) by identifier; any two bearing the
+    same identifier must be the same view triple.  Order-insensitive,
+    hence sound under arbitrary notice-delivery interleavings.
+    """
+
+    code = "MBRSHP-SRV-FORK"
+
+    def __init__(self) -> None:
+        self._by_vid: Dict[Any, View] = {}
+
+    def feed(self, index: int, event: GcsEvent) -> Optional[Violation]:
+        if isinstance(event, (ViewEvent, MbrshpViewEvent, MbrshpFormEvent)):
+            view = event.view
+            first = self._by_vid.setdefault(view.vid, view)
+            if first != view:
+                return self._violation(
+                    index,
+                    f"Server fork: {view.vid!r} denotes both {first} and {view}",
+                )
+        return None
+
+
+class ServerCounterMonotonicityRule(TraceRule):
+    """Section 8 fault domain: an origin's formed counters strictly increase.
+
+    Reads only :class:`MbrshpFormEvent` records *emitted by the origin
+    server itself* (``event.proc == view.vid.origin``).  One server's
+    formations are sequential and recorded at formation time, so their
+    trace order is its causal order - unlike client-side deliveries,
+    whose interleaving across processes is racy.  A server restored from
+    the durable watermark store always resumes above its own highest
+    issued counter; a recovery that *forgot* the watermark re-forms with
+    a stale counter and fails here, at the forgery's formation event.
+
+    Honest limit: a forgetful server that is not the minimum of its
+    component (hence not the origin) can drag a component's counter down
+    only if every peer's proposal watermark is also stale; the
+    one-server recovery scenario this PR mechanises always makes the
+    recovering server its own component's origin.
+    """
+
+    code = "MBRSHP-SRV-MONO"
+
+    def __init__(self) -> None:
+        self._issued: Dict[str, int] = {}
+
+    def feed(self, index: int, event: GcsEvent) -> Optional[Violation]:
+        if not isinstance(event, MbrshpFormEvent):
+            return None
+        vid = event.view.vid
+        if event.proc != vid.origin:
+            return None  # co-former: its order is the origin's business
+        high = self._issued.get(vid.origin)
+        if high is not None and vid.counter <= high:
+            return self._violation(
+                index,
+                f"Server counter regression: origin {vid.origin} formed "
+                f"{event.view} with counter {vid.counter} after issuing "
+                f"counter {high}",
+            )
+        self._issued[vid.origin] = vid.counter
+        return None
+
+
 class LivenessRule(TraceRule):
     """Property 4.2 for a stabilised run; witnessed at len(trace).
 
@@ -528,6 +599,8 @@ def _build_rules(
         "MBRSHP-CONF": lambda: MbrshpConformanceRule(
             mbrshp_processes(trace, processes)
         ),
+        "MBRSHP-SRV-FORK": ServerForkRule,
+        "MBRSHP-SRV-MONO": ServerCounterMonotonicityRule,
         "VS-LIVE": lambda: LivenessRule(final_view),
         "VS-SKEL": lambda: GoldenSkeletonRule(golden),
     }
@@ -614,6 +687,8 @@ __all__ = [
     "SOUNDNESS",
     "SelfDeliveryRule",
     "SelfInclusionRule",
+    "ServerCounterMonotonicityRule",
+    "ServerForkRule",
     "SpecRefinementRule",
     "TraceRule",
     "TransSetRule",

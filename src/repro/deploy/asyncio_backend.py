@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.checking.events import GcsTrace
 from repro.deploy.base import Deployment
@@ -47,6 +47,20 @@ class AsyncDeployment(Deployment):
 
     async def recover(self, pid: ProcessId) -> None:
         await self.cluster.recover(pid)
+
+    def server_ids(self) -> List[ProcessId]:
+        return sorted(self.cluster.tier.servers)
+
+    async def server_crash(self, sid: Optional[ProcessId] = None) -> ProcessId:
+        return await self.cluster.server_crash(sid)
+
+    async def server_recover(self, sid: ProcessId) -> None:
+        await self.cluster.server_recover(sid)
+
+    async def server_partition(
+        self, groups: Iterable[Iterable[ProcessId]]
+    ) -> List[View]:
+        return await self.cluster.server_partition(groups)
 
     @property
     def trace(self) -> GcsTrace:

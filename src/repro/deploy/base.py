@@ -90,6 +90,27 @@ class Deployment(ABC):
         """Recover ``pid``; the membership re-admits it."""
 
     # ------------------------------------------------------------------
+    # the server fault domain (substrates with a crashable membership tier)
+    # ------------------------------------------------------------------
+
+    def server_ids(self) -> List[ProcessId]:
+        """Membership-server ids, sorted; empty when the substrate runs
+        an infallible membership (the paper's Section 8 assumption)."""
+        return []
+
+    async def server_crash(self, sid: Optional[ProcessId] = None) -> ProcessId:
+        """Crash a membership server; its clients fail over to survivors."""
+        raise NotImplementedError(f"{self.name} has no crashable membership tier")
+
+    async def server_recover(self, sid: ProcessId) -> None:
+        """Recover a crashed membership server from the durable store."""
+        raise NotImplementedError(f"{self.name} has no crashable membership tier")
+
+    async def server_partition(self, groups: Iterable[Iterable[ProcessId]]) -> Any:
+        """Partition the server tier; clients follow their home server."""
+        raise NotImplementedError(f"{self.name} has no crashable membership tier")
+
+    # ------------------------------------------------------------------
     # observation
     # ------------------------------------------------------------------
 

@@ -12,15 +12,24 @@ from repro.types import ProcessId, View
 
 
 class SimDeployment(Deployment):
-    """Runs the group on :class:`SimWorld` (oracle membership, zero or
-    scripted latency).  The async methods complete synchronously - the
-    simulated clock runs to quiescence inside each call."""
+    """Runs the group on :class:`SimWorld`.  Membership is the scripted
+    oracle by default, or - with ``membership='tier'`` - the same
+    crash-recoverable :class:`~repro.membership.tier.MembershipTier` the
+    runtime clusters use, over the simulated network.  The async methods
+    complete synchronously - the simulated clock runs to quiescence
+    inside each call."""
 
     name = "sim"
 
     def __init__(self, **world_kwargs: Any) -> None:
         world_kwargs.setdefault("membership", "oracle")
+        if world_kwargs["membership"] == "servers":
+            raise ValueError("SimDeployment supports 'oracle' or 'tier' membership")
         self.world = SimWorld(**world_kwargs)
+
+    @property
+    def _tier(self):
+        return self.world.tier
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -30,7 +39,7 @@ class SimDeployment(Deployment):
         self.world.add_nodes(list(pids))
         self.world.start()
         self.world.settle()
-        view = self.world.oracle.views_formed[-1]
+        view = self.world.views_formed[-1]
         self._verify_installed(view)
         return view
 
@@ -52,7 +61,16 @@ class SimDeployment(Deployment):
         self.world.settle()
 
     async def reconfigure(self, members: Iterable[ProcessId]) -> View:
-        views = self.world.oracle.reconfigure([list(members)])
+        members = list(members)
+        if self._tier is not None:
+            changed = self.world.set_members(members)
+            self.world.settle()
+            if not changed:
+                return self.world.node(members[0]).current_view
+            view = self.world.views_formed[-1]
+            self._verify_installed(view)
+            return view
+        views = self.world.oracle.reconfigure([members])
         self.world.settle()
         self._verify_installed(views[0])
         return views[0]
@@ -63,10 +81,25 @@ class SimDeployment(Deployment):
 
     async def partition(self, groups: Iterable[Iterable[ProcessId]]) -> List[View]:
         groups = [list(group) for group in groups]
-        before = len(self.world.oracle.views_formed)
+        before = len(self.world.views_formed)
         self.world.partition(groups)
         self.world.settle()
-        views = self.world.oracle.views_formed[before:]
+        formed = self.world.views_formed[before:]
+        if self._tier is not None:
+            # The tier forms views in round order, not group order; match
+            # each group to its view by membership.
+            views = []
+            for group in groups:
+                target = frozenset(group)
+                view = next((v for v in formed if v.members == target), None)
+                if view is None:
+                    raise SettleTimeoutError(
+                        f"no view formed for partition group {sorted(target)}; "
+                        f"formed: {formed}"
+                    )
+                views.append(view)
+        else:
+            views = formed
         for view in views:
             self._verify_installed(view)
         return views
@@ -74,7 +107,7 @@ class SimDeployment(Deployment):
     async def heal(self) -> View:
         self.world.heal()
         self.world.settle()
-        view = self.world.oracle.views_formed[-1]
+        view = self.world.views_formed[-1]
         self._verify_installed(view)
         return view
 
@@ -84,6 +117,28 @@ class SimDeployment(Deployment):
 
     async def recover(self, pid: ProcessId) -> None:
         self.world.recover(pid)
+        self.world.settle()
+
+    # ------------------------------------------------------------------
+    # the server fault domain (tier mode)
+    # ------------------------------------------------------------------
+
+    def server_ids(self) -> List[ProcessId]:
+        if self._tier is None:
+            return []
+        return sorted(self._tier.servers)
+
+    async def server_crash(self, sid: ProcessId = None) -> ProcessId:
+        sid = self.world.server_crash(sid)
+        self.world.settle()
+        return sid
+
+    async def server_recover(self, sid: ProcessId) -> None:
+        self.world.server_recover(sid)
+        self.world.settle()
+
+    async def server_partition(self, groups: Iterable[Iterable[ProcessId]]) -> None:
+        self.world.server_partition(groups)
         self.world.settle()
 
     # ------------------------------------------------------------------

@@ -41,6 +41,11 @@ from repro.experiments.scale import (
     measure_scale_groups,
     scale_sweep,
 )
+from repro.experiments.server_chaos import (
+    ServerChaosResult,
+    measure_server_chaos,
+    measure_server_soak,
+)
 from repro.experiments.servers import ServerTierResult, measure_server_tier
 from repro.experiments.substrates import (
     SubstrateResult,
@@ -62,6 +67,7 @@ __all__ = [
     "ReconfigResult",
     "ScaleEndpointResult",
     "ScaleGroupsResult",
+    "ServerChaosResult",
     "ServerTierResult",
     "SubstrateResult",
     "ThroughputResult",
@@ -79,6 +85,8 @@ __all__ = [
     "measure_reconfiguration",
     "measure_scale_endpoints",
     "measure_scale_groups",
+    "measure_server_chaos",
+    "measure_server_soak",
     "measure_server_tier",
     "measure_substrate",
     "measure_throughput",

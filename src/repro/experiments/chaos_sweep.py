@@ -54,12 +54,16 @@ def chaos_sweep(
     seed_base: int = 0,
     intensity: float = 1.0,
     overlay_leaders: int = 0,
+    servers: int = 0,
     por: bool = True,
 ) -> ChaosSweepResult:
     """Run ``episodes`` seeded chaos episodes on one substrate.
 
     ``overlay_leaders`` > 0 runs every episode under the two-tier scale
     overlay, with ``leader_crash`` ops targeting its acting leaders.
+    ``servers`` >= 2 runs every episode on a crashable membership tier
+    of that size, folding ``server_crash``/``server_recover``/
+    ``server_partition`` ops into the schedules (E20).
 
     ``por=True`` skips seeds whose generated plan is equivalent - up to
     exchanges of independent ops (:mod:`repro.chaos.por`) - to one this
@@ -75,7 +79,10 @@ def chaos_sweep(
     por_skipped = 0
     for seed in range(seed_base, seed_base + episodes):
         plan = ChaosPlan.generate(
-            seed, intensity=intensity, overlay_leaders=overlay_leaders
+            seed,
+            intensity=intensity,
+            overlay_leaders=overlay_leaders,
+            servers=servers,
         )
         if por:
             key = schedule_key(plan)

@@ -116,6 +116,27 @@ class LinkStats:
         suffix = f" (+{extra} more)" if extra > 0 else ""
         return shown + suffix
 
+    def describe_tier_links(self, limit: int = 6) -> str:
+        """The busiest membership-tier links, for stall diagnostics.
+
+        Tier traffic rides the same fabric as data; a stalled settle
+        caused by membership messages should say so.  Server endpoints
+        are recognised by the ``srv:`` naming convention (kept as a
+        string here - the membership layer sits above this one).
+        """
+        tier = Counter({
+            link: count
+            for link, count in self.per_link.items()
+            if any(str(end).startswith("srv:") for end in link)
+        })
+        if not tier:
+            return "no tier traffic"
+        busiest = sorted(tier.items(), key=lambda item: (-item[1], item[0]))
+        shown = ", ".join(f"{src}->{dst}: {count}" for (src, dst), count in busiest[:limit])
+        extra = len(busiest) - limit
+        suffix = f" (+{extra} more)" if extra > 0 else ""
+        return "tier links " + shown + suffix
+
 
 @dataclass(frozen=True)
 class Transmission:

@@ -34,9 +34,17 @@ the *same* view triple - which the GCS algorithm's agreement relies on.
 Per-client spec compliance (Figure 2) is checked in the tests by
 replaying each client's notice stream through ``MbrshpSpec``.
 
-The membership service itself never crashes and never forgets the
-per-client cid and view-counter watermarks, which is what preserves Local
-Monotonicity across client recoveries (Section 8).
+The paper assumes the membership service itself never crashes and never
+forgets the per-client cid and view-counter watermarks (Section 8).
+Here that assumption is *mechanised* rather than presumed: a server's
+protocol state is an explicit, serialisable :class:`ServerState`
+(:meth:`MembershipServer.snapshot` / :meth:`MembershipServer.restore`),
+and the watermarks live durably in the tier's
+:class:`~repro.membership.state.WatermarkStore`.  A crashed server
+(:meth:`MembershipServer.crash`) goes inert; on recovery it restores its
+snapshot floored by the store's round and counter watermarks, so its
+first round exceeds every pre-crash round - peers adopt it (a rejoin,
+not a fork) - and every counter it issues preserves Local Monotonicity.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro._collections import frozendict
 from repro.membership.protocol import ServerProposal, StartChangeNotice, ViewNotice
+from repro.membership.state import ServerState, compose_counter, decompose_counter
 from repro.types import ProcessId, StartChangeId, View, ViewId
 
 SendFn = Callable[[ProcessId, Any], None]
@@ -61,12 +70,19 @@ class MembershipServer:
         *,
         cid_registry: Optional[Dict[ProcessId, StartChangeId]] = None,
         initial_counter: int = 0,
+        counter_bound: Optional[int] = None,
     ) -> None:
+        if counter_bound is not None and counter_bound < 2:
+            raise ValueError("counter_bound must be at least 2")
         self.sid = sid
         self._send = send
         self.local_clients: Set[ProcessId] = set(clients)
         self.reachable: FrozenSet[ProcessId] = frozenset({sid})
         self.round = 0
+        # Bounded-counter mode: the externally visible ``max_counter``
+        # stays the monotone epoch-composed value; only snapshots carry
+        # the (epoch, local) decomposition.  See repro.membership.state.
+        self.counter_bound = counter_bound
         # ``initial_counter`` seeds the view-counter watermark: a server
         # created after others have already formed views (e.g. to serve a
         # new partition component) must never issue a counter a client
@@ -92,6 +108,103 @@ class MembershipServer:
         # triggers accumulate silently instead of starting rounds, so
         # initial client registration costs a single round.
         self.active = False
+        # A crashed server is inert: it neither reacts to triggers nor
+        # handles messages until the tier restores it.
+        self.crashed = False
+        # Fired the moment a view forms (before any notice is sent):
+        # the tier's durability point, and the anchor of the server
+        # fault-domain trace rules (MBRSHP-SRV-MONO / -FORK).
+        self.on_view_formed: Optional[Callable[[View], None]] = None
+
+    # ------------------------------------------------------------------
+    # the fault domain: snapshot / crash / restore
+    # ------------------------------------------------------------------
+
+    def bounded_counter(self) -> Tuple[int, int]:
+        """The ``(epoch, local)`` decomposition of the counter watermark."""
+        return decompose_counter(self.max_counter, self.counter_bound)
+
+    def snapshot(self) -> ServerState:
+        """The server's protocol state as a frozen serialisable value."""
+        epoch, local = self.bounded_counter()
+        return ServerState(
+            sid=self.sid,
+            local_clients=tuple(sorted(self.local_clients)),
+            crashed_clients=tuple(sorted(self._crashed_clients)),
+            round=self.round,
+            epoch=epoch,
+            counter=local,
+            counter_bound=self.counter_bound,
+            cids=tuple(
+                (pid, self._next_cid[pid])
+                for pid in sorted(self.local_clients)
+                if pid in self._next_cid
+            ),
+            modes=tuple(sorted(self._mode.items())),
+        )
+
+    def crash(self) -> ServerState:
+        """Crash the server; returns its final snapshot.
+
+        The tier persists the snapshot in its durable
+        :class:`~repro.membership.state.WatermarkStore` - everything
+        else (proposals in flight, announced estimates) is volatile and
+        genuinely lost.
+        """
+        state = self.snapshot()
+        self.crashed = True
+        self.active = False
+        self._proposals.clear()
+        self._announced_estimate = None
+        return state
+
+    def restore(
+        self,
+        state: Optional[ServerState],
+        *,
+        round_floor: int = 0,
+        counter_floor: int = 0,
+        clients: Optional[Iterable[ProcessId]] = None,
+    ) -> None:
+        """Recover from a durable snapshot, floored by the tier watermarks.
+
+        ``round_floor``/``counter_floor`` come from the tier's store: the
+        restored round must reach the highest round the tier ever
+        observed (so the server's first new round is adopted by peers -
+        a rejoin, not a fork) and the counter watermark must reach the
+        highest counter any client may have seen (Local Monotonicity).
+        ``clients`` overrides the snapshot's client set - the tier
+        rehomes clients to surviving servers at crash time, so a
+        recovering server typically comes back empty.
+        """
+        if state is not None:
+            restored_clients = set(state.local_clients)
+            self._crashed_clients = set(state.crashed_clients) & restored_clients
+            self.round = state.round
+            self.max_counter = compose_counter(
+                state.epoch, state.counter, state.counter_bound
+            )
+            for pid, cid in state.cids:
+                if self._next_cid.get(pid, 0) < cid:
+                    self._next_cid[pid] = cid
+            self._mode = dict(state.modes)
+        else:
+            restored_clients = set()
+            self._crashed_clients = set()
+            self._mode = {}
+        self.local_clients = restored_clients
+        if clients is not None:
+            self.local_clients = set(clients)
+            self._crashed_clients &= self.local_clients
+        self.round = max(self.round, round_floor)
+        self.max_counter = max(self.max_counter, counter_floor)
+        self.reachable = frozenset({self.sid})
+        self._proposals = {}
+        self._announced_estimate = None
+        # Never re-form a pre-crash round from stale adopted proposals.
+        self._formed_round = self.round
+        self.crashed = False
+        self.active = False
 
     # ------------------------------------------------------------------
     # triggers
@@ -99,6 +212,8 @@ class MembershipServer:
 
     def activate(self, servers: Iterable[ProcessId]) -> None:
         """Bootstrap: first reachability report; starts the first round."""
+        if self.crashed:
+            return
         self.active = True
         self.reachable = frozenset(servers) | {self.sid}
         self.begin_round(self.round + 1)
@@ -178,6 +293,8 @@ class MembershipServer:
 
     def begin_round(self, round_no: int, estimate: Optional[FrozenSet[ProcessId]] = None) -> None:
         """Start (or adopt) membership round ``round_no``."""
+        if self.crashed:
+            return
         if round_no <= self.round and self._proposals.get(self.sid) is not None:
             return
         self.round = round_no
@@ -210,6 +327,8 @@ class MembershipServer:
         self._maybe_form_view()
 
     def on_message(self, src: ProcessId, message: Any) -> None:
+        if self.crashed:
+            return  # a dead server hears nothing
         if isinstance(message, ServerProposal):
             self._on_proposal(message)
 
@@ -271,6 +390,8 @@ class MembershipServer:
         view = View(ViewId(counter, origin), members, frozendict(start_ids))
         self.max_counter = counter
         self._formed_round = self.round
+        if self.on_view_formed is not None:
+            self.on_view_formed(view)
         for client in sorted(self.active_clients() & members):
             self._mode[client] = "normal"
             self._send(client, ViewNotice(client, view))

@@ -34,9 +34,11 @@ from typing import (
     Set,
 )
 
+from repro.checking.events import GcsTrace, MbrshpFormEvent
 from repro.links import LinkCore
-from repro.membership.protocol import ViewNotice, server_id
+from repro.membership.protocol import server_id
 from repro.membership.server import MembershipServer
+from repro.membership.state import ServerState, WatermarkStore
 from repro.types import ProcessId, StartChangeId, View
 
 
@@ -44,9 +46,20 @@ class TierLink(Protocol):
     """What a substrate must provide to host membership servers.
 
     ``attach`` registers a server's inbox on the substrate (async because
-    real transports may need to open sockets); ``post`` is a
-    fire-and-forget send from a server to any process - another server
+    real transports may need to open sockets); ``transmit`` carries one
+    tier message from a server to any process - another server
     (proposals) or a client (start_change / view notices).
+
+    ``transmit`` is *not* a side-channel: it must route the message
+    through the substrate's unified :class:`~repro.links.LinkCore`
+    (``outbound()`` on admission, ``inbound()``/``inbound_batch()`` on
+    arrival) exactly like data traffic, so tier messages see the same
+    partition matrix, fault pipeline, receiver-side dedup, per-link FIFO
+    clamp, and :class:`~repro.links.LinkStats` counters - which is what
+    makes ``Deployment.link_totals()`` and the settle-timeout
+    busiest-link diagnostics cover membership traffic too.  (The former
+    ``post`` hook made no such demand; each substrate carried tier
+    traffic its own way.)
 
     A link whose attach needs no awaiting (the asyncio hub, the
     simulator) may additionally expose ``attach_sync`` with the same
@@ -57,7 +70,7 @@ class TierLink(Protocol):
     async def attach(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
         ...  # pragma: no cover - protocol
 
-    def post(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+    def transmit(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
         ...  # pragma: no cover - protocol
 
 
@@ -81,16 +94,28 @@ class MembershipTier:
         *,
         servers: int = 1,
         links: Optional[LinkCore] = None,
+        counter_bound: Optional[int] = None,
+        trace: Optional[GcsTrace] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if servers < 1:
             raise ValueError("a membership tier needs at least one server")
         self.link = link
+        # When given, every view formation is recorded as an
+        # MbrshpFormEvent at the forming server - the raw material of the
+        # MBRSHP-SRV-MONO / MBRSHP-SRV-FORK trace rules.
+        self._trace = trace
+        self._clock = clock if clock is not None else (lambda: 0.0)
         # The substrate's unified link core.  When given, the tier cuts
         # and heals the transport itself (one API for every substrate)
         # instead of each deployment reimplementing the partition wiring.
         self.links = links
         self.servers: Dict[ProcessId, MembershipServer] = {}
         self._initial_servers = servers
+        self._counter_bound = counter_bound
+        # The durable half of the service: per-server snapshots plus the
+        # tier-wide round/counter floors a correct recovery depends on.
+        self.store = WatermarkStore()
         # Shared per-client cid watermarks: cids stay locally unique and
         # increasing even when clients move between servers.
         self._cid_registry: Dict[ProcessId, StartChangeId] = {}
@@ -116,9 +141,26 @@ class MembershipTier:
             send=self._sender(sid),
             cid_registry=self._cid_registry,
             initial_counter=self.watermark(),
+            counter_bound=self._counter_bound,
         )
+        server.on_view_formed = lambda view, sid=sid: self._on_formed(sid, view)
         self.servers[sid] = server
         return server
+
+    def _on_formed(self, sid: ProcessId, view: View) -> None:
+        """A server's round completed: the tier's durability point.
+
+        Runs at *every* co-forming server (so even a client-less server's
+        watermarks are persisted), records the view once, and emits the
+        formation trace event the server fault-domain rules feed on.
+        """
+        server = self.servers[sid]
+        self.store.persist(server.snapshot())
+        if view not in self._seen_views:
+            self._seen_views.add(view)
+            self.views_formed.append(view)
+        if self._trace is not None:
+            self._trace.append(MbrshpFormEvent(self._clock(), sid, view))
 
     async def _add_server(self) -> MembershipServer:
         server = self._make_server()
@@ -146,22 +188,37 @@ class MembershipTier:
         return True
 
     def watermark(self) -> int:
-        """The highest view counter any server of the tier has issued."""
-        return max((s.max_counter for s in self.servers.values()), default=0)
+        """The highest view counter any server of the tier has issued.
+
+        Includes the durable store's floor, so the watermark survives
+        every server of the tier crashing at once."""
+        return max(
+            self.store.counter_floor(),
+            *(s.max_counter for s in self.servers.values()),
+        ) if self.servers else self.store.counter_floor()
+
+    def alive_servers(self) -> List[ProcessId]:
+        """The non-crashed server ids, sorted."""
+        return sorted(sid for sid, s in self.servers.items() if not s.crashed)
+
+    def crashed_servers(self) -> List[ProcessId]:
+        return sorted(sid for sid, s in self.servers.items() if s.crashed)
 
     def _sender(self, sid: ProcessId) -> Callable[[ProcessId, Any], None]:
         def send(dst: ProcessId, message: Any) -> None:
-            if isinstance(message, ViewNotice) and message.view not in self._seen_views:
-                self._seen_views.add(message.view)
-                self.views_formed.append(message.view)
-            self.link.post(sid, dst, message)
+            server = self.servers.get(sid)
+            if server is not None and server.crashed:
+                return  # a dead server says nothing
+            if server is not None:
+                self.store.observe(server.round, server.max_counter)
+            self.link.transmit(sid, dst, message)
 
         return send
 
     def _default_home(self, pid: ProcessId) -> ProcessId:
         del pid  # assignment is load-based, not identity-based
         return min(
-            sorted(self.servers),
+            self.alive_servers(),
             key=lambda sid: (len(self.servers[sid].local_clients), sid),
         )
 
@@ -174,8 +231,15 @@ class MembershipTier:
         :meth:`set_members` actually registers it."""
         self._known.add(pid)
 
+    def _live_home(self, pid: ProcessId) -> ProcessId:
+        """The client's home server, re-picked if it crashed or is unset."""
+        home = self._home.get(pid)
+        if home is None or self.servers[home].crashed:
+            home = self._default_home(pid)
+        return home
+
     def _register(self, pid: ProcessId, *, trigger: bool = True) -> None:
-        home = self._home.get(pid) or self._default_home(pid)
+        home = self._live_home(pid)
         self._home[pid] = home
         self._registered.add(pid)
         self._detached.discard(pid)
@@ -187,6 +251,16 @@ class MembershipTier:
     async def start(self) -> None:
         """Create the initial servers, spread clients, run the first round."""
         await self.ensure_capacity(self._initial_servers)
+        self._start_registered()
+
+    def start_sync(self) -> None:
+        """Synchronous :meth:`start` for links with ``attach_sync``
+        (the simulator's event-driven network, the asyncio hub)."""
+        if not self._grow_sync(self._initial_servers):
+            raise TypeError("link has no attach_sync; use the async start()")
+        self._start_registered()
+
+    def _start_registered(self) -> None:
         sids = sorted(self.servers)
         for index, pid in enumerate(sorted(self._known)):
             home = sids[index % len(sids)]
@@ -211,7 +285,7 @@ class MembershipTier:
         adds: Dict[ProcessId, List[ProcessId]] = {}
         removes: Dict[ProcessId, List[ProcessId]] = {}
         for pid in sorted(target - self._registered):
-            home = self._home.get(pid) or self._default_home(pid)
+            home = self._live_home(pid)
             self._home[pid] = home
             self._registered.add(pid)
             self._detached.discard(pid)
@@ -240,6 +314,139 @@ class MembershipTier:
             self._register(pid)
 
     # ------------------------------------------------------------------
+    # the server fault domain
+    # ------------------------------------------------------------------
+
+    def crash_server(self, sid: Optional[ProcessId] = None) -> ProcessId:
+        """Crash one membership server; its clients fail over.
+
+        The server's final :class:`~repro.membership.state.ServerState`
+        is persisted in the durable store, the server goes inert (and is
+        cut from the fabric when a link core is attached), and its
+        clients are rehomed to the surviving servers - floored by the
+        tier watermark so no survivor can issue a counter the moved
+        clients may already have seen.  Returns the crashed server id
+        (default: the highest-numbered alive server).
+        """
+        alive = self.alive_servers()
+        if sid is None:
+            sid = alive[-1] if alive else None
+        if sid not in self.servers:
+            raise ValueError(f"unknown server {sid!r}")
+        server = self.servers[sid]
+        if server.crashed:
+            raise ValueError(f"server {sid} is already crashed")
+        if len(alive) < 2:
+            raise ValueError("the last alive server cannot crash")
+        self.store.persist(server.crash())
+        if self.links is not None:
+            self.links.restrict(sid, [])
+        survivors = frozenset(self.alive_servers())
+        moved = sorted(server.local_clients)
+        crashed_clients = set(server._crashed_clients)
+        server.local_clients = set()
+        server._crashed_clients = set()
+        floor = self.watermark()
+        targets = sorted(survivors)
+        loads = {t: len(self.servers[t].local_clients) for t in targets}
+        adds: Dict[ProcessId, List[ProcessId]] = {}
+        for pid in moved:
+            home = min(targets, key=lambda t: (loads[t], t))
+            loads[home] += 1
+            self._home[pid] = home
+            adds.setdefault(home, []).append(pid)
+        for tsid in targets:
+            inheritor = self.servers[tsid]
+            if adds.get(tsid):
+                # Inheriting clients from the dead server: never issue a
+                # counter below what they may have seen.
+                inheritor.max_counter = max(inheritor.max_counter, floor)
+            inheritor.update_clients(add=adds.get(tsid, ()), trigger=False)
+            for pid in adds.get(tsid, ()):
+                if pid in crashed_clients or pid in self._crashed:
+                    inheritor._crashed_clients.add(pid)
+        for tsid in targets:
+            survivor = self.servers[tsid]
+            before = survivor.reachable
+            survivor.set_reachable(survivors)
+            if before == survivors and adds.get(tsid):
+                # Reachability did not change (the dead server was already
+                # cut off): the inherited clients still need a round.
+                survivor.begin_round(survivor.round + 1)
+        return sid
+
+    def recover_server(self, sid: ProcessId) -> None:
+        """Recover a crashed server from the durable store.
+
+        The server restores its last persisted snapshot floored by the
+        store's round and counter watermarks, so the first round it
+        starts exceeds every pre-crash round - the peers *adopt* it (a
+        rejoin) instead of racing a forked server with forgotten state.
+        Its former clients stay where they failed over to.
+        """
+        server = self.servers.get(sid)
+        if server is None:
+            raise ValueError(f"unknown server {sid!r}")
+        if not server.crashed:
+            raise ValueError(f"server {sid} is not crashed")
+        server.restore(
+            self.store.load(sid),
+            round_floor=self.store.round_floor(),
+            counter_floor=self.store.counter_floor(),
+            clients=(),
+        )
+        if self.links is not None:
+            self.links.restrict(sid, None)
+        alive = frozenset(self.alive_servers())
+        for tsid in sorted(alive):
+            self.servers[tsid].set_reachable(alive)
+
+    def clients_of(self, sids: Iterable[ProcessId]) -> FrozenSet[ProcessId]:
+        """The active clients homed to the given servers."""
+        group = frozenset(sids)
+        return frozenset(
+            pid
+            for pid in self._registered
+            if self._home.get(pid) in group and pid not in self._crashed
+        )
+
+    def partition_servers(
+        self, groups: Iterable[Iterable[ProcessId]]
+    ) -> List[FrozenSet[ProcessId]]:
+        """Split the *server tier* into components.
+
+        Clients follow their home server: each component is one server
+        group plus the clients homed to it, and each forms its own view.
+        Alive servers in no listed group become singleton components;
+        :meth:`heal` reunites everything.  Returns the effective server
+        groups (listed plus singletons), in order.
+        """
+        alive = set(self.alive_servers())
+        group_sets = [frozenset(g) for g in groups if g]
+        seen: Set[ProcessId] = set()
+        for group in group_sets:
+            unknown = group - alive
+            if unknown:
+                raise ValueError(f"not alive servers: {sorted(unknown)}")
+            if group & seen:
+                raise ValueError("overlapping server groups")
+            seen |= group
+        group_sets.extend(frozenset({sid}) for sid in sorted(alive - seen))
+        components: List[List[ProcessId]] = []
+        for group in group_sets:
+            members = sorted(group) + sorted(
+                pid for pid in self._registered if self._home.get(pid) in group
+            )
+            components.append(members)
+        components.extend([sid] for sid in self.crashed_servers())
+        if self.links is not None:
+            self.links.partition(components)
+        for group in group_sets:
+            for sid in sorted(group):
+                self.servers[sid].set_reachable(group)
+        return group_sets
+
+    # ------------------------------------------------------------------
     # topology (the deployment's failure-detector input)
     # ------------------------------------------------------------------
 
@@ -253,9 +460,9 @@ class MembershipTier:
         no group are cut off entirely (singleton components).
         """
         group_sets = [frozenset(g) for g in groups]
-        if len(self.servers) < len(group_sets):
-            self._grow_sync(len(group_sets))
-        sids = sorted(self.servers)
+        if len(self.alive_servers()) < len(group_sets):
+            self._grow_sync(len(group_sets) + len(self.crashed_servers()))
+        sids = self.alive_servers()
         if len(sids) < len(group_sets):
             raise ValueError("not enough servers; call ensure_capacity first")
         assignment = {sids[i]: group_sets[i] for i in range(len(group_sets))}
@@ -263,6 +470,7 @@ class MembershipTier:
             sorted(group) + [sids[i]] for i, group in enumerate(group_sets)
         ]
         components.extend([sid] for sid in sids[len(group_sets):])
+        components.extend([sid] for sid in self.crashed_servers())
         listed: Set[ProcessId] = set().union(*group_sets) if group_sets else set()
         components.extend([pid] for pid in sorted(self._registered - listed))
         return PartitionPlan(group_sets, assignment, components)
@@ -329,15 +537,18 @@ class MembershipTier:
         restrictions lifted)."""
         if self.links is not None:
             self.links.heal()
-        everyone = frozenset(self.servers)
+            for sid in self.crashed_servers():
+                # Healing the fabric must not resurrect dead servers.
+                self.links.restrict(sid, [])
+        everyone = frozenset(self.alive_servers())
         adds: Dict[ProcessId, List[ProcessId]] = {}
         for pid in sorted(self._detached - self._crashed):
-            home = self._home.get(pid) or self._default_home(pid)
+            home = self._live_home(pid)
             self._home[pid] = home
             self._registered.add(pid)
             adds.setdefault(home, []).append(pid)
         self._detached -= self._registered
-        for sid in sorted(self.servers):
+        for sid in sorted(everyone):
             server = self.servers[sid]
             changed = server.update_clients(add=adds.get(sid, ()), trigger=False)
             if not server.active:

@@ -34,10 +34,37 @@ from repro.membership.failure_detector import TopologyFailureDetector
 from repro.membership.oracle import OracleMembership
 from repro.membership.protocol import StartChangeNotice, ViewNotice, server_id
 from repro.membership.server import MembershipServer
+from repro.membership.tier import MembershipTier
 from repro.net.latency import LatencyModel
 from repro.net.network import SimNetwork
 from repro.net.simclock import EventScheduler
 from repro.types import ProcessId, View
+
+
+class SimTierLink:
+    """Hosts a :class:`~repro.membership.tier.MembershipTier` on the
+    simulated network.
+
+    ``transmit`` rides ``network.send``, which admits every tier message
+    through the shared :class:`~repro.links.LinkCore` (``outbound`` on
+    entry, ``inbound_batch`` on carrier arrival) - proposals and notices
+    see the same latency model, partition matrix, fault pipeline, dedup
+    and counters as data traffic.
+    """
+
+    def __init__(self, network: SimNetwork) -> None:
+        self.network = network
+
+    async def attach(
+        self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]
+    ) -> None:
+        self.attach_sync(sid, handler)
+
+    def attach_sync(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
+        self.network.register(sid, handler)
+
+    def transmit(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+        self.network.send(src, dst, message)
 
 
 class SimNode:
@@ -183,6 +210,7 @@ class SimWorld:
         self._sorted_servers: Tuple[int, List[ProcessId]] = (-1, [])
         self.oracle: Optional[OracleMembership] = None
         self.failure_detector: Optional[TopologyFailureDetector] = None
+        self.tier: Optional[MembershipTier] = None
         if membership == "oracle":
             self.oracle = OracleMembership(
                 self.clock,
@@ -195,8 +223,21 @@ class SimWorld:
             )
             for index in range(servers):
                 self._add_server(server_id(str(index)))
+        elif membership == "tier":
+            # The full substrate-neutral tier - the same MembershipTier
+            # (durable watermark store, crashable servers) the asyncio
+            # and TCP clusters run, over the simulated network.
+            self.tier = MembershipTier(
+                SimTierLink(self.network),
+                servers=servers,
+                links=self.network.core,
+                trace=self.trace,
+                clock=lambda: self.clock.now,
+            )
         else:
-            raise ValueError(f"membership must be 'oracle' or 'servers', got {membership!r}")
+            raise ValueError(
+                f"membership must be 'oracle', 'servers' or 'tier', got {membership!r}"
+            )
 
     # ------------------------------------------------------------------
     # construction
@@ -238,6 +279,10 @@ class SimWorld:
                 on_start_change=node.runner.membership_start_change,
                 on_view=node.runner.membership_view,
             )
+        elif self.tier is not None:
+            if server is not None:
+                raise ValueError("tier mode assigns homes itself")
+            self.tier.add_client(pid)
         else:
             sids = self.sorted_servers()
             if not sids:
@@ -262,9 +307,26 @@ class SimWorld:
         """Kick off the initial view formation for all registered clients."""
         if self.oracle is not None:
             self.oracle.reconfigure([list(self.nodes)])
+        elif self.tier is not None:
+            self.tier.start_sync()
         else:
             assert self.failure_detector is not None
             self.failure_detector.bootstrap()
+
+    def set_members(self, members: Iterable[ProcessId]) -> bool:
+        """Drive the registered client set (tier mode only)."""
+        if self.tier is None:
+            raise ValueError("set_members requires membership='tier'")
+        return self.tier.set_members(members)
+
+    @property
+    def views_formed(self) -> List[View]:
+        """Views the membership service has formed (oracle or tier mode)."""
+        if self.oracle is not None:
+            return self.oracle.views_formed
+        if self.tier is not None:
+            return self.tier.views_formed
+        raise ValueError("views_formed is tracked by the oracle or the tier")
 
     def run(self, max_events: Optional[int] = None) -> int:
         return self.clock.run(max_events)
@@ -283,7 +345,8 @@ class SimWorld:
             raise SettleTimeoutError(
                 f"simulation still has {remaining} pending event(s) "
                 f"after {executed} steps at t={self.clock.now:.3f}; "
-                f"busiest links: {self.network.core.stats.describe_links()}"
+                f"busiest links: {self.network.core.stats.describe_links()}; "
+                f"{self.network.core.stats.describe_tier_links()}"
             )
         return executed
 
@@ -310,6 +373,15 @@ class SimWorld:
         the failure detector.
         """
         groups = [list(group) for group in groups]
+        if self.tier is not None:
+            # The tier cuts the shared link core along its computed
+            # components itself (clients plus their assigned server).
+            client_groups = [
+                [pid for pid in group if pid in self.nodes] for group in groups
+            ]
+            plan = self.tier.plan_partition([g for g in client_groups if g])
+            self.tier.apply_partition(plan)
+            return
         self.network.partition(groups)
         if reconfigure and self.oracle is not None:
             client_groups = [
@@ -318,6 +390,9 @@ class SimWorld:
             self.oracle.reconfigure([g for g in client_groups if g])
 
     def heal(self, *, reconfigure: bool = True) -> None:
+        if self.tier is not None:
+            self.tier.heal()  # heals the network's link core too
+            return
         self.network.heal()
         if reconfigure and self.oracle is not None:
             self.oracle.reconfigure([list(self.nodes)])
@@ -329,6 +404,8 @@ class SimWorld:
             self.oracle.client_crashed(pid)
             if reconfigure:
                 self.oracle.reconfigure([[p for p in self.nodes if p != pid]])
+        elif self.tier is not None:
+            self.tier.client_crashed(pid)
         else:
             home = getattr(node, "home_server")
             self.servers[home].client_crashed(pid)
@@ -340,9 +417,31 @@ class SimWorld:
             self.oracle.client_recovered(pid)
             if reconfigure:
                 self.oracle.reconfigure([list(self.nodes)])
+        elif self.tier is not None:
+            self.tier.client_recovered(pid)
         else:
             home = getattr(node, "home_server")
             self.servers[home].client_recovered(pid)
+
+    # -- server faults (tier mode) ------------------------------------------
+
+    def server_crash(self, sid: Optional[ProcessId] = None) -> ProcessId:
+        """Crash a membership server (tier mode); clients fail over."""
+        if self.tier is None:
+            raise ValueError("server faults require membership='tier'")
+        return self.tier.crash_server(sid)
+
+    def server_recover(self, sid: ProcessId) -> None:
+        """Recover a crashed membership server from the durable store."""
+        if self.tier is None:
+            raise ValueError("server faults require membership='tier'")
+        self.tier.recover_server(sid)
+
+    def server_partition(self, groups: Iterable[Iterable[ProcessId]]):
+        """Partition the server tier; clients follow their home server."""
+        if self.tier is None:
+            raise ValueError("server faults require membership='tier'")
+        return self.tier.partition_servers(groups)
 
     # ------------------------------------------------------------------
     # observation

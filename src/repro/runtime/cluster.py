@@ -16,6 +16,7 @@ of hanging.  Every node records into one shared :class:`GcsTrace`, so
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional
 
 from repro.chaos.faults import FaultInjector
@@ -32,8 +33,11 @@ from repro.types import VID_ZERO, ProcessId, View
 class HubTierLink:
     """Hosts membership servers on an :class:`AsyncHub`.
 
-    Servers are hub processes like any client: proposals and notices go
-    through the same queues (and are subject to the same partitions).
+    Servers are hub processes like any client: ``transmit`` rides
+    ``hub.send``, which admits every message through the shared
+    :class:`~repro.links.LinkCore` (``outbound`` on entry,
+    ``inbound_batch`` in the pumps) - tier traffic sees the same
+    partition matrix, fault pipeline, dedup and counters as data.
     """
 
     def __init__(self, hub: AsyncHub) -> None:
@@ -47,7 +51,7 @@ class HubTierLink:
         # own capacity mid-plan (MembershipTier._grow_sync).
         self.hub.register(sid, handler)
 
-    def post(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+    def transmit(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
         self.hub.send(src, [dst], message)
 
 
@@ -75,7 +79,11 @@ class AsyncCluster:
             env_settle_timeout(10.0) if settle_timeout is None else settle_timeout
         )
         self.tier = MembershipTier(
-            HubTierLink(self.hub), servers=servers, links=self.hub.core
+            HubTierLink(self.hub),
+            servers=servers,
+            links=self.hub.core,
+            trace=self.trace,
+            clock=time.monotonic,
         )
         # Set whenever any node installs a view; wakes settling waiters.
         self._progress = asyncio.Event()
@@ -142,9 +150,18 @@ class AsyncCluster:
         return await self.await_members(member_set)
 
     async def await_members(
-        self, member_set: FrozenSet[ProcessId], timeout: Optional[float] = None
+        self,
+        member_set: FrozenSet[ProcessId],
+        timeout: Optional[float] = None,
+        *,
+        min_counter: int = 0,
     ) -> View:
-        """Wait until ``member_set`` share one installed view of themselves."""
+        """Wait until ``member_set`` share one installed view of themselves.
+
+        ``min_counter`` waits for a *fresh* view (counter at least that
+        high) - server faults re-form a view of unchanged membership, so
+        matching members alone would accept the stale pre-fault view.
+        """
         if not member_set:
             raise ValueError("empty member set")
         members = sorted(member_set)
@@ -154,6 +171,7 @@ class AsyncCluster:
             first = views[0]
             return (
                 first.vid != VID_ZERO
+                and first.vid.counter >= min_counter
                 and first.members == member_set
                 and all(v == first for v in views[1:])
             )
@@ -191,7 +209,15 @@ class AsyncCluster:
         mirroring the simulator's drop-across-the-cut semantics.
         """
         groups = [list(group) for group in groups]
-        await self.tier.ensure_capacity(max(len(groups), len(self.tier.servers)))
+        # Crashed servers hold no partition group: capacity must cover
+        # the groups with *alive* servers (the simulator grows its
+        # tier synchronously; sockets need the explicit await here).
+        await self.tier.ensure_capacity(
+            max(
+                len(groups) + len(self.tier.crashed_servers()),
+                len(self.tier.servers),
+            )
+        )
         plan = self.tier.plan_partition(groups)
         # The tier cuts the hub's link core along plan.components itself.
         self.tier.apply_partition(plan)
@@ -219,6 +245,38 @@ class AsyncCluster:
         self.nodes[pid].recover()
         self.tier.client_recovered(pid)
         return await self.await_members(self.tier.active_members())
+
+    # ------------------------------------------------------------------
+    # the server fault domain
+    # ------------------------------------------------------------------
+
+    async def server_crash(self, sid: Optional[ProcessId] = None) -> ProcessId:
+        """Crash a membership server; wait for the failover view."""
+        fresh = self.tier.watermark() + 1
+        sid = self.tier.crash_server(sid)
+        members = self.tier.active_members()
+        if members:
+            await self.await_members(members, min_counter=fresh)
+        return sid
+
+    async def server_recover(self, sid: ProcessId) -> View:
+        """Recover a crashed server; wait for its rejoin view."""
+        fresh = self.tier.watermark() + 1
+        self.tier.recover_server(sid)
+        return await self.await_members(self.tier.active_members(), min_counter=fresh)
+
+    async def server_partition(
+        self, groups: Iterable[Iterable[ProcessId]]
+    ) -> List[View]:
+        """Partition the server tier; one view per non-empty component."""
+        fresh = self.tier.watermark() + 1
+        effective = self.tier.partition_servers(groups)
+        views = []
+        for group in effective:
+            members = self.tier.clients_of(group)
+            if members:
+                views.append(await self.await_members(members, min_counter=fresh))
+        return views
 
     async def close(self) -> None:
         await self.hub.close()

@@ -185,7 +185,14 @@ class _ServerPort:
 
 
 class TcpTierLink:
-    """Hosts membership servers on sockets of their own."""
+    """Hosts membership servers on sockets of their own.
+
+    ``transmit`` enqueues on the server port's outbox; the port's
+    :class:`~repro.runtime.tcp.TcpTransport` shares the cluster's
+    :class:`~repro.links.LinkCore`, so every tier frame passes
+    ``outbound()``/``inbound()`` - partition matrix, fault pipeline,
+    dedup and counters - exactly like data traffic.
+    """
 
     def __init__(self, cluster: "TcpCluster") -> None:
         self.cluster = cluster
@@ -193,7 +200,7 @@ class TcpTierLink:
     async def attach(self, sid: ProcessId, handler: Callable[[ProcessId, Any], None]) -> None:
         await self.cluster._attach_server(sid, handler)
 
-    def post(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
+    def transmit(self, src: ProcessId, dst: ProcessId, message: Any) -> None:
         self.cluster._server_ports[src].outbox.put_nowait((dst, message))
 
 
@@ -221,7 +228,13 @@ class TcpCluster:
         )
         self._addresses: Dict[ProcessId, Tuple[str, int]] = {}
         self._server_ports: Dict[ProcessId, _ServerPort] = {}
-        self.tier = MembershipTier(TcpTierLink(self), servers=servers, links=self.links)
+        self.tier = MembershipTier(
+            TcpTierLink(self),
+            servers=servers,
+            links=self.links,
+            trace=self.trace,
+            clock=time.monotonic,
+        )
         self._progress = asyncio.Event()
 
     @property
@@ -291,9 +304,18 @@ class TcpCluster:
         return await self.await_members(member_set, timeout)
 
     async def await_members(
-        self, member_set: FrozenSet[ProcessId], timeout: Optional[float] = None
+        self,
+        member_set: FrozenSet[ProcessId],
+        timeout: Optional[float] = None,
+        *,
+        min_counter: int = 0,
     ) -> View:
-        """Wait until ``member_set`` share one installed view of themselves."""
+        """Wait until ``member_set`` share one installed view of themselves.
+
+        ``min_counter`` waits for a *fresh* view (counter at least that
+        high) - server faults re-form a view of unchanged membership, so
+        matching members alone would accept the stale pre-fault view.
+        """
         if not member_set:
             raise ValueError("empty member set")
         members = sorted(member_set)
@@ -303,6 +325,7 @@ class TcpCluster:
             first = views[0]
             return (
                 first.vid != VID_ZERO
+                and first.vid.counter >= min_counter
                 and first.members == member_set
                 and all(v == first for v in views[1:])
             )
@@ -334,6 +357,16 @@ class TcpCluster:
             depth = sum(node._outbox.qsize() for node in self.nodes.values())
             return depth + sum(p.outbox.qsize() for p in self._server_ports.values())
 
+        def pending_tier() -> str:
+            # Tier traffic rides the same fabric as data; a stall caused
+            # by membership messages should say so, per server.
+            depths = {
+                str(sid): port.outbox.qsize()
+                for sid, port in sorted(self._server_ports.items())
+                if port.outbox.qsize()
+            }
+            return f"pending tier messages: {depths}" if depths else "no pending tier messages"
+
         last = (len(self.trace), outbox_depth())
         last_change = loop.time()
         while True:
@@ -347,6 +380,7 @@ class TcpCluster:
                 raise SettleTimeoutError(
                     f"TCP cluster still active after {timeout:.1f}s "
                     f"(trace={current[0]} events, outboxes={current[1]}); "
+                    f"{pending_tier()}; "
                     f"busiest links: {self.links.stats.describe_links()}"
                 )
 
@@ -363,7 +397,15 @@ class TcpCluster:
         the core along ``plan.components`` itself.
         """
         groups = [list(group) for group in groups]
-        await self.tier.ensure_capacity(max(len(groups), len(self.tier.servers)))
+        # Crashed servers hold no partition group: capacity must cover
+        # the groups with *alive* servers (the simulator grows its
+        # tier synchronously; sockets need the explicit await here).
+        await self.tier.ensure_capacity(
+            max(
+                len(groups) + len(self.tier.crashed_servers()),
+                len(self.tier.servers),
+            )
+        )
         plan = self.tier.plan_partition(groups)
         self.tier.apply_partition(plan)
         views = []
@@ -390,6 +432,38 @@ class TcpCluster:
         self.nodes[pid].recover()
         self.tier.client_recovered(pid)
         return await self.await_members(self.tier.active_members())
+
+    # ------------------------------------------------------------------
+    # the server fault domain
+    # ------------------------------------------------------------------
+
+    async def server_crash(self, sid: Optional[ProcessId] = None) -> ProcessId:
+        """Crash a membership server; wait for the failover view."""
+        fresh = self.tier.watermark() + 1
+        sid = self.tier.crash_server(sid)
+        members = self.tier.active_members()
+        if members:
+            await self.await_members(members, min_counter=fresh)
+        return sid
+
+    async def server_recover(self, sid: ProcessId) -> View:
+        """Recover a crashed server; wait for its rejoin view."""
+        fresh = self.tier.watermark() + 1
+        self.tier.recover_server(sid)
+        return await self.await_members(self.tier.active_members(), min_counter=fresh)
+
+    async def server_partition(
+        self, groups: Iterable[Iterable[ProcessId]]
+    ) -> List[View]:
+        """Partition the server tier; one view per non-empty component."""
+        fresh = self.tier.watermark() + 1
+        effective = self.tier.partition_servers(groups)
+        views = []
+        for group in effective:
+            members = self.tier.clients_of(group)
+            if members:
+                views.append(await self.await_members(members, min_counter=fresh))
+        return views
 
     async def close(self) -> None:
         for node in self.nodes.values():

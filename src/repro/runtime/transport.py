@@ -188,14 +188,29 @@ class AsyncHub:
                 return
             remaining = deadline - loop.time()
             if remaining <= 0:
+                from repro.membership.protocol import SERVER_PREFIX
+
                 pending = {
                     pid: queue.qsize()
                     for pid, queue in self._queues.items()
                     if queue.qsize()
                 }
+                # Tier traffic rides the same hub as data; a stall caused
+                # by membership messages should say so, per server.
+                tier = {
+                    pid: depth
+                    for pid, depth in pending.items()
+                    if str(pid).startswith(SERVER_PREFIX)
+                }
+                tier_note = (
+                    f"pending tier messages: {tier}"
+                    if tier
+                    else "no pending tier messages"
+                )
                 raise SettleTimeoutError(
                     f"hub still has {self._inflight} message(s) in flight "
                     f"after {timeout:.1f}s; pending inboxes: {pending}; "
+                    f"{tier_note}; "
                     f"busiest links: {self.core.stats.describe_links()}"
                 )
             try:

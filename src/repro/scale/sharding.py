@@ -281,6 +281,14 @@ class ShardedMembershipTier:
         # Master sink registry, so a relocated group can be re-attached
         # at its successor shard.
         self._sinks: Dict[Tuple[GroupName, ProcessId], Tuple[StartChangeSink, ViewSink]] = {}
+        # The durable half of the sharded service: per-group (cid,
+        # counter) floors recorded at every view formation and every
+        # relocation.  A shard rebuilt after losing its volatile state
+        # (:meth:`rebuild_shard`) is seeded from here, so the first cid
+        # and view counter it issues are strictly above anything the
+        # group's members have seen - the sharded analogue of
+        # :class:`repro.membership.state.WatermarkStore`.
+        self.floors: Dict[GroupName, Tuple[int, int]] = {}
 
     def _make_shard(self, index: int) -> MembershipShard:
         return MembershipShard(
@@ -298,8 +306,22 @@ class ShardedMembershipTier:
     def shard_of(self, group: GroupName) -> MembershipShard:
         shard = self.shards[self.map.shard_of(group)]
         if group not in shard.groups:
-            shard.adopt(group)
+            cid_floor, counter_floor = self.floors.get(group, (0, 0))
+            shard.adopt(group, cid_floor=cid_floor, counter_floor=counter_floor)
         return shard
+
+    def _reconfigure(self, group: GroupName, members: Iterable[ProcessId]) -> Optional[View]:
+        """Reconfigure at the owner and record the new durable floor."""
+        shard = self.shard_of(group)
+        view = shard.reconfigure(group, members)
+        if view is not None:
+            self._observe(group, shard)
+        return view
+
+    def _observe(self, group: GroupName, shard: MembershipShard) -> None:
+        cid, counter = shard.watermarks()
+        old_cid, old_counter = self.floors.get(group, (0, 0))
+        self.floors[group] = (max(old_cid, cid), max(old_counter, counter))
 
     def members(self, group: GroupName) -> FrozenSet[ProcessId]:
         return frozenset(self._members.get(group, set()))
@@ -329,7 +351,7 @@ class ShardedMembershipTier:
         """Add ``pid`` to ``group``; reconfigure that group (one shard)."""
         self._members.setdefault(group, set()).add(pid)
         self._groups_of.setdefault(pid, set()).add(group)
-        return self.shard_of(group).reconfigure(group, self._members[group])
+        return self._reconfigure(group, self._members[group])
 
     def set_group(self, group: GroupName, members: Iterable[ProcessId]) -> Optional[View]:
         """Drive ``group`` to exactly ``members`` with a single round.
@@ -347,7 +369,7 @@ class ShardedMembershipTier:
         self._members[group] = member_set
         if not member_set:
             return None
-        return self.shard_of(group).reconfigure(group, member_set)
+        return self._reconfigure(group, member_set)
 
     def leave(self, group: GroupName, pid: ProcessId) -> Optional[View]:
         members = self._members.get(group, set())
@@ -355,14 +377,14 @@ class ShardedMembershipTier:
         self._groups_of.get(pid, set()).discard(group)
         if not members:
             return None
-        return self.shard_of(group).reconfigure(group, members)
+        return self._reconfigure(group, members)
 
     def reconfigure_group(self, group: GroupName) -> Optional[View]:
         """Re-form ``group``'s view from its current (non-crashed) members."""
         members = self._members.get(group)
         if not members:
             return None
-        return self.shard_of(group).reconfigure(group, members)
+        return self._reconfigure(group, members)
 
     # ------------------------------------------------------------------
     # process-level events (fan out to owning shards only)
@@ -414,16 +436,41 @@ class ShardedMembershipTier:
             if old_index == new_index:
                 continue
             watermarks = self.shards[old_index].release(group)
+            stored = self.floors.get(group, (0, 0))
+            floors = (max(watermarks[0], stored[0]), max(watermarks[1], stored[1]))
+            self.floors[group] = floors
             successor = self.shards[new_index]
-            successor.adopt(
-                group, cid_floor=watermarks[0], counter_floor=watermarks[1]
-            )
+            successor.adopt(group, cid_floor=floors[0], counter_floor=floors[1])
             for (sink_group, pid), sinks in self._sinks.items():
                 if sink_group == group:
                     successor.attach_client(group, pid, *sinks)
-            moved[group] = watermarks
+            moved[group] = floors
         self.map = new_map
         return moved
+
+    def rebuild_shard(self, index: int) -> MembershipShard:
+        """Replace shard ``index`` with a fresh one that lost all
+        volatile state - a shard crash, in the Section 8 sense.
+
+        Pending notices of the dead shard are cancelled (it must never
+        speak again) and its groups are re-adopted at the tier's durable
+        floors with their client sinks reattached, so the first view the
+        rebuilt shard forms is strictly above anything its predecessor
+        issued.
+        """
+        old = self.shards[index]
+        owned = sorted(old.groups)
+        for group in owned:
+            old.release(group)  # cancellation only; floors are the memory
+        fresh = self._make_shard(index)
+        self.shards[index] = fresh
+        for group in owned:
+            cid_floor, counter_floor = self.floors.get(group, (0, 0))
+            fresh.adopt(group, cid_floor=cid_floor, counter_floor=counter_floor)
+            for (sink_group, pid), sinks in self._sinks.items():
+                if sink_group == group:
+                    fresh.attach_client(group, pid, *sinks)
+        return fresh
 
     def __repr__(self) -> str:
         return (

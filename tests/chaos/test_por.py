@@ -114,7 +114,7 @@ def test_sweep_skips_por_equivalent_episodes(monkeypatch):
 
     class _StubPlans:
         @staticmethod
-        def generate(seed, *, intensity=1.0, overlay_leaders=0):
+        def generate(seed, *, intensity=1.0, overlay_leaders=0, servers=0):
             return plans[seed]
 
     monkeypatch.setattr(sweep_mod, "ChaosPlan", _StubPlans)

@@ -25,10 +25,11 @@ from repro.types import VID_ZERO
 
 
 class LoopbackLink:
-    """A buffering TierLink: ``post`` is fire-and-forget, as the protocol
-    demands, and messages are delivered FIFO on ``drain()`` - after the
-    tier has finished its control step, the way every real substrate's
-    event loop does.  (Delivering synchronously inside ``post`` would let
+    """A buffering TierLink: ``transmit`` is fire-and-forget, as the
+    protocol demands, and messages are delivered FIFO on ``drain()`` -
+    after the tier has finished its control step, the way every real
+    substrate's event loop does.  (Delivering synchronously inside
+    ``transmit`` would let
     a proposal reach a peer whose reachable-set update is still pending
     in the same tier operation, which no asynchronous transport does.)
 
@@ -45,7 +46,7 @@ class LoopbackLink:
     async def attach(self, sid, handler):
         self.handlers[sid] = handler
 
-    def post(self, src, dst, message):
+    def transmit(self, src, dst, message):
         self.queue.append((src, dst, message))
 
     def drain(self):

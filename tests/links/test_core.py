@@ -200,6 +200,16 @@ def test_describe_links_orders_by_traffic():
     assert stats.describe_links() == "a->b: 3, b->a: 1"
 
 
+def test_describe_tier_links_singles_out_server_traffic():
+    stats = LinkStats()
+    assert stats.describe_tier_links() == "no tier traffic"
+    for _ in range(3):
+        stats.record_sent("a", "srv:0", "m")
+    stats.record_sent("srv:0", "a", "m")
+    stats.record_sent("a", "b", "m")  # client traffic: not a tier link
+    assert stats.describe_tier_links() == "tier links a->srv:0: 3, srv:0->a: 1"
+
+
 def test_describe_links_truncates():
     stats = LinkStats()
     for i in range(9):

@@ -1,0 +1,252 @@
+"""The server fault domain: snapshot/restore, durable watermarks, wraparound.
+
+The paper's Section 8 assumes membership servers "never crash and never
+forget".  These tests exercise the machinery that *relaxes* that
+assumption - the explicit :class:`ServerState`, the tier-owned
+:class:`WatermarkStore`, and epoch-composed bounded counters - at the
+tier level, over a synchronous loopback link.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.checking.events import GcsTrace, MbrshpFormEvent
+from repro.membership import MembershipTier
+from repro.membership.state import (
+    ServerState,
+    WatermarkStore,
+    compose_counter,
+    decompose_counter,
+)
+
+
+class LoopbackLink:
+    """Buffering TierLink: fire-and-forget transmit, FIFO drain."""
+
+    def __init__(self):
+        self.handlers = {}
+        self.inboxes = {}
+        self.queue = []
+
+    async def attach(self, sid, handler):
+        self.handlers[sid] = handler
+
+    def attach_sync(self, sid, handler):
+        self.handlers[sid] = handler
+
+    def transmit(self, src, dst, message):
+        self.queue.append((src, dst, message))
+
+    def drain(self):
+        while self.queue:
+            src, dst, message = self.queue.pop(0)
+            if dst in self.handlers:
+                self.handlers[dst](src, message)
+            else:
+                self.inboxes.setdefault(dst, []).append(message)
+
+
+class Driver:
+    def __init__(self, clients=("a", "b", "c"), servers=2, **tier_kwargs):
+        self.link = LoopbackLink()
+        self.tier = MembershipTier(self.link, servers=servers, **tier_kwargs)
+        for pid in clients:
+            self.tier.add_client(pid)
+        asyncio.run(self.tier.start())
+        self.link.drain()
+
+    def do(self, fn, *args, **kwargs):
+        result = fn(*args, **kwargs)
+        self.link.drain()
+        return result
+
+
+# ----------------------------------------------------------------------
+# ServerState / WatermarkStore values
+# ----------------------------------------------------------------------
+
+
+def test_server_state_dict_roundtrip():
+    state = ServerState(
+        sid="srv:0",
+        local_clients=("a", "b"),
+        crashed_clients=("b",),
+        round=7,
+        epoch=2,
+        counter=1,
+        counter_bound=4,
+        cids=(("a", 3), ("b", 5)),
+        modes=(("a", "NORMAL"), ("b", "CHANGE_STARTED")),
+    )
+    assert ServerState.from_dict(state.to_dict()) == state
+    assert state.max_counter == 2 * 4 + 1
+
+
+def test_counter_composition_roundtrip():
+    for bound in (None, 1, 4, 100):
+        for value in (0, 1, 3, 4, 17, 399):
+            epoch, local = decompose_counter(value, bound)
+            assert compose_counter(epoch, local, bound) == value
+            if bound is not None:
+                assert 0 <= local < bound
+
+
+def test_watermark_store_dict_roundtrip():
+    store = WatermarkStore()
+    store.observe(3, 9)
+    store.persist(
+        ServerState("srv:1", (), (), 5, 0, 11, None, (), ())
+    )
+    clone = WatermarkStore.from_dict(store.to_dict())
+    assert clone.round_floor() == store.round_floor() == 5
+    assert clone.counter_floor() == store.counter_floor() == 11
+    assert clone.load("srv:1") == store.load("srv:1")
+    assert clone.load("srv:404") is None
+
+
+# ----------------------------------------------------------------------
+# crash / recover at the tier
+# ----------------------------------------------------------------------
+
+
+def test_crash_rehomes_clients_and_persists_snapshot():
+    driver = Driver(clients=("a", "b", "c", "d"), servers=2)
+    tier = driver.tier
+    sid = driver.do(tier.crash_server)
+    assert tier.servers[sid].crashed
+    assert tier.store.load(sid) is not None
+    # Its clients failed over: the survivor re-forms the full view.
+    view = tier.views_formed[-1]
+    assert view.members == {"a", "b", "c", "d"}
+    assert tier.clients_of(tier.alive_servers()) == {"a", "b", "c", "d"}
+
+
+def test_last_alive_server_cannot_crash():
+    driver = Driver(servers=2)
+    driver.do(driver.tier.crash_server)
+    with pytest.raises(ValueError, match="last alive server"):
+        driver.tier.crash_server()
+
+
+def test_crashed_server_says_and_hears_nothing():
+    driver = Driver(servers=2)
+    tier = driver.tier
+    sid = driver.do(tier.crash_server)
+    dead = tier.servers[sid]
+    rounds = dead.rounds_started
+    dead.on_message("srv:0", object())  # dropped, not an error
+    dead.activate(tier.servers)
+    assert dead.rounds_started == rounds
+
+
+def test_recovery_rejoins_without_forking():
+    driver = Driver(clients=("a", "b", "c"), servers=3)
+    tier = driver.tier
+    sid = driver.do(tier.crash_server)
+    pre_crash = tier.watermark()
+    # Life goes on without the dead server.
+    driver.do(tier.set_members, ["a", "b"])
+    driver.do(tier.set_members, ["a", "b", "c"])
+    driver.do(tier.recover_server, sid)
+    server = tier.servers[sid]
+    assert not server.crashed
+    # Floored by the durable store: its first new round exceeds every
+    # pre-crash round, and it can never issue a counter a client saw.
+    assert server.round >= tier.store.round_floor()
+    assert server.max_counter >= tier.store.counter_floor() > pre_crash
+    driver.do(tier.set_members, ["a", "b"])
+    counters = [v.vid.counter for v in tier.views_formed]
+    assert counters == sorted(set(counters)), "a recovery must not fork views"
+
+
+def test_watermark_survives_every_server_crashing():
+    driver = Driver(clients=("a", "b"), servers=2)
+    tier = driver.tier
+    driver.do(tier.set_members, ["a"])
+    high = tier.watermark()
+    driver.do(tier.crash_server)
+    # The live server's memory is irrelevant: the floor is durable.
+    assert tier.store.counter_floor() >= high
+    assert tier.watermark() >= high
+
+
+def test_clientless_coformer_snapshot_is_persisted():
+    # Three servers, two clients: one server forms views it serves no
+    # client in.  Durability must cover it anyway (a recovery after all
+    # its peers crash must still know the watermarks).
+    driver = Driver(clients=("a", "b"), servers=3)
+    tier = driver.tier
+    clientless = [s for s in tier.servers.values() if not s.local_clients]
+    assert clientless, "expected at least one client-less server"
+    for server in clientless:
+        assert tier.store.load(server.sid) is not None
+
+
+# ----------------------------------------------------------------------
+# bounded counters (wraparound convergence)
+# ----------------------------------------------------------------------
+
+
+def test_bounded_counter_wraps_without_regressing():
+    driver = Driver(clients=("a", "b", "c"), servers=1, counter_bound=3)
+    tier = driver.tier
+    for _ in range(4):  # push the external counter well past the bound
+        driver.do(tier.set_members, ["a", "b"])
+        driver.do(tier.set_members, ["a", "b", "c"])
+    counters = [v.vid.counter for v in tier.views_formed]
+    assert counters == sorted(set(counters))
+    assert counters[-1] > 3, "external counter must sail past the bound"
+    (server,) = tier.servers.values()
+    epoch, local = server.bounded_counter()
+    assert epoch >= 1 and 0 <= local < 3
+    assert compose_counter(epoch, local, 3) == server.max_counter
+
+
+def test_bounded_counter_survives_crash_recover():
+    driver = Driver(clients=("a", "b"), servers=2, counter_bound=2)
+    tier = driver.tier
+    for _ in range(3):
+        driver.do(tier.set_members, ["a"])
+        driver.do(tier.set_members, ["a", "b"])
+    sid = driver.do(tier.crash_server)
+    driver.do(tier.set_members, ["a"])
+    driver.do(tier.recover_server, sid)
+    # The recomposed (epoch, local) watermark floors the recovered
+    # server above everything any client has seen.
+    assert tier.servers[sid].max_counter >= tier.store.counter_floor()
+    driver.do(tier.set_members, ["a", "b"])
+    counters = [v.vid.counter for v in tier.views_formed]
+    assert counters == sorted(set(counters))
+
+
+# ----------------------------------------------------------------------
+# formation trace events (the rules' raw material)
+# ----------------------------------------------------------------------
+
+
+def test_formation_events_cover_every_coformer():
+    trace = GcsTrace()
+    driver = Driver(clients=("a", "b"), servers=2, trace=trace)
+    formations = trace.of_type(MbrshpFormEvent)
+    view = driver.tier.views_formed[-1]
+    assert {e.proc for e in formations} == set(driver.tier.servers)
+    assert all(e.view == view for e in formations)
+
+
+def test_origin_formation_counters_strictly_increase():
+    trace = GcsTrace()
+    driver = Driver(clients=("a", "b", "c"), servers=2, trace=trace)
+    tier = driver.tier
+    sid = driver.do(tier.crash_server)
+    driver.do(tier.set_members, ["a", "b"])
+    driver.do(tier.recover_server, sid)
+    driver.do(tier.set_members, ["a", "b", "c"])
+    by_origin = {}
+    for event in trace.of_type(MbrshpFormEvent):
+        vid = event.view.vid
+        if event.proc != vid.origin:
+            continue
+        assert vid.counter > by_origin.get(vid.origin, 0)
+        by_origin[vid.origin] = vid.counter
+    assert by_origin, "expected at least one origin formation"

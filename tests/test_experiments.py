@@ -146,3 +146,32 @@ class TestSubstrates:
     def test_unknown_substrate_propagates(self):
         with pytest.raises(ValueError):
             measure_substrate("avian")
+
+
+class TestServerChaos:
+    def test_miniature_e20_sweep(self):
+        from repro.experiments import measure_server_chaos
+
+        result = measure_server_chaos("sim", episodes=6, servers=3)
+        assert result.sweep.violations == 0
+        assert sum(result.server_ops.values()) > 0
+        assert result.ok
+
+    def test_sweep_without_server_ops_is_not_ok(self):
+        from repro.experiments import measure_server_chaos
+
+        # servers=0 keeps the tier out of the schedules entirely: the
+        # sweep may be green, but it proves nothing about the tier.
+        result = measure_server_chaos("sim", episodes=2, servers=0)
+        assert result.server_ops == {}
+        assert not result.ok
+
+    def test_miniature_e20_soak(self):
+        from repro.experiments import measure_server_soak
+
+        report = measure_server_soak(
+            "sim", seed=5, duration=300.0, audit_every=25
+        )
+        assert report.ok, report.summary()
+        assert report.elapsed >= 300.0
+        assert report.max_resident <= report.resident_limit
